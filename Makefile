@@ -1,0 +1,32 @@
+# Convenience targets for the TAP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures extensions examples all clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	TAP_BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli all --outdir results/
+
+extensions:
+	$(PYTHON) -m repro.cli extensions --outdir results/
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+all: test bench figures extensions
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

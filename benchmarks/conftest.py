@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one figure (or ablation) of
+the paper: the benchmark measures the experiment's runtime, and the
+figure's rows are printed and written to ``benchmarks/results/`` so
+the series the paper plots can be inspected (or piped into a plotting
+tool) after a run.
+
+Benchmarks default to the ``fast()`` configs; set
+``TAP_BENCH_SCALE=paper`` to run the paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    return os.environ.get("TAP_BENCH_SCALE", "fast").lower() == "paper"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, capsys):
+    """Print a rendered table and persist it (plus CSV) to results/."""
+
+    def _emit(name: str, table: str, csv: str) -> None:
+        (results_dir / f"{name}.txt").write_text(table)
+        (results_dir / f"{name}.csv").write_text(csv)
+        with capsys.disabled():
+            print()
+            print(table, end="")
+
+    return _emit

@@ -1,0 +1,67 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+the k/l trade-off surface and the §3.5 scattered-selection rule."""
+
+from repro.experiments.ablation import (
+    ScatterConfig,
+    TradeoffConfig,
+    run_scatter,
+    run_tradeoff,
+)
+from repro.experiments.runner import render_table, rows_to_csv
+
+from conftest import paper_scale
+
+
+def test_bench_tradeoff_surface(benchmark, emit):
+    """Figure 2 and Figure 4 are 1-D slices of this (k, l) surface:
+    raising k buys fault tolerance and costs anonymity; raising l buys
+    anonymity and (per Figure 6) costs latency."""
+    config = TradeoffConfig() if paper_scale() else TradeoffConfig.fast()
+    rows = benchmark.pedantic(run_tradeoff, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "ablation_tradeoff",
+        render_table(
+            rows,
+            columns=["replication_factor", "tunnel_length",
+                     "failed_tunnels", "corrupted_tunnels",
+                     "expected_failed", "expected_corrupted"],
+            title="Ablation — functionality/anonymity trade-off "
+                  f"(fail p={config.failure_fraction}, "
+                  f"malicious p={config.malicious_fraction})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    by_l: dict[int, list[dict]] = {}
+    for row in rows:
+        by_l.setdefault(row["tunnel_length"], []).append(row)
+    for length, group in by_l.items():
+        group.sort(key=lambda r: r["replication_factor"])
+        fails = [r["failed_tunnels"] for r in group]
+        corr = [r["corrupted_tunnels"] for r in group]
+        # k helps functionality, hurts anonymity — monotone both ways.
+        assert fails == sorted(fails, reverse=True)
+        assert corr == sorted(corr)
+
+
+def test_bench_scatter_selection(benchmark, emit):
+    """§3.5: prefix-scattering minimises the chance that one node holds
+    replicas of several hops of the same tunnel."""
+    config = ScatterConfig() if paper_scale() else ScatterConfig.fast()
+    rows = benchmark.pedantic(run_scatter, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "ablation_scatter",
+        render_table(
+            rows,
+            columns=["selection", "multi_hop_holder_rate"],
+            title="Ablation — scattered vs uniform anchor selection "
+                  f"(N={config.num_nodes}, l={config.tunnel_length}, "
+                  f"k={config.replication_factor})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    rates = {r["selection"]: r["multi_hop_holder_rate"] for r in rows}
+    assert rates["scattered"] < rates["uniform"]

@@ -1,0 +1,38 @@
+"""Figure 2 bench: tunnel failure rate vs simultaneous node failures.
+
+Regenerates the paper's series — current tunneling vs TAP (k=3, k=5)
+over a 10^4-node network with 5,000 length-5 tunnels — and asserts the
+headline result: "in TAP, there is no significant tunnel failure"
+while the current approach "increases dramatically".
+"""
+
+from repro.experiments import Fig2Config, render_table, rows_to_csv, run_fig2
+from repro.experiments.runner import series
+
+from conftest import paper_scale
+
+
+def test_bench_fig2_failures(benchmark, emit):
+    config = Fig2Config() if paper_scale() else Fig2Config.fast()
+    rows = benchmark.pedantic(run_fig2, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "fig2",
+        render_table(
+            rows,
+            columns=["failed_fraction", "scheme", "failed_tunnels", "expected"],
+            title="Figure 2 — failed tunnels vs failed nodes "
+                  f"(N={config.num_nodes}, T={config.num_tunnels}, l={config.tunnel_length})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    by = series(rows, "failed_fraction", "failed_tunnels")
+    # Current tunneling degrades dramatically ...
+    assert by["current"][-1][1] > 0.8
+    # ... while TAP stays low at moderate failure rates, k=5 best.
+    for p, v in by["tap-k3"]:
+        if p <= 0.2:
+            assert v < 0.1
+    for (_, k3), (_, k5) in zip(by["tap-k3"], by["tap-k5"]):
+        assert k5 <= k3

@@ -1,0 +1,34 @@
+"""Figure 3 bench: corrupted tunnels vs colluding malicious fraction.
+
+Regenerates the k=3, l=5 corruption curve and asserts the paper's
+claim that "there is no significant tunnels corrupted even if p is
+large enough (e.g., 0.3)".
+"""
+
+from repro.experiments import Fig3Config, render_table, rows_to_csv, run_fig3
+
+from conftest import paper_scale
+
+
+def test_bench_fig3_collusion(benchmark, emit):
+    config = Fig3Config() if paper_scale() else Fig3Config.fast()
+    rows = benchmark.pedantic(run_fig3, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "fig3",
+        render_table(
+            rows,
+            columns=["malicious_fraction", "corrupted_tunnels", "expected"],
+            title="Figure 3 — corrupted tunnels vs malicious nodes "
+                  f"(N={config.num_nodes}, k={config.replication_factor}, "
+                  f"l={config.tunnel_length})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    values = [r["corrupted_tunnels"] for r in rows]
+    assert values == sorted(values)  # grows with p
+    assert values[-1] < 0.2  # "no significant corruption" at p=0.3
+    # Monte Carlo tracks the closed form.
+    for row in rows:
+        assert abs(row["corrupted_tunnels"] - row["expected"]) < 0.05

@@ -1,0 +1,55 @@
+"""Figure 4 bench: corruption vs replication factor (a) and tunnel
+length (b) — the paper's functionality/anonymity trade-off knobs."""
+
+from repro.experiments import (
+    Fig4Config,
+    render_table,
+    rows_to_csv,
+    run_fig4a,
+    run_fig4b,
+)
+
+from conftest import paper_scale
+
+
+def _config() -> Fig4Config:
+    return Fig4Config() if paper_scale() else Fig4Config.fast()
+
+
+def test_bench_fig4a_replication_factor(benchmark, emit):
+    config = _config()
+    rows = benchmark.pedantic(run_fig4a, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "fig4a",
+        render_table(
+            rows,
+            columns=["replication_factor", "corrupted_tunnels", "expected"],
+            title="Figure 4(a) — corruption vs replication factor "
+                  f"(p={config.malicious_fraction}, l={config.tunnel_length})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    values = [r["corrupted_tunnels"] for r in rows]
+    assert values == sorted(values)  # bigger k -> more disclosure
+    assert values[-1] > values[0]
+
+
+def test_bench_fig4b_tunnel_length(benchmark, emit):
+    config = _config()
+    rows = benchmark.pedantic(run_fig4b, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "fig4b",
+        render_table(
+            rows,
+            columns=["tunnel_length", "corrupted_tunnels", "expected"],
+            title="Figure 4(b) — corruption vs tunnel length "
+                  f"(p={config.malicious_fraction}, k={config.replication_factor})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    values = [r["corrupted_tunnels"] for r in rows]
+    assert values == sorted(values, reverse=True)  # longer -> safer

@@ -1,0 +1,48 @@
+"""Figure 6 bench: 2 Mb transfer latency vs network size.
+
+Regenerates overt / TAP_basic / TAP_opt (l = 3, 5) over real Pastry
+routes and the paper's link model, and asserts the reported shape:
+basic tunneling pays a big penalty that grows with N and l; the §5
+optimisation removes most of it.
+"""
+
+from repro.experiments import Fig6Config, render_table, rows_to_csv, run_fig6
+from repro.experiments.runner import series
+
+from conftest import paper_scale
+
+
+def test_bench_fig6_latency(benchmark, emit):
+    if paper_scale():
+        config = Fig6Config()
+    else:
+        config = Fig6Config(
+            network_sizes=(100, 500, 1_000, 2_000),
+            transfers_per_size=30,
+            num_seeds=1,
+        )
+    rows = benchmark.pedantic(run_fig6, args=(config,), rounds=1, iterations=1)
+
+    emit(
+        "fig6",
+        render_table(
+            rows,
+            columns=["num_nodes", "scheme", "transfer_time_s",
+                     "expected_route_hops"],
+            title="Figure 6 — 2 Mb transfer latency "
+                  f"(links {config.bandwidth_bps/1e6:.1f} Mb/s, "
+                  f"latency U[{config.min_latency_s*1e3:.0f},"
+                  f"{config.max_latency_s*1e3:.0f}] ms)",
+        ),
+        rows_to_csv(rows),
+    )
+
+    by_n: dict[int, dict[str, float]] = {}
+    for row in rows:
+        by_n.setdefault(row["num_nodes"], {})[row["scheme"]] = row["transfer_time_s"]
+    for schemes in by_n.values():
+        assert schemes["overt"] < schemes["tap-opt-l3"] < schemes["tap-basic-l3"]
+        assert schemes["tap-opt-l5"] < schemes["tap-basic-l5"]
+        assert schemes["tap-basic-l3"] < schemes["tap-basic-l5"]
+    basic = series(rows, "num_nodes", "transfer_time_s")["tap-basic-l5"]
+    assert basic[-1][1] > basic[0][1]  # penalty grows with N

@@ -1,0 +1,43 @@
+"""Extension bench: §5 IP-hint staleness under churn.
+
+The paper evaluates TAP_opt only on a static network (hints never
+stale).  This bench quantifies the fallback behaviour the optimisation
+was designed around: as churn grows, more hints fail and the mean
+underlying hops per tunnel hop drifts from 1 (pure shortcut) toward
+the DHT routing cost — while tunnels keep succeeding.
+"""
+
+from repro.experiments.ablation import HintStalenessConfig, run_hint_staleness
+from repro.experiments.runner import render_table, rows_to_csv
+
+from conftest import paper_scale
+
+
+def test_bench_hint_staleness(benchmark, emit):
+    config = HintStalenessConfig() if paper_scale() else HintStalenessConfig.fast()
+    rows = benchmark.pedantic(
+        run_hint_staleness, args=(config,), rounds=1, iterations=1
+    )
+
+    emit(
+        "ablation_hints",
+        render_table(
+            rows,
+            columns=["churn_events", "hint_failure_rate", "via_hint_rate",
+                     "mean_underlying_per_hop", "tunnel_success_rate"],
+            title="Ablation — IP-hint staleness vs churn "
+                  f"(N={config.num_nodes}, l={config.tunnel_length})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    # No churn: every hint works, one physical link per tunnel hop.
+    base = rows[0]
+    assert base["churn_events"] == 0
+    assert base["hint_failure_rate"] == 0.0
+    assert base["mean_underlying_per_hop"] == 1.0
+    # Staleness grows with churn ...
+    failure_rates = [r["hint_failure_rate"] for r in rows]
+    assert failure_rates[-1] >= failure_rates[0]
+    # ... but the DHT fallback keeps every tunnel working.
+    assert all(r["tunnel_success_rate"] == 1.0 for r in rows)

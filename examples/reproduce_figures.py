@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Regenerate any figure of the paper from the command line.
+
+Thin convenience wrapper over :mod:`repro.cli` (the same code the
+``tap-repro`` console script runs):
+
+    python examples/reproduce_figures.py fig2 --fast
+    python examples/reproduce_figures.py all --fast --outdir results/
+    python examples/reproduce_figures.py fig6            # paper scale
+
+``--fast`` uses the scaled-down configs (same qualitative shapes,
+seconds instead of minutes); omit it for the paper-scale parameters
+(10^4 nodes, 5,000 tunnels, sizes up to 10^4 for Figure 6).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] or ["all", "--fast"]))

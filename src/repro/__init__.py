@@ -1,0 +1,33 @@
+"""Reproduction of *TAP: A Novel Tunneling Approach for Anonymity in
+Structured P2P Systems* (Zhu & Hu, ICPP 2004).
+
+The package rebuilds the paper's full stack in Python:
+
+* :mod:`repro.pastry` — the Pastry structured overlay (FreePastry 1.3
+  equivalent: prefix routing, leaf sets, join/leave/failure);
+* :mod:`repro.past` — PAST storage with k-closest replication;
+* :mod:`repro.crypto` — layered (onion) encryption, hashing, RSA;
+* :mod:`repro.simnet` — discrete-event network simulator (latency,
+  bandwidth, message delivery);
+* :mod:`repro.core` — TAP itself: tunnel hop anchors, anonymous
+  deployment, fault-tolerant tunnels, reply tunnels, the §5 IP-hint
+  optimisation, and anonymous file retrieval;
+* :mod:`repro.baselines` — "current tunneling" (fixed-node paths) and
+  Onion Routing, the paper's comparison points;
+* :mod:`repro.adversary` — failure, collusion, and churn models;
+* :mod:`repro.analysis` — vectorised Monte-Carlo id-space model,
+  anonymity metrics, and closed-form cross-checks;
+* :mod:`repro.experiments` — one module per figure of the paper.
+
+Entry point for most users::
+
+    from repro import TapSystem
+"""
+
+from repro.core.system import TapSystem
+from repro.core.tunnel import ReplyTunnel, Tunnel
+from repro.core.node import TapNode
+
+__version__ = "1.0.0"
+
+__all__ = ["TapSystem", "Tunnel", "ReplyTunnel", "TapNode", "__version__"]

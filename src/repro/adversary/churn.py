@@ -1,0 +1,56 @@
+"""Benign churn under a patient adversary (Figure 5's scenario).
+
+"During each time unit, we simulate that a number of 100 benign nodes
+leaves and then another set of 100 benign nodes joins the system.  So
+the fraction of malicious nodes p is kept on 0.1 after each time
+unit."  Malicious nodes never leave; they inherit replicas vacated by
+benign departures and thereby accumulate THAs over time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.ids import random_id
+
+
+@dataclass
+class ChurnProcess:
+    """Applies one unit of benign leave-then-join churn to a TapSystem."""
+
+    leaves_per_unit: int = 100
+    joins_per_unit: int = 100
+
+    def step(self, system, adversary, rng: random.Random) -> dict:
+        """One time unit: benign nodes leave, fresh benign nodes join.
+
+        The replication manager repairs after each departure, which is
+        what hands replicas — and hence THA knowledge — to coalition
+        nodes that move up into replica sets.  Returns a small stats
+        dict for the experiment log.
+        """
+        benign_alive = [
+            nid for nid in system.network.alive_ids
+            if not adversary.is_malicious(nid)
+        ]
+        departures = rng.sample(
+            benign_alive, min(self.leaves_per_unit, len(benign_alive))
+        )
+        for nid in departures:
+            system.fail_node(nid, repair=True)
+
+        joined = []
+        for _ in range(self.joins_per_unit):
+            new_id = random_id(rng)
+            while new_id in system.network.nodes:
+                new_id = random_id(rng)
+            system.join_node(new_id)
+            joined.append(new_id)
+
+        return {
+            "departed": len(departures),
+            "joined": len(joined),
+            "alive": system.network.size,
+            "known_thas": len(adversary.known_hopids),
+        }

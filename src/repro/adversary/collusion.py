@@ -1,0 +1,70 @@
+"""Colluding malicious nodes pooling THA knowledge (§6).
+
+Every THA replicated onto any colluding node is disclosed to the whole
+coalition, permanently.  The adversary corrupts a tunnel when it knows
+the THAs of *all* hops (case 1); it can alternatively run timing
+analysis when it controls both the first and the tail tunnel hop node
+(case 2) — the paper argues case 2 is weak (the first hop cannot be
+recognised as first) and evaluates case 1, as do we; case 2 is exposed
+for the extension benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tunnel import Tunnel
+
+
+@dataclass
+class ColludingAdversary:
+    """Tracks coalition membership and accumulated THA knowledge."""
+
+    malicious_ids: set[int]
+    known_hopids: set[int] = field(default_factory=set)
+
+    def is_malicious(self, node_id: int) -> bool:
+        return node_id in self.malicious_ids
+
+    # ------------------------------------------------------------------
+    # knowledge acquisition
+    # ------------------------------------------------------------------
+    def observe_placement(self, hop_id: int, node_id: int) -> None:
+        """Replica-placement hook: wire into
+        ``ReplicatedStore.on_replica_placed`` so the coalition learns
+        every anchor that ever touches a malicious node."""
+        if node_id in self.malicious_ids:
+            self.known_hopids.add(hop_id)
+
+    def attach(self, store) -> None:
+        """Subscribe to a :class:`~repro.past.ReplicatedStore` and
+        absorb anything already stored on coalition nodes."""
+        store.on_replica_placed.append(self.observe_placement)
+        for nid in self.malicious_ids:
+            storage = store.storages.get(nid)
+            if storage is not None:
+                self.known_hopids.update(storage.keys())
+
+    def knows(self, hop_id: int) -> bool:
+        return hop_id in self.known_hopids
+
+    # ------------------------------------------------------------------
+    # attack predicates
+    # ------------------------------------------------------------------
+    def tunnel_corrupted(self, tunnel: Tunnel) -> bool:
+        """Case 1: the coalition knows every hop's THA."""
+        return all(self.knows(h.hop_id) for h in tunnel.hops)
+
+    def first_and_tail_controlled(self, system, tunnel: Tunnel) -> bool:
+        """Case 2: coalition nodes currently serve the first and tail
+        hops (timing-analysis precondition)."""
+        first_root = system.network.closest_alive(tunnel.hops[0].hop_id)
+        tail_root = system.network.closest_alive(tunnel.hops[-1].hop_id)
+        return self.is_malicious(first_root) and self.is_malicious(tail_root)
+
+    def knowledge_fraction(self, tunnels: list[Tunnel]) -> float:
+        """Fraction of the given tunnels corrupted under case 1."""
+        if not tunnels:
+            return 0.0
+        corrupted = sum(1 for t in tunnels if self.tunnel_corrupted(t))
+        return corrupted / len(tunnels)

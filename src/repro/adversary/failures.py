@@ -1,0 +1,66 @@
+"""Simultaneous node failure model (Figure 2's scenario).
+
+"We consider a 10^4 node network that forms 5,000 tunnels, and
+randomly choose a fraction p of nodes that fail/leave.  After node
+failures/leaves, we measure the fraction of tunnels that could not
+function."  The failures are *simultaneous*: no repair runs in
+between, so an object is lost iff its entire replica set is inside
+the failed set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class FailureModel:
+    """Samples and applies uniform simultaneous failures."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"failure fraction {self.fraction} outside [0, 1]")
+
+    def sample(self, node_ids: list[int], rng: random.Random) -> list[int]:
+        """Choose ``round(p*N)`` distinct victims."""
+        count = round(self.fraction * len(node_ids))
+        if count == 0:
+            return []
+        return rng.sample(node_ids, count)
+
+    def apply(self, system, rng: random.Random, repair_after: bool = False) -> list[int]:
+        """Fail a sampled fraction of a :class:`TapSystem`'s nodes.
+
+        ``repair_after=False`` is the Figure-2 regime: the measurement
+        happens before the replication manager can re-replicate, so
+        fault tolerance comes purely from surviving replicas.
+        """
+        victims = self.sample(list(system.network.alive_ids), rng)
+        system.fail_nodes(victims, repair_after=repair_after)
+        return victims
+
+
+def tunnel_functions(system, tunnel) -> bool:
+    """Does a tunnel still function after failures (object-level)?
+
+    Each hop functions iff some live node holds its THA *and* that
+    node is the one routing reaches (the closest alive).  Mirrors what
+    :class:`repro.core.forwarding.TunnelForwarder` would discover, but
+    without cryptographic traversal — used for bulk measurements.
+    """
+    for tha in tunnel.hops:
+        holders = [
+            h for h in system.store.holders(tha.hop_id)
+            if system.network.is_alive(h)
+        ]
+        if not holders:
+            return False
+        root = system.network.closest_alive(tha.hop_id)
+        if root not in holders:
+            # The node routing reaches has no replica: the anchor is
+            # unreachable even though stale copies exist elsewhere.
+            return False
+    return True

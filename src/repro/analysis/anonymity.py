@@ -1,0 +1,92 @@
+"""Anonymity metrics from the paper's security analysis (§6).
+
+* the responder's guess probability ``1/(N-1)``;
+* the confidence a malicious tunnel hop has that its immediate
+  predecessor is the initiator (mix homogeneity argument);
+* anonymity-set entropy and the normalised *degree of anonymity*
+  (Diaz et al. / Serjantov–Danezis), the standard way to score the
+  probability distributions the adversary ends up with.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def responder_guess_probability(n_nodes: int) -> float:
+    """§6: the responder guesses the initiator with prob ``1/(N-1)``.
+
+    All other nodes are equally likely to be the initiator because the
+    request exits from a tunnel tail unrelated to the initiator.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    return 1.0 / (n_nodes - 1)
+
+
+def predecessor_confidence(length: int, position_known: bool = False, position: int = 1) -> float:
+    """Confidence that a malicious hop's predecessor is the initiator.
+
+    With mix homogeneity a malicious hop node cannot tell whether it is
+    the first hop: the predecessor is the initiator only if it is.
+    Without position knowledge each of the ``length`` positions is
+    equally likely, giving ``1/length``.  If the adversary somehow
+    *knows* the position, confidence is 1 at the first hop, else 0.
+    """
+    if length < 1:
+        raise ValueError("tunnel length must be >= 1")
+    if position_known:
+        if not 1 <= position <= length:
+            raise ValueError("position outside tunnel")
+        return 1.0 if position == 1 else 0.0
+    return 1.0 / length
+
+
+def anonymity_set_entropy(probabilities: Sequence[float]) -> float:
+    """Shannon entropy (bits) of the adversary's initiator distribution.
+
+    Zero-probability entries are allowed and contribute nothing; the
+    distribution must sum to 1 (±1e-9).
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1 or len(probs) == 0:
+        raise ValueError("need a non-empty 1-D probability vector")
+    if np.any(probs < -1e-12):
+        raise ValueError("negative probability")
+    total = probs.sum()
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"probabilities sum to {total}, not 1")
+    nz = probs[probs > 0]
+    return float(-(nz * np.log2(nz)).sum())
+
+
+def degree_of_anonymity(probabilities: Sequence[float]) -> float:
+    """Normalised entropy ``d = H(X) / log2(N)`` in [0, 1].
+
+    ``d = 1`` means the adversary learned nothing (uniform over N
+    candidates); ``d = 0`` means fully identified.  For N == 1 the
+    initiator is trivially identified and d = 0.
+    """
+    probs = np.asarray(probabilities, dtype=float)
+    n = len(probs)
+    if n <= 1:
+        return 0.0
+    h_max = math.log2(n)
+    return anonymity_set_entropy(probs) / h_max
+
+
+def uniform_with_suspect(n_candidates: int, suspect_prob: float) -> np.ndarray:
+    """Distribution where one suspect has ``suspect_prob`` and the rest
+    share the remainder uniformly — the shape timing-analysis evidence
+    produces.  Convenience builder for the metrics above."""
+    if n_candidates < 2:
+        raise ValueError("need at least two candidates")
+    if not 0.0 <= suspect_prob <= 1.0:
+        raise ValueError("suspect_prob outside [0, 1]")
+    rest = (1.0 - suspect_prob) / (n_candidates - 1)
+    out = np.full(n_candidates, rest, dtype=float)
+    out[0] = suspect_prob
+    return out

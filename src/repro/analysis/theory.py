@@ -1,0 +1,107 @@
+"""Closed-form expectations for TAP's failure/corruption behaviour.
+
+These are the analytic counterparts of the paper's simulations, used
+to cross-check Monte-Carlo results in the test-suite and to annotate
+benchmark output with expected values.
+
+Model: N nodes, a uniformly random subset of size ``round(p*N)`` is
+failed (or malicious); each tunnel has ``l`` hops with independent
+uniformly-placed hopids, each replicated on ``k`` nodes.  Because the
+k-closest sets of independent uniform keys are (asymptotically)
+independent uniform k-subsets, hop events are hypergeometric.
+"""
+
+from __future__ import annotations
+
+from scipy.special import comb
+
+
+def _hyper_all_in_subset(n_total: int, n_subset: int, k: int) -> float:
+    """P(all k draws land in the marked subset), without replacement."""
+    if k > n_subset:
+        return 0.0
+    return float(comb(n_subset, k, exact=False) / comb(n_total, k, exact=False))
+
+
+def _hyper_any_in_subset(n_total: int, n_subset: int, k: int) -> float:
+    """P(at least one of k draws is in the marked subset)."""
+    if n_subset <= 0:
+        return 0.0
+    if k > n_total - n_subset:
+        return 1.0
+    none = comb(n_total - n_subset, k, exact=False) / comb(n_total, k, exact=False)
+    return float(1.0 - none)
+
+
+def tunnel_failure_prob_current(p: float, length: int, n_nodes: int | None = None) -> float:
+    """Current tunneling: a fixed-node tunnel fails iff any relay fails.
+
+    ``1 - (1-p)^l`` asymptotically; with ``n_nodes`` the exact
+    without-replacement form is used.
+    """
+    _check(p, length)
+    if n_nodes is None:
+        return 1.0 - (1.0 - p) ** length
+    failed = round(p * n_nodes)
+    survive = comb(n_nodes - failed, length) / comb(n_nodes, length)
+    return float(1.0 - survive)
+
+
+def tunnel_failure_prob_tap(
+    p: float, length: int, k: int, n_nodes: int | None = None
+) -> float:
+    """TAP: a hop fails iff *all k* replicas fail → ``1 - (1 - p^k)^l``."""
+    _check(p, length)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n_nodes is None:
+        hop_fail = p**k
+    else:
+        failed = round(p * n_nodes)
+        hop_fail = _hyper_all_in_subset(n_nodes, failed, k)
+    return 1.0 - (1.0 - hop_fail) ** length
+
+
+def tha_disclosure_prob(p: float, k: int, n_nodes: int | None = None) -> float:
+    """P(adversary learns one THA) = P(any of k holders malicious)."""
+    _check(p, 1)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n_nodes is None:
+        return 1.0 - (1.0 - p) ** k
+    malicious = round(p * n_nodes)
+    return _hyper_any_in_subset(n_nodes, malicious, k)
+
+
+def tunnel_corruption_prob(
+    p: float, length: int, k: int, n_nodes: int | None = None
+) -> float:
+    """Case-1 corruption (§6): adversary knows *all* hops' THAs."""
+    return tha_disclosure_prob(p, k, n_nodes) ** length
+
+
+def first_and_tail_prob(p: float, k: int, n_nodes: int | None = None) -> float:
+    """Case-2 compromise (§6): adversary controls the first *and* tail
+    tunnel hop node (timing analysis); approximated as the two roots
+    being malicious independently."""
+    root_malicious = p if n_nodes is None else round(p * n_nodes) / n_nodes
+    del k  # the root is one specific node; k does not enter case 2
+    return root_malicious**2
+
+
+def expected_route_hops(n_nodes: int, b_bits: int = 4) -> float:
+    """Pastry's ``log_{2^b} N`` expected overlay route length."""
+    import math
+
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if n_nodes == 1:
+        return 0.0
+    return math.log(n_nodes, 2**b_bits)
+
+
+def _check(p: float, length: int) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"fraction p={p} outside [0, 1]")
+    if length < 1:
+        raise ValueError("tunnel length must be >= 1")

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.fixed_tunnel` — "current tunneling": a mix
+  path bound to l concrete nodes (Crowds/Tarzan/MorphMix style), which
+  fails as soon as any relay fails (Figure 2's baseline);
+* :mod:`repro.baselines.onion_routing` — classic Onion Routing over
+  per-node public keys; also the bootstrap vehicle for THA deployment
+  (§3.3).
+"""
+
+from repro.baselines.fixed_tunnel import FixedNodeTunnel, form_fixed_tunnel
+from repro.baselines.onion_routing import OnionCircuit, OnionRoutingError
+
+__all__ = [
+    "FixedNodeTunnel",
+    "form_fixed_tunnel",
+    "OnionCircuit",
+    "OnionRoutingError",
+]

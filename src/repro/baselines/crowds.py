@@ -1,0 +1,115 @@
+"""Crowds (Reiter & Rubin 1998): probabilistic-forwarding baseline.
+
+The paper positions TAP against the P2P anonymity family it cites —
+Crowds being the canonical probabilistic design.  A message hops
+between random *jondos*: each holder flips a biased coin and forwards
+to a uniformly random member with probability ``p_f``, otherwise
+submits to the destination.
+
+Implemented here:
+
+* path sampling (:meth:`CrowdsNetwork.send`) with collaborator
+  observation — the first colluding member on the path records its
+  predecessor (the predecessor attack);
+* the closed-form posterior ``P(predecessor = initiator | observed)``
+  = ``1 - p_f (n - c - 1) / n`` and the probable-innocence condition
+  ``n >= p_f/(p_f - 1/2) (c + 1)``, both cross-checked against the
+  Monte Carlo in the tests;
+* a fixed-relay failure model (a Crowds path, once built, breaks like
+  any fixed-node path — the property Figure 2 compares against).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CrowdsObservation:
+    """What the first collaborator on a path sees."""
+
+    predecessor: int
+    position: int  # 1-based index of the collaborator on the path
+    is_initiator: bool  # ground truth (scoring only)
+
+
+@dataclass
+class CrowdsNetwork:
+    """A crowd of ``members`` with forwarding probability ``p_f``."""
+
+    members: list[int]
+    p_f: float = 0.75
+    collaborators: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.p_f < 1.0:
+            raise ValueError("Crowds requires 1/2 <= p_f < 1")
+        if len(self.members) < 2:
+            raise ValueError("a crowd needs at least two members")
+        unknown = self.collaborators - set(self.members)
+        if unknown:
+            raise ValueError(f"collaborators not in crowd: {unknown}")
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def c(self) -> int:
+        return len(self.collaborators)
+
+    # ------------------------------------------------------------------
+    def send(
+        self, initiator: int, rng: random.Random
+    ) -> tuple[list[int], CrowdsObservation | None]:
+        """Sample one path; return it plus the first collaborator's
+        observation (None if no collaborator relays the message)."""
+        path = [initiator]
+        current = initiator
+        observation = None
+        while True:
+            nxt = self.members[rng.randrange(self.n)]
+            path.append(nxt)
+            if observation is None and nxt in self.collaborators:
+                observation = CrowdsObservation(
+                    predecessor=current,
+                    position=len(path) - 1,
+                    is_initiator=(current == initiator),
+                )
+            current = nxt
+            if rng.random() >= self.p_f:
+                return path, observation
+
+    def path_functions(self, path: list[int], is_alive) -> bool:
+        """Once built, a Crowds path is a fixed-node path: it breaks if
+        any jondo on it fails (Figure 2's 'current tunneling')."""
+        return all(is_alive(member) for member in path)
+
+    # ------------------------------------------------------------------
+    # closed forms (Reiter & Rubin §5)
+    # ------------------------------------------------------------------
+    def predecessor_posterior(self) -> float:
+        """P(the observed predecessor is the initiator)."""
+        return 1.0 - self.p_f * (self.n - self.c - 1) / self.n
+
+    def probable_innocence(self) -> bool:
+        """True iff the crowd satisfies probable innocence (P <= 1/2)."""
+        return self.n >= self.p_f / (self.p_f - 0.5) * (self.c + 1)
+
+    def suspect_distribution(self) -> np.ndarray:
+        """The adversary's initiator distribution after one observation:
+        the observed predecessor carries the posterior, the remaining
+        honest members split the rest uniformly."""
+        p_suspect = self.predecessor_posterior()
+        others = self.n - self.c - 1
+        if others <= 0:
+            return np.array([1.0])
+        rest = (1.0 - p_suspect) / others
+        return np.array([p_suspect] + [rest] * others)
+
+    def expected_path_length(self) -> float:
+        """Mean number of jondos on a path (geometric forwarding)."""
+        return 1.0 / (1.0 - self.p_f) + 1.0

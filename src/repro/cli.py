@@ -1,0 +1,133 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    tap-repro fig2 [--fast] [--csv out.csv]
+    tap-repro all  [--fast] [--outdir results/]
+
+``--fast`` runs the scaled-down configs (same shapes, ~100x quicker);
+without it the paper-scale parameters are used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import (
+    ComparisonConfig,
+    ReplyDurabilityConfig,
+    run_reply_durability,
+    Fig2Config,
+    Fig3Config,
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    HintStalenessConfig,
+    ScatterConfig,
+    SecureRoutingConfig,
+    SessionSurvivalConfig,
+    TimingAttackConfig,
+    TradeoffConfig,
+    render_table,
+    rows_to_csv,
+    run_anonymity_comparison,
+    run_fig2,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_fig6,
+    run_hint_staleness,
+    run_scatter,
+    run_secure_routing,
+    run_session_survival,
+    run_timing_attack,
+    run_tradeoff,
+)
+
+_FIGURES = {
+    "fig2": (Fig2Config, run_fig2, "tunnel failures vs node failures"),
+    "fig3": (Fig3Config, run_fig3, "corruption vs malicious fraction"),
+    "fig4a": (Fig4Config, run_fig4a, "corruption vs replication factor"),
+    "fig4b": (Fig4Config, run_fig4b, "corruption vs tunnel length"),
+    "fig5": (Fig5Config, run_fig5, "corruption over time under churn"),
+    "fig6": (Fig6Config, run_fig6, "transfer latency vs network size"),
+}
+
+#: extension experiments beyond the paper's figures (run by name, or
+#: via 'extensions'; excluded from 'all', which regenerates the paper)
+_EXTENSIONS = {
+    "tradeoff": (TradeoffConfig, run_tradeoff, "k/l functionality-anonymity surface"),
+    "hints": (HintStalenessConfig, run_hint_staleness, "IP-hint staleness under churn"),
+    "scatter": (ScatterConfig, run_scatter, "scattered vs uniform anchor selection"),
+    "timing": (TimingAttackConfig, run_timing_attack, "timing analysis vs defences"),
+    "secure-routing": (SecureRoutingConfig, run_secure_routing,
+                       "verified lookups vs routing interception"),
+    "sessions": (SessionSurvivalConfig, run_session_survival,
+                 "long-running session survival under churn"),
+    "comparison": (ComparisonConfig, run_anonymity_comparison,
+                   "TAP vs Crowds vs Onion Routing balance point"),
+    "reply-durability": (ReplyDurabilityConfig, run_reply_durability,
+                         "anonymous-email reply survival after churn"),
+}
+
+
+_ALL_RUNNERS = {**_FIGURES, **_EXTENSIONS}
+
+
+def _run_one(name: str, fast: bool, seed: int | None) -> list[dict]:
+    config_cls, runner, _ = _ALL_RUNNERS[name]
+    config = config_cls.fast() if fast else config_cls()
+    if seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=seed)
+    return runner(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tap-repro",
+        description="Regenerate the figures of the TAP paper (ICPP 2004).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*_FIGURES, *_EXTENSIONS, "all", "extensions"],
+        help="which figure/extension to regenerate ('all' = the "
+             "paper's figures; 'extensions' = the beyond-paper suite)",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="scaled-down config (quick, same shapes)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment seed")
+    parser.add_argument("--csv", type=pathlib.Path, default=None,
+                        help="also write rows as CSV to this path")
+    parser.add_argument("--outdir", type=pathlib.Path, default=None,
+                        help="with 'all': write one CSV per figure here")
+    args = parser.parse_args(argv)
+
+    if args.figure == "all":
+        names = list(_FIGURES)
+    elif args.figure == "extensions":
+        names = list(_EXTENSIONS)
+    else:
+        names = [args.figure]
+    for name in names:
+        rows = _run_one(name, args.fast, args.seed)
+        _, _, description = _ALL_RUNNERS[name]
+        print(render_table(rows, title=f"{name}: {description}"))
+        if args.csv is not None and len(names) == 1:
+            args.csv.write_text(rows_to_csv(rows))
+            print(f"wrote {args.csv}")
+        if args.outdir is not None:
+            args.outdir.mkdir(parents=True, exist_ok=True)
+            target = args.outdir / f"{name}.csv"
+            target.write_text(rows_to_csv(rows))
+            print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Event-driven TAP execution over the discrete-event network.
+
+The synchronous engine (:mod:`repro.core.forwarding`) walks tunnels as
+a pure computation; this module runs the *same protocol* as timed
+messages over :class:`repro.simnet.SimNetwork`:
+
+* every overlay routing step is one physical message with the link's
+  propagation + serialization delay;
+* dead next-hops are discovered by **timeout** (a round-trip charge),
+  after which the waiting node repairs its routing state and re-sends
+  — the deployed-system behaviour Figure 6's latency model abstracts;
+* §5 IP hints become real direct sends, with the timeout-then-DHT
+  fallback of the paper.
+
+The emulation is cross-validated against the analytic path model in
+the tests: on a failure-free overlay, the emulated end-to-end latency
+of a transfer equals ``path_transfer_time`` over the recorded path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.node import TapNode
+from repro.core.tha import tha_value_decode
+from repro.core.tunnel import Tunnel
+from repro.crypto.onion import build_onion, peel_layer
+from repro.crypto.symmetric import CipherError
+from repro.past.replication import ReplicatedStore
+from repro.past.storage import StorageError
+from repro.pastry.network import PastryNetwork
+from repro.simnet.events import Simulator
+from repro.simnet.network import SimMessage, SimNetwork
+from repro.simnet.topology import Topology
+from repro.util.serialize import SerializationError
+
+#: control-plane message size (headers, hop ids, key material)
+CONTROL_BITS = 8 * 1024
+
+
+@dataclass
+class EmuTrace:
+    """Observable record of one emulated tunnel transmission."""
+
+    started_at: float
+    finished_at: float | None = None
+    delivered: bool = False
+    failed_reason: str | None = None
+    destination: int | None = None
+    payload: bytes | None = None
+    #: physical node sequence the message actually travelled
+    path: list[int] = field(default_factory=list)
+    timeouts: int = 0
+    hint_failures: int = 0
+    on_done: Callable[["EmuTrace"], None] | None = None
+
+    @property
+    def latency(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("transmission still in flight")
+        return self.finished_at - self.started_at
+
+    def _finish(self, now: float, delivered: bool, reason: str | None = None) -> None:
+        self.finished_at = now
+        self.delivered = delivered
+        self.failed_reason = reason
+        if self.on_done is not None:
+            self.on_done(self)
+
+
+@dataclass
+class _Envelope:
+    """In-flight protocol message (the SimNetwork payload)."""
+
+    kind: str  # "tunnel" (onion toward hop key) | "exit" (payload toward dest)
+    key: int  # DHT key currently being routed toward
+    blob: bytes  # remaining onion (tunnel) / application payload (exit)
+    size_bits: float
+    trace: EmuTrace
+    via_hint: bool = False  # current leg is a direct hinted send
+
+
+class TapEmulation:
+    """Attach a TAP deployment to a discrete-event network and run it."""
+
+    def __init__(
+        self,
+        network: PastryNetwork,
+        store: ReplicatedStore,
+        tap_registry: dict[int, TapNode],
+        ip_index: dict[str, int],
+        topology: Topology | None = None,
+        simulator: Simulator | None = None,
+    ):
+        self.network = network
+        self.store = store
+        self.tap_registry = tap_registry
+        self.ip_index = ip_index
+        self.simulator = simulator or Simulator()
+        self.topology = topology or Topology(seed=0)
+        self.net = SimNetwork(self.simulator, self.topology)
+        self.net.on_drop = self._on_drop
+        #: message-observation taps: callables ``(now, src, dst,
+        #: size_bits)`` invoked on every physical delivery.  A local
+        #: eavesdropper or malicious node subscribes here; it sees
+        #: traffic metadata only (the payload is layer-encrypted).
+        self.taps: list[Callable[[float, int, int, float], None]] = []
+        #: content taps: ``(now, node_id, destination_id, size_bits)``
+        #: invoked when a node peels an *exit* layer and thereby learns
+        #: the destination (§6: a malicious node "can read messages
+        #: addressed to nodes under its control").
+        self.content_taps: list[Callable[[float, int, int, float], None]] = []
+        for nid in network.nodes:
+            if network.nodes[nid].alive:
+                self.net.attach(nid, self._handle)
+
+    @classmethod
+    def from_system(cls, system, topology: Topology | None = None) -> "TapEmulation":
+        """Wrap a :class:`repro.core.system.TapSystem`."""
+        return cls(
+            system.network,
+            system.store,
+            system.tap_nodes,
+            system.ip_index,
+            topology=topology,
+        )
+
+    # ------------------------------------------------------------------
+    # liveness bridge: keep SimNetwork in step with the overlay oracle
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int, repair: bool = True) -> None:
+        """Crash a node in both the overlay and the message fabric."""
+        self.network.fail(node_id)
+        if repair:
+            self.store.on_fail(node_id)
+        self.net.fail(node_id)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def send_through_tunnel(
+        self,
+        initiator: TapNode,
+        tunnel: Tunnel,
+        destination_id: int,
+        payload: bytes,
+        size_bits: float | None = None,
+        on_done: Callable[[EmuTrace], None] | None = None,
+    ) -> EmuTrace:
+        """Inject a tunnel transmission; returns its (live) trace.
+
+        Run ``emulation.simulator.run()`` to drive it to completion.
+        ``size_bits`` models the application payload size (e.g. the
+        paper's 2 Mb file) independent of the literal bytes carried.
+        """
+        blob = build_onion(tunnel.onion_layers(), destination_id, payload)
+        bits = size_bits if size_bits is not None else 8.0 * len(payload)
+        trace = EmuTrace(started_at=self.simulator.now, on_done=on_done)
+        trace.path.append(initiator.node_id)
+        env = _Envelope(
+            kind="tunnel",
+            key=tunnel.hops[0].hop_id,
+            blob=blob,
+            size_bits=bits + CONTROL_BITS,
+            trace=trace,
+        )
+        first_hint = tunnel.hint_ips[0]
+        self._dispatch(initiator.node_id, env, hint_ip=first_hint or "")
+        return trace
+
+    def inject_cover_traffic(
+        self,
+        rng,
+        messages: int,
+        size_bits: float,
+        over_seconds: float,
+    ) -> list[EmuTrace]:
+        """Schedule dummy point-to-point messages (the §2 trade-off).
+
+        Each dummy is a single physical send between two random alive
+        nodes at a uniform random time in ``[now, now + over_seconds]``,
+        sized like real traffic.  The paper *declines* cover traffic for
+        its bandwidth cost; this hook exists to quantify that decision
+        (see the timing-attack bench).
+        """
+        traces = []
+        alive = self.net.addresses
+        for _ in range(messages):
+            src, dst = rng.sample(alive, 2)
+            trace = EmuTrace(started_at=self.simulator.now)
+            env = _Envelope(
+                kind="cover", key=dst, blob=b"", size_bits=size_bits, trace=trace
+            )
+            delay = rng.random() * over_seconds
+            self.simulator.schedule(delay, self.net.send, src, dst, env, size_bits)
+            traces.append(trace)
+        return traces
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    def _dispatch(self, from_node: int, env: _Envelope, hint_ip: str = "") -> None:
+        """Send an envelope one physical step toward its key."""
+        if hint_ip:
+            hinted = self.ip_index.get(hint_ip)
+            if hinted is not None and hinted != from_node:
+                env.via_hint = True
+                self.net.send(from_node, hinted, env, env.size_bits)
+                return
+            env.trace.hint_failures += 1
+        env.via_hint = False
+        node = self.network.nodes[from_node]
+        nxt = node.next_hop(env.key)
+        if nxt is None:
+            env.trace._finish(self.simulator.now, False, "routing dead end")
+            return
+        if nxt == from_node:
+            self._deliver_local(from_node, env)
+            return
+        self.net.send(from_node, nxt, env, env.size_bits)
+
+    def _handle(self, net: SimNetwork, src: int, dst: int, payload) -> None:
+        env: _Envelope = payload
+        for tap in self.taps:
+            tap(self.simulator.now, src, dst, env.size_bits)
+        if env.kind == "cover":
+            # Dummy traffic: absorbed at the first recipient (it cannot
+            # be distinguished from real traffic by outsiders, but it
+            # carries no onion to process).
+            env.trace._finish(self.simulator.now, True)
+            return
+        env.trace.path.append(dst)
+        if env.via_hint:
+            env.via_hint = False
+            # Hinted leg arrived: serve locally if we hold the anchor,
+            # else fall back to DHT routing from here (§5).
+            if env.kind == "tunnel" and self.store.storage_of(dst).contains(env.key):
+                self._deliver_local(dst, env)
+            else:
+                env.trace.hint_failures += 1
+                self._dispatch(dst, env)
+            return
+        node = self.network.nodes[dst]
+        nxt = node.next_hop(env.key)
+        if nxt == dst or nxt is None:
+            self._deliver_local(dst, env)
+        else:
+            self.net.send(dst, nxt, env, env.size_bits)
+
+    def _on_drop(self, record: SimMessage) -> None:
+        """A message hit a dead node: its sender times out and retries.
+
+        The timeout charge is one round-trip to the dead neighbour —
+        the sender waited for an ack that never came.
+        """
+        env: _Envelope = record.payload
+        env.trace.timeouts += 1
+        sender, dead = record.src, record.dst
+        if env.via_hint:
+            env.via_hint = False
+            env.trace.hint_failures += 1
+        self.network.discover_failure(sender, dead)
+        delay = 2.0 * self.topology.latency(sender, dead)
+        self.simulator.schedule(delay, self._dispatch, sender, env)
+
+    # ------------------------------------------------------------------
+    # TAP protocol logic at the responsible node
+    # ------------------------------------------------------------------
+    def _deliver_local(self, node_id: int, env: _Envelope) -> None:
+        now = self.simulator.now
+        if env.kind == "exit":
+            env.trace.destination = node_id
+            env.trace.payload = env.blob
+            env.trace._finish(now, True)
+            return
+
+        # kind == "tunnel": this node must hold the hop's anchor.
+        storage = self.store.storage_of(node_id)
+        try:
+            stored = storage.lookup(env.key)
+        except StorageError:
+            env.trace._finish(
+                now, False,
+                f"node {node_id:#x} closest to hop {env.key:#x} holds no replica",
+            )
+            return
+        anchor = tha_value_decode(env.key, stored.value)
+        try:
+            peeled = peel_layer(anchor.key, env.blob)
+        except (CipherError, SerializationError):
+            env.trace._finish(now, False, f"decryption failed at {node_id:#x}")
+            return
+
+        if peeled.is_exit:
+            for tap in self.content_taps:
+                tap(now, node_id, peeled.next_id, env.size_bits)
+            env.kind = "exit"
+            env.key = peeled.next_id
+            env.blob = peeled.inner
+            self._dispatch(node_id, env)
+        else:
+            env.key = peeled.next_id
+            env.blob = peeled.inner
+            self._dispatch(node_id, env, hint_ip=peeled.ip_hint)

@@ -1,0 +1,304 @@
+"""The tunneling engine: layered forwarding with replica fail-over.
+
+This module walks messages through tunnels exactly as the deployed
+system would:
+
+* each hop is *located* by hopid — the message is routed (real Pastry
+  routing over node-local state) to the node currently numerically
+  closest to the hopid;
+* that node looks up the THA **in its own local storage** (it holds a
+  replica iff the replication manager placed one there) and peels one
+  layer of encryption with the real symmetric key;
+* if the original tunnel hop node failed, routing lands on the
+  promoted replica candidate, which succeeds iff re-replication kept a
+  live copy — TAP's fault-tolerance claim, exercised literally;
+* with the §5 optimisation, the peeled layer carries an IP hint that is
+  tried first, falling back to DHT routing when stale.
+
+Reply traversal (§4) is the same walk except termination: the last
+identifier is a ``bid`` recognised by the *initiator's* pending-reply
+table, not by an exit tag — intermediate hops cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.node import TapNode
+from repro.core.tha import tha_value_decode
+from repro.core.tunnel import ReplyTunnel, Tunnel
+from repro.crypto.onion import build_onion, build_reply_onion, peel_layer
+from repro.crypto.symmetric import CipherError
+from repro.past.replication import ReplicatedStore
+from repro.past.storage import StorageError
+from repro.pastry.network import PastryNetwork, RoutingError
+from repro.util.serialize import SerializationError
+
+
+class TunnelBroken(RuntimeError):
+    """The message could not complete the tunnel (hop unreachable/lost)."""
+
+
+@dataclass
+class HopRecord:
+    """Trace of locating and traversing one tunnel hop."""
+
+    hop_id: int
+    hop_node: int | None
+    underlying_path: list[int] = field(default_factory=list)
+    via_hint: bool = False
+    hint_failed: bool = False
+    #: True when the node serving this hop is not the one that was the
+    #: replica root when the tunnel was formed (fail-over happened).
+    promoted: bool = False
+    route_failures: int = 0
+
+
+@dataclass
+class ForwardTrace:
+    """Complete record of one tunnel traversal."""
+
+    records: list[HopRecord] = field(default_factory=list)
+    success: bool = False
+    failure_reason: str | None = None
+    destination: int | None = None
+    delivered_payload: bytes | None = None
+    #: underlying path of the final (tail -> destination) leg
+    exit_path: list[int] = field(default_factory=list)
+
+    @property
+    def overlay_hops(self) -> int:
+        """Tunnel hops traversed (the paper's tunnel length l)."""
+        return len(self.records)
+
+    @property
+    def underlying_hops(self) -> int:
+        """Total physical-link traversals, the latency driver of Fig. 6."""
+        total = sum(max(0, len(r.underlying_path) - 1) for r in self.records)
+        # Failed hint probes cost one extra link each (probe + timeout).
+        total += sum(1 for r in self.records if r.hint_failed)
+        total += max(0, len(self.exit_path) - 1)
+        return total
+
+    def full_underlying_path(self) -> list[int]:
+        """Concatenated node sequence, deduplicating junction nodes."""
+        path: list[int] = []
+        for rec in self.records:
+            seg = rec.underlying_path
+            if path and seg and path[-1] == seg[0]:
+                seg = seg[1:]
+            path.extend(seg)
+        seg = self.exit_path
+        if path and seg and path[-1] == seg[0]:
+            seg = seg[1:]
+        path.extend(seg)
+        return path
+
+
+class TunnelForwarder:
+    """Walks onions through tunnels over live overlay state."""
+
+    def __init__(
+        self,
+        network: PastryNetwork,
+        store: ReplicatedStore,
+        tap_registry: dict[int, TapNode],
+        ip_index: dict[str, int] | None = None,
+    ):
+        self.network = network
+        self.store = store
+        self.tap_registry = tap_registry
+        #: simulated-IP -> node id (the §5 hint resolver)
+        self.ip_index = ip_index if ip_index is not None else {}
+
+    # ------------------------------------------------------------------
+    # hop location
+    # ------------------------------------------------------------------
+    def _locate_hop(
+        self,
+        from_node: int,
+        hop_id: int,
+        hint_ip: str,
+        record: HopRecord,
+    ) -> int:
+        """Find the current tunnel hop node for ``hop_id``.
+
+        Tries the IP hint first (§5), then Pastry routing.  Returns the
+        node id that will process the hop; fills the trace record.
+        """
+        start = from_node
+        if hint_ip:
+            hinted = self.ip_index.get(hint_ip)
+            if hinted is not None and self.network.is_alive(hinted):
+                if self.store.storage_of(hinted).contains(hop_id):
+                    record.via_hint = True
+                    record.underlying_path = [from_node, hinted]
+                    return hinted
+                # Alive but no longer a replica holder: it forwards the
+                # message into the DHT from where it sits.
+                record.hint_failed = True
+                start = hinted
+                record.underlying_path = [from_node, hinted]
+            else:
+                # Dead or unknown: the probe times out; re-route from
+                # the current hop node.
+                record.hint_failed = True
+        try:
+            route = self.network.route(start, hop_id)
+        except RoutingError as exc:
+            raise TunnelBroken(f"routing to hop {hop_id:#x} failed: {exc}") from exc
+        if not route.success:
+            raise TunnelBroken(f"routing to hop {hop_id:#x} did not converge")
+        record.route_failures = route.failures
+        if record.underlying_path and record.underlying_path[-1] == route.path[0]:
+            record.underlying_path.extend(route.path[1:])
+        else:
+            record.underlying_path.extend(route.path)
+        return route.destination
+
+    def _peel_at(self, node_id: int, hop_id: int, blob: bytes):
+        """The hop node's work: local THA lookup + one decryption."""
+        storage = self.store.storage_of(node_id)
+        try:
+            stored = storage.lookup(hop_id)
+        except StorageError as exc:
+            raise TunnelBroken(
+                f"node {node_id:#x} is closest to hop {hop_id:#x} "
+                f"but holds no THA replica (anchor lost)"
+            ) from exc
+        anchor = tha_value_decode(hop_id, stored.value)
+        try:
+            return peel_layer(anchor.key, blob)
+        except (CipherError, SerializationError) as exc:
+            raise TunnelBroken(f"layer decryption failed at {node_id:#x}") from exc
+
+    # ------------------------------------------------------------------
+    # forward traversal
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        initiator: TapNode,
+        tunnel: Tunnel,
+        destination_id: int,
+        payload: bytes,
+        deliver: Callable[[int, bytes], None] | None = None,
+    ) -> ForwardTrace:
+        """Send ``payload`` to ``destination_id`` through ``tunnel``.
+
+        The exit payload is handed to ``deliver(responder_node_id,
+        payload)`` if given; the trace always carries it too.  Raises
+        nothing: failures are reported in the trace (like a deployed
+        system, the initiator only observes a timeout).
+        """
+        blob = build_onion(tunnel.onion_layers(), destination_id, payload)
+        trace = ForwardTrace()
+        current = initiator.node_id
+        hop_id = tunnel.hops[0].hop_id
+        hint_ip = tunnel.hint_ips[0] or ""
+        expected_roots = {
+            h.hop_id: h.meta.get("formed_root") for h in tunnel.hops
+        }
+        for _ in range(len(tunnel.hops) + 1):
+            record = HopRecord(hop_id=hop_id, hop_node=None)
+            trace.records.append(record)
+            try:
+                hop_node = self._locate_hop(current, hop_id, hint_ip, record)
+                record.hop_node = hop_node
+                formed_root = expected_roots.get(hop_id)
+                if formed_root is not None and formed_root != hop_node:
+                    record.promoted = True
+                peeled = self._peel_at(hop_node, hop_id, blob)
+            except TunnelBroken as exc:
+                trace.failure_reason = str(exc)
+                return trace
+            if peeled.is_exit:
+                trace.destination = peeled.next_id
+                trace.delivered_payload = peeled.inner
+                try:
+                    exit_route = self.network.route(hop_node, peeled.next_id)
+                except RoutingError as exc:
+                    trace.failure_reason = f"exit routing failed: {exc}"
+                    return trace
+                if not exit_route.success:
+                    trace.failure_reason = "exit routing did not converge"
+                    return trace
+                trace.exit_path = exit_route.path
+                trace.success = True
+                if deliver is not None:
+                    deliver(exit_route.destination, peeled.inner)
+                return trace
+            current = hop_node
+            hop_id = peeled.next_id
+            hint_ip = peeled.ip_hint
+            blob = peeled.inner
+        trace.failure_reason = "onion deeper than tunnel length (malformed)"
+        return trace
+
+    # ------------------------------------------------------------------
+    # reply traversal (§4)
+    # ------------------------------------------------------------------
+    def send_reply(
+        self,
+        responder_id: int,
+        first_hop_id: int,
+        reply_blob: bytes,
+        payload: bytes,
+        max_hops: int = 32,
+    ) -> ForwardTrace:
+        """Route a reply payload back along a reply tunnel.
+
+        The responder knows only ``first_hop_id`` (in the clear, §4)
+        and the opaque ``reply_blob``.  Traversal ends when the node
+        closest to the current identifier recognises it as one of its
+        pending ``bid`` values — from the outside indistinguishable
+        from one more hop.
+        """
+        trace = ForwardTrace()
+        current = responder_id
+        hop_id = first_hop_id
+        blob = reply_blob
+        hint_ip = ""
+        for _ in range(max_hops):
+            record = HopRecord(hop_id=hop_id, hop_node=None)
+            trace.records.append(record)
+            try:
+                hop_node = self._locate_hop(current, hop_id, hint_ip, record)
+            except TunnelBroken as exc:
+                trace.failure_reason = str(exc)
+                return trace
+            record.hop_node = hop_node
+
+            tap = self.tap_registry.get(hop_node)
+            if tap is not None:
+                pending = tap.match_reply(hop_id)
+                if pending is not None:
+                    pending.completed = True
+                    trace.success = True
+                    trace.destination = hop_node
+                    trace.delivered_payload = payload
+                    if pending.callback is not None:
+                        pending.callback(payload)
+                    return trace
+            try:
+                peeled = self._peel_at(hop_node, hop_id, blob)
+            except TunnelBroken as exc:
+                trace.failure_reason = str(exc)
+                return trace
+            current = hop_node
+            hop_id = peeled.next_id
+            hint_ip = peeled.ip_hint
+            blob = peeled.inner
+        trace.failure_reason = "reply exceeded max hops (fakeonion cycle?)"
+        return trace
+
+
+def build_request_onion(tunnel: Tunnel, destination_id: int, payload: bytes) -> bytes:
+    """Convenience mirror of the §2 construction (used by tests)."""
+    return build_onion(tunnel.onion_layers(), destination_id, payload)
+
+
+def build_reply_blob(reply_tunnel: ReplyTunnel, fake_onion: bytes) -> tuple[int, bytes]:
+    """Convenience mirror of the §4 reply construction (used by tests)."""
+    return build_reply_onion(reply_tunnel.onion_layers(), reply_tunnel.bid, fake_onion)

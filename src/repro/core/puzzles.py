@@ -1,0 +1,104 @@
+"""CPU-puzzle payment for THA deployment (§3.3's DoS countermeasure).
+
+"Malicious nodes can simply try to flood the system with random THAs
+so that real THAs cannot be inserted. ... The usual way of
+counteracting this type of attack is to charge the node for deploying
+a THA.  This charge can take the form of anonymous e-cash or a
+CPU-based payment system that forces the node to solve some puzzles
+before deploying a THA."
+
+Hashcash-style client puzzles: the deployer must find a nonce such
+that ``SHA-256(hopid || nonce)`` has ``difficulty`` leading zero bits.
+Verification is one hash; solving costs ~2^difficulty hashes — an
+asymmetric charge that scales a flooder's cost linearly with the
+number of anchors it tries to plant while adding negligible latency
+to honest deployments (which need a handful of anchors, not millions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+
+from repro.util.serialize import pack_int
+
+
+class PuzzleError(ValueError):
+    """Raised on malformed puzzle parameters."""
+
+
+def _digest(hop_id: int, nonce: int) -> bytes:
+    return hashlib.sha256(
+        b"tap-puzzle" + pack_int(hop_id) + nonce.to_bytes(8, "big")
+    ).digest()
+
+
+def _leading_zero_bits(data: bytes) -> int:
+    bits = 0
+    for byte in data:
+        if byte == 0:
+            bits += 8
+            continue
+        # count high zero bits of the first non-zero byte
+        bits += 8 - byte.bit_length()
+        break
+    return bits
+
+
+def solve_puzzle(hop_id: int, difficulty: int, max_attempts: int | None = None) -> int:
+    """Find a nonce whose digest has ``difficulty`` leading zero bits.
+
+    Expected work ~2^difficulty hashes.  ``max_attempts`` bounds the
+    search (for tests); exceeding it raises :class:`PuzzleError`.
+    """
+    if difficulty < 0 or difficulty > 64:
+        raise PuzzleError(f"difficulty {difficulty} outside [0, 64]")
+    if difficulty == 0:
+        return 0
+    counter = itertools.count()
+    for nonce in counter:
+        if max_attempts is not None and nonce >= max_attempts:
+            raise PuzzleError(
+                f"no solution within {max_attempts} attempts at difficulty {difficulty}"
+            )
+        if _leading_zero_bits(_digest(hop_id, nonce)) >= difficulty:
+            return nonce
+    raise AssertionError("unreachable")
+
+
+def verify_puzzle(hop_id: int, nonce: int, difficulty: int) -> bool:
+    """One-hash verification of a claimed solution."""
+    if difficulty <= 0:
+        return True
+    if nonce < 0 or nonce >= 1 << 64:
+        return False
+    return _leading_zero_bits(_digest(hop_id, nonce)) >= difficulty
+
+
+@dataclass(frozen=True)
+class PuzzlePolicy:
+    """Deployment charging policy enforced by storing nodes.
+
+    ``difficulty`` of 0 disables charging (the paper's default
+    evaluation setting); 12–20 bits are practical anti-flood settings
+    (milliseconds for an honest node, days for a mass flooder).
+    """
+
+    difficulty: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.difficulty > 0
+
+    def charge(self, hop_id: int) -> int:
+        """The deployer's side: pay the CPU cost, get the proof."""
+        return solve_puzzle(hop_id, self.difficulty)
+
+    def admit(self, hop_id: int, nonce: int) -> bool:
+        """The storing node's side: verify before inserting."""
+        return verify_puzzle(hop_id, nonce, self.difficulty)
+
+    def expected_work(self) -> int:
+        """Expected hash evaluations per deployment."""
+        return 1 << self.difficulty if self.enabled else 0

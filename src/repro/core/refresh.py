@@ -1,0 +1,49 @@
+"""Periodic tunnel refresh (§7.2, Figure 5).
+
+The paper's conclusion: in a churning network where malicious nodes
+accumulate THAs, users should periodically *reform* their tunnels from
+fresh anchors; refreshed tunnels keep the corruption rate flat while
+unrefreshed ones decay.  :class:`RefreshPolicy` encapsulates when to
+refresh and performs the reform: deploy fresh THAs, form a replacement
+tunnel, delete the old anchors (presenting their passwords).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.node import TapNode
+from repro.core.tunnel import Tunnel
+
+
+@dataclass
+class RefreshPolicy:
+    """Refresh a tunnel every ``interval`` time units (0 = never)."""
+
+    interval: float = 1.0
+
+    def due(self, tunnel: Tunnel, now: float) -> bool:
+        if self.interval <= 0:
+            return False
+        return (now - tunnel.formed_at) >= self.interval
+
+    def refresh(self, system, owner: TapNode, tunnel: Tunnel, now: float) -> Tunnel:
+        """Reform the tunnel with fresh anchors and retire the old ones.
+
+        ``system`` is a :class:`repro.core.system.TapSystem` (typed
+        loosely to avoid an import cycle).  Old anchors are deleted
+        from the DHT with their PW proofs; deletion failures (e.g. all
+        holders dead) are tolerated — the anchors simply age out of
+        relevance once no tunnel references them.
+        """
+        fresh = system.deploy_thas(owner, count=tunnel.length)
+        new_tunnel = system.form_tunnel(
+            owner,
+            length=tunnel.length,
+            use_hints=any(ip is not None for ip in tunnel.hint_ips),
+            now=now,
+        )
+        for tha in tunnel.hops:
+            system.deployer.delete(owner, tha)
+        del fresh  # anchors are tracked on the owner; variable kept for clarity
+        return new_tunnel

@@ -1,0 +1,182 @@
+"""Anonymous file retrieval — the §4 sample application, end to end.
+
+Flow (all crypto real, all routing over live overlay state):
+
+1. The initiator ``I`` forms a forward tunnel ``T_f`` and a reply
+   tunnel ``T_r`` (with a ``bid`` closest to itself and a fakeonion).
+2. ``I`` generates a temporary key pair ``K_I`` and sends
+   ``{hid2,{hid3,{fid, K_I, T_r}K3}K2}K1`` into ``T_f``.
+3. The tail reveals the request and routes it to the responder ``R``
+   (the node closest to ``fid``), which holds the file replica.
+4. ``R`` picks a fresh symmetric key ``K_f``, sends ``{f}K_f``,
+   ``{K_f}K_I`` and the (first-hop-stripped) reply tunnel back.
+5. Each reply hop peels one layer; the last identifier is ``bid``,
+   recognised only by ``I``, which unwraps ``K_f`` and then ``f``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.forwarding import ForwardTrace, TunnelForwarder
+from repro.core.node import PendingReply, TapNode
+from repro.core.tunnel import ReplyTunnel, Tunnel
+from repro.crypto.asymmetric import RsaError, RsaKeyPair, RsaPublicKey
+from repro.crypto.hashing import random_key, sha1_id
+from repro.crypto.onion import build_reply_onion, make_fake_onion
+from repro.crypto.symmetric import CipherError, SymmetricKey
+from repro.past.replication import ReplicatedStore
+from repro.past.storage import StorageError
+from repro.util.serialize import (
+    SerializationError,
+    pack_fields,
+    pack_int,
+    unpack_fields,
+    unpack_int,
+)
+
+
+@dataclass
+class RetrievalResult:
+    """Everything observable about one anonymous retrieval."""
+
+    success: bool
+    content: bytes | None
+    forward_trace: ForwardTrace
+    reply_trace: ForwardTrace | None
+    fid: int
+    failure_reason: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_underlying_hops(self) -> int:
+        hops = self.forward_trace.underlying_hops
+        if self.reply_trace is not None:
+            hops += self.reply_trace.underlying_hops
+        return hops
+
+
+class AnonymousRetrieval:
+    """Publish files into PAST and retrieve them anonymously via TAP."""
+
+    def __init__(
+        self,
+        forwarder: TunnelForwarder,
+        store: ReplicatedStore,
+        rng: random.Random,
+        temp_key_bits: int = 512,
+    ):
+        self.forwarder = forwarder
+        self.store = store
+        self.rng = rng
+        self.temp_key_bits = temp_key_bits
+
+    # ------------------------------------------------------------------
+    # publishing (plain PAST)
+    # ------------------------------------------------------------------
+    def publish(self, content: bytes, name: bytes | None = None) -> int:
+        """Insert a file; its fid is the hash of its name/content."""
+        fid = sha1_id(name if name is not None else content)
+        self.store.insert(fid, content)
+        return fid
+
+    # ------------------------------------------------------------------
+    # the request message (what rides inside the forward onion)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_request(fid: int, temp_public: RsaPublicKey, first_reply_hop: int, reply_blob: bytes) -> bytes:
+        return pack_fields(
+            pack_int(fid),
+            temp_public.to_bytes(),
+            pack_int(first_reply_hop),
+            reply_blob,
+        )
+
+    @staticmethod
+    def _decode_request(payload: bytes) -> tuple[int, RsaPublicKey, int, bytes]:
+        fid_b, key_b, hop_b, blob = unpack_fields(payload, count=4)
+        n = int.from_bytes(key_b[:-4], "big")
+        e = int.from_bytes(key_b[-4:], "big")
+        return unpack_int(fid_b), RsaPublicKey(n, e), unpack_int(hop_b), blob
+
+    # ------------------------------------------------------------------
+    # the responder's work
+    # ------------------------------------------------------------------
+    def _responder_serve(self, responder_id: int, payload: bytes) -> ForwardTrace | None:
+        """R: look up the file, encrypt, send down the reply tunnel."""
+        try:
+            fid, temp_public, first_hop, reply_blob = self._decode_request(payload)
+        except (SerializationError, RsaError, ValueError):
+            return None
+        try:
+            stored = self.store.storage_of(responder_id).lookup(fid)
+        except StorageError:
+            return None
+        content: bytes = stored.value
+        k_f = SymmetricKey(random_key(self.rng))
+        sealed_file = k_f.seal(content)
+        wrapped_key = temp_public.encrypt(k_f.key_bytes, self.rng)
+        reply_payload = pack_fields(sealed_file, wrapped_key)
+        return self.forwarder.send_reply(responder_id, first_hop, reply_blob, reply_payload)
+
+    # ------------------------------------------------------------------
+    # the initiator's retrieval
+    # ------------------------------------------------------------------
+    def retrieve(
+        self,
+        initiator: TapNode,
+        fid: int,
+        forward_tunnel: Tunnel,
+        reply_tunnel: ReplyTunnel,
+    ) -> RetrievalResult:
+        temp_keys = RsaKeyPair.generate(self.rng, self.temp_key_bits)
+        fake = make_fake_onion(self.rng)
+        first_reply_hop, reply_blob = build_reply_onion(
+            reply_tunnel.onion_layers(), reply_tunnel.bid, fake
+        )
+
+        received: list[bytes] = []
+        pending = PendingReply(
+            bid=reply_tunnel.bid,
+            temp_keypair=temp_keys,
+            reply_hops=reply_tunnel.hop_ids,
+            callback=received.append,
+        )
+        initiator.register_pending(pending)
+
+        request = self._encode_request(fid, temp_keys.public, first_reply_hop, reply_blob)
+
+        reply_traces: list[ForwardTrace] = []
+
+        def deliver(responder_id: int, payload: bytes) -> None:
+            reply = self._responder_serve(responder_id, payload)
+            if reply is not None:
+                reply_traces.append(reply)
+
+        forward = self.forwarder.send(
+            initiator, forward_tunnel, destination_id=fid, payload=request, deliver=deliver
+        )
+        reply = reply_traces[0] if reply_traces else None
+
+        if not forward.success:
+            return RetrievalResult(False, None, forward, reply, fid,
+                                   failure_reason=f"forward: {forward.failure_reason}")
+        if reply is None:
+            return RetrievalResult(False, None, forward, None, fid,
+                                   failure_reason="responder could not serve the request")
+        if not reply.success or not received:
+            reason = reply.failure_reason or "reply never reached initiator"
+            return RetrievalResult(False, None, forward, reply, fid,
+                                   failure_reason=f"reply: {reason}")
+
+        try:
+            sealed_file, wrapped_key = unpack_fields(received[0], count=2)
+            k_f = SymmetricKey(temp_keys.decrypt(wrapped_key))
+            content = k_f.open(sealed_file)
+        except (SerializationError, RsaError, CipherError) as exc:
+            return RetrievalResult(False, None, forward, reply, fid,
+                                   failure_reason=f"decryption: {exc}")
+        finally:
+            initiator.pending_replies.pop(reply_tunnel.bid, None)
+        return RetrievalResult(True, content, forward, reply, fid)

@@ -1,0 +1,206 @@
+"""Long-standing anonymous sessions — the paper's motivating use case.
+
+§1: "current tunneling techniques have a problem in maintaining
+long-standing remote login sessions, if a node on a tunnel fails.
+However, TAP can support long-standing remote login sessions in the
+face of node failures."
+
+A :class:`TapSession` is a bidirectional request/response channel from
+an initiator to a server node:
+
+* requests travel through the session's forward tunnel and carry a
+  per-request sequence number plus the reply tunnel blob (§4 style);
+* responses return over the session's reply tunnel to the initiator's
+  ``bid``;
+* the session *maintains itself*: failed round trips trigger a health
+  probe of both tunnels and an automatic re-form of whichever is
+  broken (fresh anchors, old ones deleted), then a retry — the
+  behaviour that keeps an SSH-like session alive across hop-node
+  churn.
+
+The server side is a :class:`SessionServer`: an application callback
+bound to an overlay node that turns request payloads into responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.node import PendingReply, TapNode
+from repro.core.tunnel import ReplyTunnel, Tunnel
+from repro.crypto.asymmetric import RsaKeyPair
+from repro.crypto.onion import build_reply_onion, make_fake_onion
+from repro.util.serialize import (
+    SerializationError,
+    pack_fields,
+    pack_int,
+    unpack_fields,
+    unpack_int,
+)
+
+
+@dataclass
+class SessionStats:
+    """Observable health record of one session."""
+
+    requests: int = 0
+    responses: int = 0
+    failures: int = 0
+    retries: int = 0
+    tunnel_reforms: int = 0
+
+    @property
+    def availability(self) -> float:
+        return self.responses / self.requests if self.requests else 1.0
+
+
+class SessionServer:
+    """Application endpoint: answers session requests at its node."""
+
+    def __init__(self, node_id: int, handler: Callable[[bytes], bytes]):
+        self.node_id = node_id
+        self.handler = handler
+        self.served = 0
+
+    def serve(self, payload: bytes) -> bytes | None:
+        """Decode a request, run the application handler, return the
+        encoded response (None if the request is malformed)."""
+        try:
+            seq_b, body = unpack_fields(payload, count=2)
+            seq = unpack_int(seq_b, width=8)
+        except SerializationError:
+            return None
+        self.served += 1
+        return pack_fields(pack_int(seq, width=8), self.handler(body))
+
+
+class TapSession:
+    """A self-healing anonymous request/response channel."""
+
+    def __init__(
+        self,
+        system,
+        initiator: TapNode,
+        server: SessionServer,
+        tunnel_length: int = 3,
+        use_hints: bool = False,
+        max_retries: int = 2,
+    ):
+        self.system = system
+        self.initiator = initiator
+        self.server = server
+        self.tunnel_length = tunnel_length
+        self.use_hints = use_hints
+        self.max_retries = max_retries
+        self.stats = SessionStats()
+        self._seq = 0
+        self.forward: Tunnel = system.form_tunnel(
+            initiator, tunnel_length, use_hints=use_hints
+        )
+        self.reply: ReplyTunnel = system.form_reply_tunnel(
+            initiator, tunnel_length, use_hints=use_hints
+        )
+        self._fake_rng = system.seeds.pyrandom("session-fake", initiator.node_id)
+        # A lightweight long-lived keypair identifies the session's
+        # pending replies (never used for session payload encryption —
+        # the tunnels' layered crypto covers that).
+        self._pending_keys = RsaKeyPair.generate(
+            system.seeds.pyrandom("session-keys", initiator.node_id), 512
+        )
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _reform(self, which: str) -> None:
+        """Replace a broken tunnel with a fresh one (new anchors)."""
+        self.stats.tunnel_reforms += 1
+        self.system.deploy_thas(self.initiator, count=self.tunnel_length)
+        if which == "forward":
+            self.system.retire_tunnel(self.initiator, self.forward)
+            self.forward = self.system.form_tunnel(
+                self.initiator, self.tunnel_length, use_hints=self.use_hints
+            )
+        else:
+            self.system.retire_tunnel(self.initiator, self.reply)
+            self.reply = self.system.form_reply_tunnel(
+                self.initiator, self.tunnel_length, use_hints=self.use_hints
+            )
+
+    def _round_trip(self, body: bytes, seq: int) -> bytes | None:
+        """One attempt: request out, response back.  None on failure."""
+        fake = make_fake_onion(self._fake_rng)
+        first_reply_hop, reply_blob = build_reply_onion(
+            self.reply.onion_layers(), self.reply.bid, fake
+        )
+        received: list[bytes] = []
+        pending = PendingReply(
+            bid=self.reply.bid,
+            temp_keypair=self._pending_keys,
+            reply_hops=self.reply.hop_ids,
+            callback=received.append,
+        )
+        self.initiator.register_pending(pending)
+
+        request = pack_fields(pack_int(seq, width=8), body)
+
+        forward_broken = reply_broken = False
+
+        def deliver(node_id: int, payload: bytes) -> None:
+            nonlocal reply_broken
+            if node_id != self.server.node_id:
+                return  # request surfaced at the wrong node: dropped
+            response = self.server.serve(payload)
+            if response is None:
+                return
+            reply_trace = self.system.forwarder.send_reply(
+                self.server.node_id, first_reply_hop, reply_blob, response
+            )
+            reply_broken = not reply_trace.success
+
+        trace = self.system.forwarder.send(
+            self.initiator,
+            self.forward,
+            destination_id=self.server.node_id,
+            payload=request,
+            deliver=deliver,
+        )
+        forward_broken = not trace.success
+        self.initiator.pending_replies.pop(self.reply.bid, None)
+
+        if forward_broken:
+            self._reform("forward")
+            return None
+        if reply_broken or not received:
+            self._reform("reply")
+            return None
+        try:
+            seq_b, response_body = unpack_fields(received[0], count=2)
+            if unpack_int(seq_b, width=8) != seq:
+                return None  # stale/replayed response
+        except SerializationError:
+            return None
+        return response_body
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def request(self, body: bytes) -> bytes | None:
+        """Send one request; retries (with tunnel repair) on failure."""
+        self._seq += 1
+        seq = self._seq
+        self.stats.requests += 1
+        for attempt in range(1 + self.max_retries):
+            if attempt:
+                self.stats.retries += 1
+            response = self._round_trip(body, seq)
+            if response is not None:
+                self.stats.responses += 1
+                return response
+        self.stats.failures += 1
+        return None
+
+    def close(self, delete_anchors: bool = True) -> None:
+        """Tear the session down, retiring (and deleting) its anchors."""
+        self.system.retire_tunnel(self.initiator, self.forward, delete=delete_anchors)
+        self.system.retire_tunnel(self.initiator, self.reply, delete=delete_anchors)

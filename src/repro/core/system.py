@@ -1,0 +1,239 @@
+"""TapSystem: the public façade tying all substrates together.
+
+A :class:`TapSystem` owns one Pastry overlay, one replicated store and
+the TAP state of every participating node, and exposes the operations
+a TAP user performs: deploy anchors, form tunnels, send messages,
+retrieve files — plus the membership events (fail/leave/join) that
+drive the fault-tolerance experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.deploy import ThaDeployer
+from repro.core.forwarding import ForwardTrace, TunnelForwarder
+from repro.core.node import TapNode
+from repro.core.retrieval import AnonymousRetrieval, RetrievalResult
+from repro.core.tunnel import ReplyTunnel, Tunnel, TunnelFormationError, select_scattered
+from repro.past.replication import ReplicatedStore
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import random_id
+from repro.util.rng import SeedSequenceFactory
+
+
+class TapSystem:
+    """One simulated TAP deployment.
+
+    Build one with :meth:`bootstrap` (fresh random overlay) or wrap
+    pre-built substrates with the constructor.
+    """
+
+    def __init__(
+        self,
+        network: PastryNetwork,
+        store: ReplicatedStore,
+        seeds: SeedSequenceFactory,
+    ):
+        self.network = network
+        self.store = store
+        self.seeds = seeds
+        self.tap_nodes: dict[int, TapNode] = {}
+        self.ip_index: dict[str, int] = {
+            node.ip: nid for nid, node in network.nodes.items()
+        }
+        self.forwarder = TunnelForwarder(network, store, self.tap_nodes, self.ip_index)
+        self.deployer = ThaDeployer(network, store, seeds.pyrandom("deployer"))
+        self.retrieval = AnonymousRetrieval(
+            self.forwarder, store, seeds.pyrandom("retrieval")
+        )
+        self._form_rng = seeds.pyrandom("tunnel-form")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bootstrap(
+        cls,
+        num_nodes: int,
+        seed: int = 0,
+        replication_factor: int = 3,
+        b_bits: int = 4,
+        leaf_set_size: int = 16,
+    ) -> "TapSystem":
+        """Random overlay of ``num_nodes`` with correct initial state."""
+        seeds = SeedSequenceFactory(seed)
+        id_rng = seeds.pyrandom("node-ids")
+        ids = set()
+        while len(ids) < num_nodes:
+            ids.add(random_id(id_rng))
+        network = PastryNetwork.build(ids, b_bits=b_bits, leaf_set_size=leaf_set_size)
+        store = ReplicatedStore(network, replication_factor)
+        return cls(network, store, seeds)
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+    def tap_node(self, node_id: int) -> TapNode:
+        """TAP participant state for an overlay node (created lazily)."""
+        tap = self.tap_nodes.get(node_id)
+        if tap is None:
+            pastry = self.network.nodes[node_id]
+            tap = TapNode(pastry, self.seeds.pyrandom("tap-node", node_id))
+            self.tap_nodes[node_id] = tap
+        return tap
+
+    def random_node_id(self, label: object = "pick") -> int:
+        """A uniformly random alive node id (deterministic per label)."""
+        rng = self.seeds.pyrandom("random-node", label)
+        ids = self.network.alive_ids
+        return ids[rng.randrange(len(ids))]
+
+    # ------------------------------------------------------------------
+    # THA deployment
+    # ------------------------------------------------------------------
+    def deploy_thas(
+        self,
+        owner: TapNode,
+        count: int,
+        relay_path_len: int | None = None,
+        max_attempts: int = 5,
+    ):
+        """Generate and anonymously deploy ``count`` fresh anchors.
+
+        Relay candidates are all alive TAP-capable nodes.  The paper
+        suggests 3–5 anchors per deployment session; larger counts
+        simply use longer bootstrap paths (or call repeatedly).
+        """
+        thas = [owner.new_tha() for _ in range(count)]
+        candidates = [
+            self.tap_node(nid)
+            for nid in self._relay_candidate_ids(owner, count * 4)
+        ]
+        report = self.deployer.deploy(owner, thas, candidates, max_attempts)
+        del relay_path_len  # path length == batch size in this deployer
+        return report
+
+    def _relay_candidate_ids(self, owner: TapNode, want: int) -> list[int]:
+        rng = self.seeds.pyrandom("relay-candidates", owner.node_id, len(owner.owned_thas))
+        ids = [i for i in self.network.alive_ids if i != owner.node_id]
+        if len(ids) <= want:
+            return ids
+        return rng.sample(ids, want)
+
+    # ------------------------------------------------------------------
+    # tunnel formation
+    # ------------------------------------------------------------------
+    def form_tunnel(
+        self,
+        owner: TapNode,
+        length: int,
+        use_hints: bool = False,
+        now: float = 0.0,
+    ) -> Tunnel:
+        """Form a forward tunnel from the owner's deployed anchors (§3.5)."""
+        hops = self._claim_hops(owner, length)
+        hints: list[str | None] = [None] * length
+        if use_hints:
+            hints = [self._resolve_hint(owner, h.hop_id) for h in hops]
+        return Tunnel(hops=hops, hint_ips=hints, formed_at=now)
+
+    def form_reply_tunnel(
+        self,
+        owner: TapNode,
+        length: int,
+        use_hints: bool = False,
+        now: float = 0.0,
+    ) -> ReplyTunnel:
+        """Form a reply tunnel ending at a ``bid`` owned by the initiator."""
+        hops = self._claim_hops(owner, length)
+        hints: list[str | None] = [None] * length
+        if use_hints:
+            hints = [self._resolve_hint(owner, h.hop_id) for h in hops]
+        bid = owner.make_bid(self.network.alive_ids)
+        return ReplyTunnel(hops=hops, hint_ips=hints, formed_at=now, bid=bid)
+
+    def _claim_hops(self, owner: TapNode, length: int):
+        """Select scattered anchors and mark them as belonging to a
+        tunnel — §4 requires request and reply tunnels to be disjoint,
+        so anchors in active tunnels are never reselected."""
+        hops = select_scattered(
+            owner.deployed_thas(), length, self._form_rng, self.network.b_bits
+        )
+        for tha in hops:
+            tha.in_use = True
+            tha.meta["formed_root"] = self.network.closest_alive(tha.hop_id)
+        return hops
+
+    def retire_tunnel(self, owner: TapNode, tunnel: Tunnel, delete: bool = False) -> None:
+        """Release a tunnel's anchors for reuse, optionally deleting
+        them from the DHT (presenting the owner's PW proofs)."""
+        for tha in tunnel.hops:
+            tha.in_use = False
+            if delete:
+                self.deployer.delete(owner, tha)
+
+    def _resolve_hint(self, owner: TapNode, hop_id: int) -> str:
+        """Footnote-3 cache: map a hopid to its hop node's current IP."""
+        root = self.network.closest_alive(hop_id)
+        ip = self.network.nodes[root].ip
+        owner.hint_cache[hop_id] = (ip, root)
+        return ip
+
+    # ------------------------------------------------------------------
+    # messaging / retrieval
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        initiator: TapNode,
+        tunnel: Tunnel,
+        destination_id: int,
+        payload: bytes,
+    ) -> ForwardTrace:
+        return self.forwarder.send(initiator, tunnel, destination_id, payload)
+
+    def publish(self, content: bytes, name: bytes | None = None) -> int:
+        return self.retrieval.publish(content, name)
+
+    def retrieve(
+        self,
+        initiator: TapNode,
+        fid: int,
+        forward_tunnel: Tunnel,
+        reply_tunnel: ReplyTunnel,
+    ) -> RetrievalResult:
+        return self.retrieval.retrieve(initiator, fid, forward_tunnel, reply_tunnel)
+
+    # ------------------------------------------------------------------
+    # membership events (keep overlay + storage in lock-step)
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int, repair: bool = True) -> None:
+        """Crash a node; re-replicate its objects if ``repair``."""
+        self.network.fail(node_id)
+        if repair:
+            self.store.on_fail(node_id)
+
+    def fail_nodes(self, node_ids, repair_after: bool = True) -> None:
+        """Simultaneous mass failure (Figure 2's model).
+
+        All nodes drop *before* any repair runs — objects whose entire
+        replica set is inside the failed set are lost, exactly the
+        paper's simultaneous-failure scenario.
+        """
+        node_ids = list(node_ids)
+        for nid in node_ids:
+            self.network.fail(nid)
+        if repair_after:
+            for nid in node_ids:
+                self.store.on_fail(nid)
+
+    def join_node(self, node_id: int) -> TapNode:
+        self.network.join(node_id)
+        self.ip_index[self.network.nodes[node_id].ip] = node_id
+        self.store.on_join(node_id)
+        return self.tap_node(node_id)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TapSystem(nodes={self.network.size}, k={self.store.k}, "
+            f"objects={len(self.store.all_keys())})"
+        )

@@ -1,0 +1,146 @@
+"""Layered (mix-style) message construction and peeling.
+
+Implements the paper's message formats:
+
+* Forward tunnel (§2, Fig. 1):  ``{h2, {h3, {D, m}K3}K2}K1`` — each hop
+  removes one layer, learns only the next hopid (and, with the §5
+  optimisation, an IP hint), and the tail learns the destination.
+* Reply tunnel (§4): ``{hid1,{hid2,{hid3,{bid, fakeonion}K3}K2}K1}`` —
+  every layer, including the last, peels to a (next-id, blob) pair, so
+  the tail hop cannot tell ``bid`` (which maps back to the initiator)
+  from yet another tunnel hop: the ``fakeonion`` is indistinguishable
+  from a further encrypted layer.
+
+Wire format of one decrypted layer::
+
+    RELAY: tag("R") | next_id (16B) | ip_hint (var, may be empty) | inner
+    EXIT:  tag("E") | dest_id (16B) | ip_hint (empty)             | payload
+
+encoded with the length-prefixed fields of :mod:`repro.util.serialize`
+and sealed with the layer's :class:`~repro.crypto.symmetric.SymmetricKey`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.symmetric import CipherError, SymmetricKey
+from repro.util.serialize import (
+    SerializationError,
+    pack_fields,
+    pack_int,
+    unpack_fields,
+    unpack_int,
+)
+
+TAG_RELAY = b"R"
+TAG_EXIT = b"E"
+
+#: Documentation/test label for fabricated trailing onions; never
+#: appears inside a fake onion (that would make it distinguishable).
+FAKE_ONION_MAGIC = "fakeonion"
+
+
+@dataclass(frozen=True)
+class OnionLayer:
+    """One hop's view needed to *build* a layer: its id and key.
+
+    ``ip_hint`` carries the §5 optimisation: the believed IP address of
+    the *next* layer's tunnel hop node (empty string = basic mode).
+    """
+
+    hop_id: int
+    key: SymmetricKey
+    ip_hint: str = ""
+
+
+@dataclass(frozen=True)
+class PeeledLayer:
+    """Result of removing one layer of encryption at a tunnel hop."""
+
+    is_exit: bool
+    next_id: int  # next hopid (relay) or destination id (exit)
+    ip_hint: str  # §5 shortcut for the next hop ("" in basic mode)
+    inner: bytes  # remaining onion (relay) or application payload (exit)
+
+
+def _encode_layer(tag: bytes, next_id: int, ip_hint: str, inner: bytes) -> bytes:
+    return pack_fields(tag, pack_int(next_id), ip_hint.encode(), inner)
+
+
+def _decode_layer(plaintext: bytes) -> PeeledLayer:
+    try:
+        tag, id_bytes, hint_bytes, inner = unpack_fields(plaintext, count=4)
+        next_id = unpack_int(id_bytes)
+    except SerializationError as exc:
+        raise CipherError(f"malformed onion layer: {exc}") from exc
+    if tag == TAG_RELAY:
+        return PeeledLayer(False, next_id, hint_bytes.decode(), inner)
+    if tag == TAG_EXIT:
+        return PeeledLayer(True, next_id, hint_bytes.decode(), inner)
+    raise CipherError(f"unknown onion layer tag {tag!r}")
+
+
+def build_onion(layers: list[OnionLayer], destination_id: int, payload: bytes) -> bytes:
+    """Construct a forward-tunnel onion ``{h2,{h3,{D, m}K3}K2}K1``.
+
+    ``layers`` are ordered first hop → tail.  The returned blob is what
+    the initiator sends to the tunnel hop node of ``layers[0]``; it is
+    sealed under ``layers[0].key``.
+    """
+    if not layers:
+        raise ValueError("a tunnel needs at least one hop")
+    # Innermost layer: the tail learns the destination and message.
+    blob = layers[-1].key.seal(_encode_layer(TAG_EXIT, destination_id, "", payload))
+    # Wrap outward.  Layer i carries the id (and optional IP hint) of
+    # layer i+1; the hint stored on OnionLayer i+1 describes *its own*
+    # node, which is what layer i needs to reveal.
+    for i in range(len(layers) - 2, -1, -1):
+        nxt = layers[i + 1]
+        blob = layers[i].key.seal(_encode_layer(TAG_RELAY, nxt.hop_id, nxt.ip_hint, blob))
+    return blob
+
+
+def build_reply_onion(
+    layers: list[OnionLayer],
+    bid: int,
+    fake_onion: bytes,
+) -> tuple[int, bytes]:
+    """Construct the reply tunnel ``T_r`` of §4.
+
+    Returns ``(first_hop_id, blob)``: the responder learns the first
+    reply hop's id in the clear (it must know where to send), and the
+    blob peels one RELAY layer per hop.  The innermost layer reveals
+    ``(bid, fake_onion)`` — ``bid`` is an id whose numerically closest
+    node is the initiator, and ``fake_onion`` is padding that looks
+    like one more encrypted layer, so the tail cannot tell it is last.
+    """
+    if not layers:
+        raise ValueError("a reply tunnel needs at least one hop")
+    if not fake_onion:
+        raise ValueError("fake_onion must be non-empty (tail distinguishability)")
+    blob = layers[-1].key.seal(_encode_layer(TAG_RELAY, bid, "", fake_onion))
+    for i in range(len(layers) - 2, -1, -1):
+        nxt = layers[i + 1]
+        blob = layers[i].key.seal(_encode_layer(TAG_RELAY, nxt.hop_id, nxt.ip_hint, blob))
+    return layers[0].hop_id, blob
+
+
+def peel_layer(key: SymmetricKey, blob: bytes) -> PeeledLayer:
+    """Remove one layer of encryption — the per-hop operation."""
+    return _decode_layer(key.open(blob))
+
+
+def make_fake_onion(rng: random.Random, approx_layers: int = 2, payload_size: int = 64) -> bytes:
+    """Random bytes sized like ``approx_layers`` residual onion layers.
+
+    Purely random (no structure, no magic marker): a tail hop that
+    tries to treat it as a further layer simply fails to decrypt, the
+    same observable outcome as a real layer sealed under a key the hop
+    does not have.
+    """
+    size = payload_size
+    per_layer = SymmetricKey.overhead() + 4 * 4 + 1 + 16  # seal + framing + tag + id
+    size += approx_layers * per_layer
+    return rng.getrandbits(8 * size).to_bytes(size, "big")

@@ -1,0 +1,120 @@
+"""Authenticated symmetric encryption for tunnel layers.
+
+Construction: a SHA-256-in-counter-mode stream cipher combined with an
+encrypt-then-MAC HMAC-SHA256 tag.  HMAC is implemented per RFC 2104
+directly over :func:`hashlib.sha256` (no :mod:`hmac` import) — the
+reproduction builds its substrates from primitives.
+
+Each TAP tunnel hop performs exactly one ``seal`` or ``open`` per
+message, matching the paper's "single symmetric key operation per
+message" cost claim (§4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_BLOCK = 64  # SHA-256 block size in bytes (HMAC padding width)
+_TAG_BYTES = 32
+_NONCE_BYTES = 8
+
+
+class CipherError(ValueError):
+    """Raised when decryption fails authentication or framing."""
+
+
+def _hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """RFC 2104 HMAC over SHA-256, written out from the definition."""
+    if len(key) > _BLOCK:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_BLOCK, b"\x00")
+    o_key = bytes(b ^ 0x5C for b in key)
+    i_key = bytes(b ^ 0x36 for b in key)
+    inner = hashlib.sha256(i_key + message).digest()
+    return hashlib.sha256(o_key + inner).digest()
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream: ``SHA256(key || nonce || ctr)``."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+class SymmetricKey:
+    """A symmetric key ``K`` as stored inside a tunnel hop anchor.
+
+    ``seal`` produces ``nonce || ciphertext || tag``; ``open`` verifies
+    the tag before returning the plaintext.  The nonce is drawn from a
+    per-key deterministic counter unless the caller supplies one, which
+    keeps simulations reproducible while never reusing a keystream.
+    """
+
+    __slots__ = ("key_bytes", "_enc_key", "_mac_key", "_nonce_counter")
+
+    def __init__(self, key_bytes: bytes):
+        if not isinstance(key_bytes, (bytes, bytearray)) or len(key_bytes) < 8:
+            raise ValueError("key must be at least 8 bytes")
+        self.key_bytes = bytes(key_bytes)
+        # Domain-separate the encryption and MAC keys from K.
+        self._enc_key = hashlib.sha256(b"enc" + self.key_bytes).digest()
+        self._mac_key = hashlib.sha256(b"mac" + self.key_bytes).digest()
+        self._nonce_counter = 0
+
+    def _next_nonce(self) -> bytes:
+        self._nonce_counter += 1
+        return self._nonce_counter.to_bytes(_NONCE_BYTES, "big")
+
+    def seal(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+        """Encrypt-then-MAC: returns ``nonce || ct || tag``."""
+        if nonce is None:
+            nonce = self._next_nonce()
+        if len(nonce) != _NONCE_BYTES:
+            raise ValueError(f"nonce must be {_NONCE_BYTES} bytes")
+        stream = _keystream(self._enc_key, nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = _hmac_sha256(self._mac_key, nonce + ciphertext)
+        return nonce + ciphertext + tag
+
+    def open(self, sealed: bytes) -> bytes:
+        """Verify and decrypt a ``seal`` output."""
+        if len(sealed) < _NONCE_BYTES + _TAG_BYTES:
+            raise CipherError("sealed message too short")
+        nonce = sealed[:_NONCE_BYTES]
+        ciphertext = sealed[_NONCE_BYTES:-_TAG_BYTES]
+        tag = sealed[-_TAG_BYTES:]
+        expected = _hmac_sha256(self._mac_key, nonce + ciphertext)
+        if not _constant_time_eq(tag, expected):
+            raise CipherError("authentication tag mismatch")
+        stream = _keystream(self._enc_key, nonce, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+    @staticmethod
+    def overhead() -> int:
+        """Bytes added by one layer of ``seal`` (nonce + tag)."""
+        return _NONCE_BYTES + _TAG_BYTES
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymmetricKey) and other.key_bytes == self.key_bytes
+
+    def __hash__(self) -> int:
+        return hash(self.key_bytes)
+
+    def __repr__(self) -> str:
+        return f"SymmetricKey({self.key_bytes[:4].hex()}…)"
+
+
+def _constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison (length leak acceptable: tags are fixed-size)."""
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

@@ -1,0 +1,124 @@
+"""Experiment configurations with the paper's parameters as defaults.
+
+Each config is a frozen dataclass; ``fast()`` returns a scaled-down
+variant for CI and quick exploration that preserves every qualitative
+shape (who wins, monotonicity, knees) at ~100× less work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def _frange(start: float, stop: float, step: float) -> tuple[float, ...]:
+    out = []
+    x = start
+    while x <= stop + 1e-9:
+        out.append(round(x, 10))
+        x += step
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Tunnel failure rate vs simultaneous node failure fraction."""
+
+    num_nodes: int = 10_000
+    num_tunnels: int = 5_000
+    tunnel_length: int = 5
+    failure_fractions: tuple[float, ...] = _frange(0.05, 0.50, 0.05)
+    replication_factors: tuple[int, ...] = (3, 5)
+    seed: int = 2004
+    num_seeds: int = 3
+
+    @classmethod
+    def fast(cls) -> "Fig2Config":
+        return cls(num_nodes=1_000, num_tunnels=500, num_seeds=2,
+                   failure_fractions=_frange(0.1, 0.5, 0.1))
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Corrupted tunnel rate vs malicious node fraction (k = 3)."""
+
+    num_nodes: int = 10_000
+    num_tunnels: int = 5_000
+    tunnel_length: int = 5
+    replication_factor: int = 3
+    malicious_fractions: tuple[float, ...] = _frange(0.05, 0.30, 0.05)
+    seed: int = 2004
+    num_seeds: int = 3
+
+    @classmethod
+    def fast(cls) -> "Fig3Config":
+        return cls(num_nodes=1_000, num_tunnels=500, num_seeds=2,
+                   malicious_fractions=_frange(0.1, 0.3, 0.1))
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Corruption vs replication factor (a) and tunnel length (b), p = 0.1."""
+
+    num_nodes: int = 10_000
+    num_tunnels: int = 5_000
+    malicious_fraction: float = 0.1
+    tunnel_length: int = 5  # fixed in sweep (a)
+    replication_factor: int = 3  # fixed in sweep (b)
+    replication_factors: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+    tunnel_lengths: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+    seed: int = 2004
+    num_seeds: int = 3
+
+    @classmethod
+    def fast(cls) -> "Fig4Config":
+        return cls(num_nodes=1_000, num_tunnels=500, num_seeds=2,
+                   replication_factors=(1, 3, 5), tunnel_lengths=(1, 3, 5, 7))
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Corruption over time under benign churn, refreshed vs not (k = 3)."""
+
+    num_nodes: int = 10_000
+    num_tunnels: int = 5_000
+    tunnel_length: int = 5
+    replication_factor: int = 3
+    malicious_fraction: float = 0.1
+    churn_per_unit: int = 100
+    time_units: int = 20
+    seed: int = 2004
+    num_seeds: int = 3
+
+    @classmethod
+    def fast(cls) -> "Fig5Config":
+        return cls(num_nodes=1_000, num_tunnels=500, churn_per_unit=10,
+                   time_units=10, num_seeds=2)
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Transfer latency vs network size: overt vs TAP basic/optimised."""
+
+    network_sizes: tuple[int, ...] = (100, 500, 1_000, 2_000, 5_000, 10_000)
+    tunnel_lengths: tuple[int, ...] = (3, 5)
+    file_bits: float = 2_000_000.0  # the paper's 2 Mb file
+    transfers_per_size: int = 50  # paper: 30 sims x 1,000 transfers
+    min_latency_s: float = 0.010
+    max_latency_s: float = 0.230
+    bandwidth_bps: float = 1_500_000.0
+    b_bits: int = 4
+    #: proximity neighbour selection when building routing tables
+    #: (FreePastry's locality feature; shortens physical routes)
+    pns: bool = False
+    seed: int = 2004
+    num_seeds: int = 3
+
+    @classmethod
+    def fast(cls) -> "Fig6Config":
+        return cls(network_sizes=(100, 500, 1_000), transfers_per_size=20,
+                   num_seeds=1)
+
+
+def scaled(config, **overrides):
+    """Return a copy of any config with fields overridden."""
+    return replace(config, **overrides)

@@ -1,0 +1,105 @@
+"""Figure 5: corruption over time under churn, refreshed vs unrefreshed.
+
+Setup (paper §7.2): k = 3, p = 0.1 held constant; per time unit 100
+benign nodes leave and 100 fresh benign nodes join.  Malicious nodes
+never leave and inherit replicas vacated by departures, so their THA
+knowledge is *monotone*:
+
+* ``unrefreshed`` — the original 5,000 tunnels are kept; corruption
+  accumulates (every unit a few more anchors fall into malicious
+  replica sets, permanently);
+* ``refreshed`` — 5,000 *new* tunnels (fresh anchors) replace the old
+  ones each unit; only current replica sets matter, so the corruption
+  rate stays at the static Figure-3 level.
+
+Knowledge bookkeeping: after each churn batch the replica set of every
+anchor is recomputed on the current population; an anchor whose set
+now contains a malicious node has been handed a replica (the repair
+traffic) and is disclosed forever.  This is exactly the aggregate
+behaviour of :meth:`repro.past.ReplicatedStore.on_fail`/``on_join``,
+which the tests cross-validate at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.idspace import IdSpaceModel
+from repro.analysis.theory import tunnel_corruption_prob
+from repro.experiments.config import Fig5Config
+from repro.util.rng import SeedSequenceFactory
+
+
+def _corrupted_fraction(known_hops: np.ndarray, num_tunnels: int, length: int) -> float:
+    return float(known_hops.reshape(num_tunnels, length).all(axis=1).mean())
+
+
+def run_fig5(config: Fig5Config = Fig5Config()) -> list[dict]:
+    seeds = SeedSequenceFactory(config.seed)
+    per_time: dict[tuple[int, str], list[float]] = {}
+
+    total_hops = config.num_tunnels * config.tunnel_length
+
+    for rep in range(config.num_seeds):
+        rng = seeds.numpy("fig5", rep)
+        model = IdSpaceModel.random(
+            config.num_nodes, rng, config.malicious_fraction
+        )
+        static_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
+        known = model.any_malicious_holder(static_keys, config.replication_factor)
+
+        per_time.setdefault((0, "unrefreshed"), []).append(
+            _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
+        )
+        per_time.setdefault((0, "refreshed"), []).append(
+            _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
+        )
+
+        for t in range(1, config.time_units + 1):
+            # Benign leave ...
+            benign = model.benign_indices()
+            departing = rng.choice(
+                benign, size=min(config.churn_per_unit, len(benign)), replace=False
+            )
+            model.remove_nodes(departing)
+            # ... then benign join (p restored each unit).
+            model.add_nodes(
+                IdSpaceModel.draw_unique_ids(config.churn_per_unit, rng)
+            )
+
+            # Unrefreshed: knowledge accumulates monotonically.
+            known |= model.any_malicious_holder(
+                static_keys, config.replication_factor
+            )
+            per_time.setdefault((t, "unrefreshed"), []).append(
+                _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
+            )
+
+            # Refreshed: brand-new anchors; only the current state counts.
+            fresh_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
+            fresh_known = model.any_malicious_holder(
+                fresh_keys, config.replication_factor
+            )
+            per_time.setdefault((t, "refreshed"), []).append(
+                _corrupted_fraction(fresh_known, config.num_tunnels, config.tunnel_length)
+            )
+
+    static_expectation = tunnel_corruption_prob(
+        config.malicious_fraction,
+        config.tunnel_length,
+        config.replication_factor,
+        config.num_nodes,
+    )
+    rows: list[dict] = []
+    for (t, scheme), values in sorted(per_time.items()):
+        rows.append(
+            {
+                "figure": "fig5",
+                "time": t,
+                "scheme": scheme,
+                "corrupted_tunnels": float(np.mean(values)),
+                "std": float(np.std(values)),
+                "static_expected": static_expectation,
+            }
+        )
+    return rows

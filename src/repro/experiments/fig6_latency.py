@@ -1,0 +1,128 @@
+"""Figure 6: file transfer latency vs network size.
+
+Setup (paper §7.3): networks of 100…10,000 nodes; per-link latency
+drawn uniformly (Internet-like), 1.5 Mb/s links; a random initiator
+transfers a 2 Mb file to the node numerically closest to a random
+fileid three ways:
+
+* ``overt``      — plain Pastry routing (log_16 N overlay hops);
+* ``tap-basic``  — through an l-hop tunnel, every tunnel hop located
+  by full DHT routing (≈ (l+1)·log_16 N overlay hops);
+* ``tap-opt``    — §5 IP hints give a direct link to every hop node
+  (l+2 physical hops; falls back to DHT routing only when stale —
+  never, in this churn-free scenario).
+
+The underlying node paths come from real Pastry routing over the
+built overlay; transfer times from the store-and-forward model (each
+relay receives the full message before forwarding — the paper's
+whole-message Java emulation).  We do not expect the paper's absolute
+seconds (its latency distribution is only loosely specified); the
+ordering, ratios, and growth with l and N are the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.theory import expected_route_hops
+from repro.experiments.config import Fig6Config
+from repro.pastry.network import PastryNetwork
+from repro.simnet.topology import Topology
+from repro.simnet.transport import TransferModel, path_transfer_time
+from repro.util.ids import random_id
+from repro.util.rng import SeedSequenceFactory
+
+
+def _stitch(*segments: list[int]) -> list[int]:
+    """Concatenate routing segments, dropping duplicated junctions."""
+    path: list[int] = []
+    for seg in segments:
+        if path and seg and path[-1] == seg[0]:
+            seg = seg[1:]
+        path.extend(seg)
+    return path
+
+
+def _tunnel_paths(
+    network: PastryNetwork,
+    initiator: int,
+    destination_key: int,
+    hop_keys: list[int],
+) -> tuple[list[int], list[int]]:
+    """(basic_path, optimised_path) through the same tunnel hops."""
+    roots = [network.closest_alive(h) for h in hop_keys]
+
+    basic_segments = []
+    current = initiator
+    for hop_key, root in zip(hop_keys, roots):
+        seg = network.route(current, hop_key)
+        assert seg.success and seg.destination == root
+        basic_segments.append(seg.path)
+        current = root
+    exit_seg = network.route(current, destination_key)
+    assert exit_seg.success
+    basic = _stitch(*basic_segments, exit_seg.path)
+
+    optimised = _stitch([initiator], *[[r] for r in roots], [exit_seg.destination])
+    return basic, optimised
+
+
+def run_fig6(config: Fig6Config = Fig6Config()) -> list[dict]:
+    seeds = SeedSequenceFactory(config.seed)
+    acc: dict[tuple[int, str], list[float]] = {}
+
+    for rep in range(config.num_seeds):
+        for n_nodes in config.network_sizes:
+            rng = seeds.pyrandom("fig6", rep, n_nodes)
+            ids = set()
+            while len(ids) < n_nodes:
+                ids.add(random_id(rng))
+            topology = Topology(
+                seed=seeds.child("fig6-topo", rep, n_nodes),
+                min_latency_s=config.min_latency_s,
+                max_latency_s=config.max_latency_s,
+                bandwidth_bps=config.bandwidth_bps,
+            )
+            network = PastryNetwork.build(
+                ids,
+                b_bits=config.b_bits,
+                proximity=topology.latency if config.pns else None,
+            )
+            alive = network.alive_ids
+
+            def record(scheme: str, path: list[int]) -> None:
+                t = path_transfer_time(
+                    topology, path, config.file_bits,
+                    TransferModel.STORE_AND_FORWARD,
+                )
+                acc.setdefault((n_nodes, scheme), []).append(t)
+
+            for _ in range(config.transfers_per_size):
+                initiator = alive[rng.randrange(len(alive))]
+                fid = random_id(rng)
+
+                overt = network.route(initiator, fid)
+                assert overt.success
+                record("overt", overt.path)
+
+                for length in config.tunnel_lengths:
+                    hop_keys = [random_id(rng) for _ in range(length)]
+                    basic, optimised = _tunnel_paths(
+                        network, initiator, fid, hop_keys
+                    )
+                    record(f"tap-basic-l{length}", basic)
+                    record(f"tap-opt-l{length}", optimised)
+
+    rows: list[dict] = []
+    for (n_nodes, scheme), values in sorted(acc.items()):
+        rows.append(
+            {
+                "figure": "fig6",
+                "num_nodes": n_nodes,
+                "scheme": scheme,
+                "transfer_time_s": float(np.mean(values)),
+                "std": float(np.std(values)),
+                "expected_route_hops": expected_route_hops(n_nodes, config.b_bits),
+            }
+        )
+    return rows

@@ -1,0 +1,47 @@
+"""Extensions beyond the paper's evaluated core.
+
+The paper's §9 defers two issues to future work / its extended report:
+secure routing of messages to tunnel hop nodes when overlay nodes are
+malicious, and detection of corrupted tunnels.  This package supplies
+both, following the literature the paper cites:
+
+* :mod:`repro.extensions.secure_routing` — routing-failure test
+  (id-density check) and redundant routing over diverse paths, after
+  Castro et al., *Secure routing for structured peer-to-peer overlay
+  networks* (OSDI 2002) — the technique TAP's extended report builds
+  on;
+* :mod:`repro.extensions.tunnel_probe` — corrupted/broken tunnel
+  detection by end-to-end probing through a reply loop, addressing the
+  "TAP does not have a mechanism to detect corrupted/malicious
+  tunnels" limitation;
+* :mod:`repro.extensions.mutual_anonymity` — hidden services: mutual
+  initiator/responder anonymity composed from TAP's own tunnels (the
+  neighbouring problem §8 cites).
+"""
+
+from repro.extensions.secure_routing import (
+    RoutingInterceptor,
+    routing_failure_test,
+    secure_route,
+    SecureRouteResult,
+)
+from repro.extensions.tunnel_probe import TunnelProber, ProbeReport
+from repro.extensions.mutual_anonymity import (
+    HiddenService,
+    MutualAnonymity,
+    ServiceRecord,
+    service_id,
+)
+
+__all__ = [
+    "RoutingInterceptor",
+    "routing_failure_test",
+    "secure_route",
+    "SecureRouteResult",
+    "TunnelProber",
+    "ProbeReport",
+    "HiddenService",
+    "MutualAnonymity",
+    "ServiceRecord",
+    "service_id",
+]

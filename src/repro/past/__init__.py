@@ -1,0 +1,21 @@
+"""PAST storage substrate with k-closest replication.
+
+Reproduces the storage semantics TAP relies on (Rowstron & Druschel,
+SOSP 2001, and FreePastry's replication manager): an object inserted
+under key ``key`` is stored on the ``k`` alive nodes whose nodeids are
+numerically closest to ``key``; the closest is the *root* (TAP's
+"tunnel hop node"), the rest are candidates.  The replica set is
+maintained across joins, leaves and failures, so the object remains
+reachable unless all ``k`` holders fail before repair runs.
+"""
+
+from repro.past.storage import Storage, StoredObject, StorageError
+from repro.past.replication import ReplicatedStore, ReplicationError
+
+__all__ = [
+    "Storage",
+    "StoredObject",
+    "StorageError",
+    "ReplicatedStore",
+    "ReplicationError",
+]

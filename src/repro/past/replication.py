@@ -1,0 +1,248 @@
+"""Replication manager: keep every key on its k closest alive nodes.
+
+This is the aggregate behaviour of FreePastry's per-node replication
+manager.  The store subscribes to membership changes
+(:meth:`on_fail`, :meth:`on_join`) and migrates replicas so the
+invariant
+
+    ``holders(key) == the k alive nodes numerically closest to key``
+
+is restored after each event — provided at least one holder survived
+to copy from.  If all ``k`` holders die before repair, the object is
+lost: exactly the failure mode TAP's Figure 2 quantifies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Callable, Iterable
+
+from repro.past.storage import Storage, StorageError, StoredObject
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import ID_SPACE, ring_distance
+
+
+class ReplicationError(RuntimeError):
+    """Raised when an operation cannot satisfy replication invariants."""
+
+
+class ReplicatedStore:
+    """k-closest replicated storage over a :class:`PastryNetwork`.
+
+    A single store manages all objects in the overlay; per-node
+    :class:`Storage` instances hold the actual replicas, so reads go
+    through real node-local state (a malicious holder *does* see the
+    plaintext object — the property TAP's collusion analysis needs).
+    """
+
+    def __init__(self, network: PastryNetwork, replication_factor: int = 3):
+        if replication_factor < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.network = network
+        self.k = replication_factor
+        self.storages: dict[int, Storage] = {
+            nid: Storage(nid) for nid in network.nodes
+        }
+        #: global index key -> set of node ids currently holding it
+        self._holders: dict[int, set[int]] = {}
+        self._sorted_keys: list[int] = []
+        #: observers notified as (event, key, node_id) when a replica is
+        #: placed; the collusion adversary subscribes here.
+        self.on_replica_placed: list[Callable[[int, int], None]] = []
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def storage_of(self, node_id: int) -> Storage:
+        store = self.storages.get(node_id)
+        if store is None:
+            store = self.storages[node_id] = Storage(node_id)
+        return store
+
+    def replica_set(self, key: int) -> list[int]:
+        """The *intended* replica set right now (k closest alive)."""
+        return self.network.replica_candidates(key, self.k)
+
+    def holders(self, key: int) -> set[int]:
+        """Nodes currently holding a replica (may lag the intended set)."""
+        return set(self._holders.get(key, ()))
+
+    def root(self, key: int) -> int:
+        """The replica root — TAP's tunnel hop node for this key."""
+        return self.network.closest_alive(key)
+
+    def _place(self, node_id: int, obj: StoredObject) -> None:
+        self.storage_of(node_id).insert(obj, overwrite=True)
+        holders = self._holders.setdefault(obj.key, set())
+        if not holders:
+            insort(self._sorted_keys, obj.key)
+        holders.add(node_id)
+        for callback in self.on_replica_placed:
+            callback(obj.key, node_id)
+
+    def _unplace(self, node_id: int, key: int) -> None:
+        self.storage_of(node_id).drop(key)
+        holders = self._holders.get(key)
+        if holders is not None:
+            holders.discard(node_id)
+            if not holders:
+                self._forget_key(key)
+
+    def _forget_key(self, key: int) -> None:
+        self._holders.pop(key, None)
+        pos = bisect_left(self._sorted_keys, key)
+        if pos < len(self._sorted_keys) and self._sorted_keys[pos] == key:
+            del self._sorted_keys[pos]
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        key: int,
+        value: Any,
+        delete_proof_hash: bytes | None = None,
+        meta: dict | None = None,
+    ) -> StoredObject:
+        """Insert an object onto the k closest alive nodes."""
+        if key in self._holders:
+            raise ReplicationError(f"key {key:#x} already inserted")
+        obj = StoredObject(key, value, delete_proof_hash, meta or {})
+        for node_id in self.replica_set(key):
+            self._place(node_id, obj)
+        return obj
+
+    def fetch(self, key: int, requester_id: int | None = None) -> StoredObject:
+        """Fetch from the replica root (fail-over to any live holder).
+
+        If ``requester_id`` is given, enforce TAP's THA access rule
+        (§3.1): only nodes in the replica set may read the object
+        through the overlay.  (Owners read nothing — they already know
+        their THAs; they only ever *delete*, presenting PW.)
+        """
+        holders = self._holders.get(key)
+        if not holders:
+            raise StorageError(f"key {key:#x} not stored anywhere")
+        live = [h for h in holders if self.network.is_alive(h)]
+        if not live:
+            raise StorageError(f"all replicas of {key:#x} are dead")
+        if requester_id is not None and requester_id not in self.replica_set(key):
+            raise ReplicationError(
+                f"node {requester_id:#x} is outside the replica set of {key:#x}"
+            )
+        best = min(live, key=lambda h: (ring_distance(h, key), h))
+        return self.storage_of(best).lookup(key)
+
+    def delete(self, key: int, proof: bytes) -> bool:
+        """Delete from every live holder given the owner's PW (§3.4)."""
+        holders = list(self._holders.get(key, ()))
+        if not holders:
+            return False
+        deleted_any = False
+        for node_id in holders:
+            if self.storage_of(node_id).delete(key, proof):
+                self._unplace(node_id, key)
+                deleted_any = True
+        return deleted_any
+
+    def exists(self, key: int) -> bool:
+        """Reachable: at least one *live* holder has the object."""
+        return any(
+            self.network.is_alive(h) for h in self._holders.get(key, ())
+        )
+
+    def all_keys(self) -> list[int]:
+        return list(self._sorted_keys)
+
+    # ------------------------------------------------------------------
+    # membership events
+    # ------------------------------------------------------------------
+    def on_fail(self, node_id: int) -> None:
+        """Re-replicate every object the failed node held.
+
+        Call *after* ``network.fail(node_id)``.  Objects whose live
+        holders all vanished are lost (and dropped from the index).
+        """
+        storage = self.storages.get(node_id)
+        if storage is None:
+            return
+        for key in storage.keys():
+            holders = self._holders.get(key, set())
+            holders.discard(node_id)
+            live = [h for h in holders if self.network.is_alive(h)]
+            if not live:
+                self._forget_key(key)
+                continue
+            source = self.storage_of(live[0]).lookup(key)
+            for target in self.replica_set(key):
+                if target not in holders:
+                    self._place(target, source)
+        # The dead node keeps its (now unreachable) local copies; if it
+        # ever rejoins, on_join will reconcile.
+
+    def on_join(self, node_id: int) -> None:
+        """Hand the newcomer the replicas it is now responsible for.
+
+        Call *after* ``network.join(node_id)``.  Also trims holders
+        that dropped out of the intended k-closest set.
+        """
+        affected = self._keys_near(node_id)
+        for key in affected:
+            holders = self.holders(key)
+            live = [h for h in holders if self.network.is_alive(h)]
+            if not live:
+                continue
+            intended = set(self.replica_set(key))
+            if node_id not in intended:
+                continue
+            source = self.storage_of(
+                min(live, key=lambda h: (ring_distance(h, key), h))
+            ).lookup(key)
+            self._place(node_id, source)
+            for stale in holders - intended:
+                if self.network.is_alive(stale):
+                    self._unplace(stale, key)
+
+    def _keys_near(self, node_id: int) -> list[int]:
+        """Keys whose replica set could include ``node_id``.
+
+        If both the clockwise and counterclockwise arcs from the key to
+        ``node_id`` contain at least k other alive nodes, then k nodes
+        are strictly closer to the key than ``node_id`` is, so the key
+        cannot adopt it.  Candidates therefore lie in the arc between
+        the k-th alive predecessor and the k-th alive successor.
+        """
+        if not self._sorted_keys:
+            return []
+        ids = self.network.alive_ids
+        n = len(ids)
+        if n <= self.k + 1:
+            return list(self._sorted_keys)
+        pos = bisect_left(ids, node_id)
+        if pos >= n or ids[pos] != node_id:
+            raise ReplicationError(f"node {node_id:#x} is not alive")
+        pred_k = ids[(pos - self.k) % n]
+        succ_k = ids[(pos + self.k) % n]
+        cw_limit = (succ_k - node_id) % ID_SPACE
+        ccw_limit = (node_id - pred_k) % ID_SPACE
+        return [
+            key
+            for key in self._sorted_keys
+            if (key - node_id) % ID_SPACE <= cw_limit
+            or (node_id - key) % ID_SPACE <= ccw_limit
+        ]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def verify_invariants(self) -> list[str]:
+        """Return human-readable invariant violations (empty == healthy)."""
+        problems: list[str] = []
+        for key, holders in self._holders.items():
+            live = {h for h in holders if self.network.is_alive(h)}
+            intended = set(self.replica_set(key))
+            if live != intended:
+                problems.append(
+                    f"key {key:#x}: holders {sorted(live)} != intended {sorted(intended)}"
+                )
+        return problems

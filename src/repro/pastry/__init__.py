@@ -1,0 +1,36 @@
+"""Pastry structured-overlay substrate (FreePastry 1.3 equivalent).
+
+Implements the routing/location layer TAP is built on (Rowstron &
+Druschel, Middleware 2001): 128-bit circular id space, base-``2**b``
+digit prefix routing (default b=4, i.e. 16-way digits and
+``log_16 N``-hop routes), leaf sets of ``|L|=16``, join protocol, and
+failure handling via leaf-set/routing-table repair.
+
+Two construction paths are provided:
+
+* :meth:`PastryNetwork.build` — omniscient bootstrap that instantiates
+  correct routing state for all nodes at once (the standard way to set
+  up large simulated overlays);
+* :meth:`PastryNetwork.join` — the incremental Pastry join protocol
+  (route to the closest node, copy leaf set and per-row routing
+  entries from the nodes along the join route, announce arrival).
+
+Both yield the same invariants, which the test-suite cross-checks.
+"""
+
+from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
+from repro.pastry.leafset import LeafSet
+from repro.pastry.routing_table import RoutingTable
+from repro.pastry.node import PastryNode
+from repro.pastry.network import PastryNetwork, RouteResult, RoutingError
+
+__all__ = [
+    "DEFAULT_B_BITS",
+    "DEFAULT_LEAF_SET_SIZE",
+    "LeafSet",
+    "RoutingTable",
+    "PastryNode",
+    "PastryNetwork",
+    "RouteResult",
+    "RoutingError",
+]

@@ -1,0 +1,8 @@
+"""Pastry protocol parameters (paper defaults)."""
+
+#: Bits per routing digit: base ``2**b`` prefix routing.  The paper
+#: quotes ``log_{2^b} N`` hops "with a typical value of 4" — 16-way.
+DEFAULT_B_BITS = 4
+
+#: Leaf-set size |L| (half numerically smaller, half larger).
+DEFAULT_LEAF_SET_SIZE = 16

@@ -1,0 +1,123 @@
+"""Pastry leaf set: the |L| nodes numerically closest to the owner.
+
+Half of the entries are the closest ids clockwise (numerically larger,
+wrapping) and half counterclockwise.  The leaf set determines the last
+routing step and — shared with PAST — the replica-set neighbourhood.
+"""
+
+from __future__ import annotations
+
+from repro.pastry.constants import DEFAULT_LEAF_SET_SIZE
+from repro.util.ids import ID_SPACE, ring_distance
+
+
+def _cw_dist(frm: int, to: int) -> int:
+    """Clockwise (increasing-id) distance from ``frm`` to ``to``."""
+    return (to - frm) % ID_SPACE
+
+
+class LeafSet:
+    """Bounded set of ring neighbours, split into CW/CCW halves."""
+
+    def __init__(self, owner_id: int, capacity: int = DEFAULT_LEAF_SET_SIZE):
+        if capacity < 2 or capacity % 2 != 0:
+            raise ValueError("leaf-set capacity must be an even number >= 2")
+        self.owner_id = owner_id
+        self.capacity = capacity
+        self._members: set[int] = set()
+
+    # -- membership ----------------------------------------------------
+    @property
+    def members(self) -> set[int]:
+        """All current leaf ids (excluding the owner)."""
+        return set(self._members)
+
+    @property
+    def half(self) -> int:
+        return self.capacity // 2
+
+    def cw_members(self) -> list[int]:
+        """Clockwise half, nearest first."""
+        ranked = sorted(self._members, key=lambda x: _cw_dist(self.owner_id, x))
+        return ranked[: self.half]
+
+    def ccw_members(self) -> list[int]:
+        """Counterclockwise half, nearest first."""
+        ranked = sorted(self._members, key=lambda x: _cw_dist(x, self.owner_id))
+        return ranked[: self.half]
+
+    def add(self, node_id: int) -> bool:
+        """Insert a candidate; evict the furthest if a half overflows.
+
+        Returns True if the candidate is retained.
+        """
+        if node_id == self.owner_id:
+            return False
+        self._members.add(node_id)
+        self._trim()
+        return node_id in self._members
+
+    def add_all(self, node_ids) -> None:
+        for node_id in node_ids:
+            if node_id != self.owner_id:
+                self._members.add(node_id)
+        self._trim()
+
+    def remove(self, node_id: int) -> None:
+        self._members.discard(node_id)
+
+    def _trim(self) -> None:
+        """Keep only ids that belong to either bounded half."""
+        keep = set(self.cw_members()) | set(self.ccw_members())
+        self._members = keep
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- routing queries -------------------------------------------------
+    def is_full(self) -> bool:
+        """Both halves at capacity *and* disjoint.
+
+        When the population is small the same node ranks in the top
+        |L|/2 of both directions; such a "wrapped" leaf set spans the
+        entire ring and must not be treated as bounding an arc.
+        """
+        cw = self.cw_members()
+        ccw = self.ccw_members()
+        return (
+            len(cw) == self.half
+            and len(ccw) == self.half
+            and not set(cw) & set(ccw)
+        )
+
+    def covers(self, key: int) -> bool:
+        """True if ``key`` falls within the leaf-set arc.
+
+        Pastry routes directly to the numerically closest leaf when the
+        key lies between the furthest CCW and furthest CW members.  A
+        non-full or ring-wrapping leaf set covers everything.
+        """
+        if not self.is_full():
+            return True
+        cw_far = self.cw_members()[-1]
+        ccw_far = self.ccw_members()[-1]
+        span = _cw_dist(ccw_far, cw_far)
+        return _cw_dist(ccw_far, key) <= span
+
+    def closest(self, key: int, include_owner: bool = True) -> int:
+        """Numerically closest id to ``key`` among leaves (and owner)."""
+        pool = set(self._members)
+        if include_owner:
+            pool.add(self.owner_id)
+        if not pool:
+            raise ValueError("empty leaf set with owner excluded")
+        return min(pool, key=lambda x: (ring_distance(x, key), x))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeafSet(owner={self.owner_id:#034x}, "
+            f"|cw|={len(self.cw_members())}, |ccw|={len(self.ccw_members())})"
+        )

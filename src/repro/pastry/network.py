@@ -1,0 +1,386 @@
+"""The Pastry overlay: node registry, routing, join/leave/failure.
+
+The network object plays two roles found in FreePastry's simulator:
+
+* global oracle for *constructing* overlays (omniscient bootstrap and
+  leaf-set repair — stand-ins for the maintenance protocol traffic);
+* the per-hop *routing* itself, which uses only each node's local
+  state (leaf set + routing table), discovering failures hop by hop
+  exactly as a real deployment would.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
+from repro.pastry.node import PastryNode
+from repro.util.ids import (
+    ID_BITS,
+    closest_in_sorted,
+    id_digit,
+    ring_distance,
+    shared_prefix_digits,
+)
+
+
+class RoutingError(RuntimeError):
+    """Raised when a route cannot be completed (all candidates dead)."""
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing a key from a source node.
+
+    ``path`` lists the node ids traversed, source first and the node
+    that accepted responsibility for the key last.  ``failures``
+    counts dead next-hops discovered (and routed around) on the way.
+    """
+
+    key: int
+    path: list[int]
+    success: bool
+    failures: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay hops actually taken."""
+        return max(0, len(self.path) - 1)
+
+    @property
+    def destination(self) -> int:
+        return self.path[-1]
+
+
+class PastryNetwork:
+    """Registry + routing fabric for a set of :class:`PastryNode`."""
+
+    #: Safety valve against routing livelock; generous compared to the
+    #: ~log_16 N hops a healthy overlay needs.
+    MAX_HOPS = 256
+
+    def __init__(
+        self,
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+        eager_repair: bool = True,
+    ):
+        self.b_bits = b_bits
+        self.leaf_set_size = leaf_set_size
+        #: Repair neighbours' leaf sets immediately on leave/failure
+        #: (stands in for Pastry's leaf-set maintenance protocol).
+        self.eager_repair = eager_repair
+        self.nodes: dict[int, PastryNode] = {}
+        self._sorted_alive: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        node_ids: Iterable[int],
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+        eager_repair: bool = True,
+        proximity=None,
+        proximity_sample: int = 16,
+    ) -> "PastryNetwork":
+        """Omniscient bootstrap: correct state for every node at once.
+
+        ``proximity`` enables FreePastry-style proximity neighbour
+        selection (PNS): a callable ``(a, b) -> latency`` (e.g.
+        :meth:`repro.simnet.Topology.latency`); each routing-table cell
+        is then filled with the topologically nearest of up to
+        ``proximity_sample`` candidates instead of a deterministic
+        default.  Any qualifying candidate yields a *correct* table —
+        PNS only changes which one, trading build time for shorter
+        physical routes (visible in the Figure-6 latencies).
+        """
+        net = cls(b_bits=b_bits, leaf_set_size=leaf_set_size, eager_repair=eager_repair)
+        ids = sorted(set(node_ids))
+        if not ids:
+            return net
+        net._sorted_alive = list(ids)
+        for nid in ids:
+            net.nodes[nid] = PastryNode(nid, b_bits, leaf_set_size)
+
+        n = len(ids)
+        half = leaf_set_size // 2
+        for idx, nid in enumerate(ids):
+            node = net.nodes[nid]
+            for off in range(1, min(half, n - 1) + 1):
+                node.leaf_set.add(ids[(idx + off) % n])
+                node.leaf_set.add(ids[(idx - off) % n])
+
+        # Routing tables from prefix buckets: bucket (row, prefix, digit)
+        # keeps the smallest qualifying id for determinism.  Nodes that
+        # share an r-digit prefix form a contiguous run in sorted order,
+        # so each node's deepest populated row is bounded by its shared
+        # prefix with its sort neighbours — no need to visit all 32 rows.
+        rows = ID_BITS // b_bits
+        adjacent_shl = [
+            shared_prefix_digits(ids[i], ids[i + 1], b_bits) for i in range(n - 1)
+        ]
+        max_shared = [
+            max(
+                adjacent_shl[i - 1] if i > 0 else 0,
+                adjacent_shl[i] if i < n - 1 else 0,
+            )
+            for i in range(n)
+        ]
+        if proximity is None:
+            # Deterministic default: the smallest qualifying id per cell.
+            buckets: dict[tuple[int, int, int], int] = {}
+            for idx, nid in enumerate(ids):
+                for row in range(min(rows, max_shared[idx] + 1)):
+                    prefix = nid >> (ID_BITS - b_bits * row) if row else 0
+                    digit = id_digit(nid, row, b_bits)
+                    key = (row, prefix, digit)
+                    cur = buckets.get(key)
+                    if cur is None or nid < cur:
+                        buckets[key] = nid
+
+            def cell_entry(owner: int, key: tuple[int, int, int]) -> int | None:
+                return buckets.get(key)
+
+        else:
+            # PNS: keep a bounded candidate pool per cell, pick the
+            # topologically nearest per owner.
+            pools: dict[tuple[int, int, int], list[int]] = {}
+            for idx, nid in enumerate(ids):
+                for row in range(min(rows, max_shared[idx] + 1)):
+                    prefix = nid >> (ID_BITS - b_bits * row) if row else 0
+                    digit = id_digit(nid, row, b_bits)
+                    pool = pools.setdefault((row, prefix, digit), [])
+                    if len(pool) < proximity_sample:
+                        pool.append(nid)
+
+            def cell_entry(owner: int, key: tuple[int, int, int]) -> int | None:
+                pool = pools.get(key)
+                if not pool:
+                    return None
+                return min(pool, key=lambda cand: (proximity(owner, cand), cand))
+
+        for idx, nid in enumerate(ids):
+            node = net.nodes[nid]
+            for row in range(min(rows, max_shared[idx] + 1)):
+                prefix = nid >> (ID_BITS - b_bits * row) if row else 0
+                own_digit = id_digit(nid, row, b_bits)
+                for digit in range(1 << b_bits):
+                    if digit == own_digit:
+                        continue
+                    entry = cell_entry(nid, (row, prefix, digit))
+                    if entry is not None:
+                        node.routing_table.add(entry)
+        return net
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def alive_ids(self) -> list[int]:
+        """Ascending ids of alive nodes (shared, do not mutate)."""
+        return self._sorted_alive
+
+    @property
+    def size(self) -> int:
+        return len(self._sorted_alive)
+
+    def __iter__(self) -> Iterator[PastryNode]:
+        return iter(self.nodes.values())
+
+    def node(self, node_id: int) -> PastryNode:
+        return self.nodes[node_id]
+
+    def is_alive(self, node_id: int) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
+    def _mark_alive(self, node_id: int) -> None:
+        pos = bisect_left(self._sorted_alive, node_id)
+        if pos >= len(self._sorted_alive) or self._sorted_alive[pos] != node_id:
+            insort(self._sorted_alive, node_id)
+
+    def _mark_dead(self, node_id: int) -> None:
+        pos = bisect_left(self._sorted_alive, node_id)
+        if pos < len(self._sorted_alive) and self._sorted_alive[pos] == node_id:
+            del self._sorted_alive[pos]
+
+    def join(self, node_id: int, bootstrap_id: int | None = None) -> PastryNode:
+        """Incremental Pastry join protocol.
+
+        The newcomer routes its own id via ``bootstrap_id`` (default:
+        the alive node with the lowest id), copies the leaf set of the
+        numerically closest node, takes routing-table rows from the
+        nodes along the join route, and announces itself to every node
+        it learned about.
+        """
+        if node_id in self.nodes and self.nodes[node_id].alive:
+            raise ValueError(f"node {node_id:#x} already in the overlay")
+        newcomer = PastryNode(node_id, self.b_bits, self.leaf_set_size)
+        self.nodes[node_id] = newcomer
+
+        if not self._sorted_alive:  # first node: trivially joined
+            self._mark_alive(node_id)
+            return newcomer
+
+        if bootstrap_id is None:
+            bootstrap_id = self._sorted_alive[0]
+        result = self.route(bootstrap_id, node_id)
+        if not result.success:
+            del self.nodes[node_id]
+            raise RoutingError("join route failed; overlay too damaged")
+
+        # Row i of the routing table comes from the i-th node on the
+        # join route (it shares at least i digits with the newcomer).
+        for depth, hop_id in enumerate(result.path):
+            hop = self.nodes[hop_id]
+            shared = shared_prefix_digits(hop_id, node_id, self.b_bits)
+            for row in range(min(depth, shared) + 1):
+                for entry in hop.routing_table.row_entries(row).values():
+                    if self.is_alive(entry):
+                        newcomer.routing_table.add(entry)
+            newcomer.routing_table.add(hop_id)
+
+        closest = self.nodes[result.destination]
+        newcomer.leaf_set.add_all(
+            m for m in closest.leaf_set.members | {closest.node_id} if self.is_alive(m)
+        )
+
+        self._mark_alive(node_id)
+        # Announce arrival to everyone the newcomer learned about.
+        for other_id in newcomer.known_nodes():
+            other = self.nodes.get(other_id)
+            if other is not None and other.alive:
+                other.learn([node_id])
+        return newcomer
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure (same observable effect as failure)."""
+        self.fail(node_id)
+
+    def fail(self, node_id: int) -> None:
+        """Crash a node; optionally repair neighbours' leaf sets."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        node.alive = False
+        self._mark_dead(node_id)
+        if self.eager_repair:
+            self._repair_after_departure(node_id)
+
+    def revive(self, node_id: int) -> None:
+        """Bring a failed node back with stale state (tests churn logic)."""
+        node = self.nodes.get(node_id)
+        if node is None or node.alive:
+            return
+        node.alive = True
+        self._mark_alive(node_id)
+
+    def _repair_after_departure(self, dead_id: int) -> None:
+        """Refill leaf sets and routing cells that referenced the dead node.
+
+        Stands in for Pastry's repair protocols: leaf-set repair asks
+        the furthest leaf on the depleted side for its leaf set;
+        routing-table repair asks row neighbours for a replacement
+        entry.  We refill from the global sorted list — the state those
+        protocols provably converge to.
+        """
+        if not self._sorted_alive:
+            return
+        want = min(self.leaf_set_size + 2, len(self._sorted_alive))
+        for nid in list(self._sorted_alive):
+            node = self.nodes[nid]
+            if dead_id not in node.leaf_set and dead_id not in node.routing_table:
+                continue
+            had_leaf = dead_id in node.leaf_set
+            self._forget_and_refill(node, dead_id)
+            if had_leaf:
+                for repl in closest_in_sorted(self._sorted_alive, nid, want):
+                    node.leaf_set.add(repl)
+
+    def _forget_and_refill(self, node: PastryNode, dead_id: int) -> None:
+        """Drop a dead node from local state and repair the vacated
+        routing cell with another alive node of the same prefix class."""
+        cell = node.routing_table.cell_for(dead_id)
+        node.forget(dead_id)
+        if cell is None:
+            return
+        row, col = cell
+        replacement = self._find_node_for_cell(node.node_id, row, col)
+        if replacement is not None:
+            node.routing_table.add(replacement)
+
+    def _find_node_for_cell(self, owner_id: int, row: int, col: int) -> int | None:
+        """Any alive node sharing ``row`` digits with the owner and
+        having digit ``col`` next — i.e. a valid entry for that cell.
+        Nodes of one prefix class are contiguous in sorted id order."""
+        b = self.b_bits
+        shift = ID_BITS - b * (row + 1)
+        owner_prefix = owner_id >> (shift + b)
+        lo = ((owner_prefix << b) | col) << shift
+        pos = bisect_left(self._sorted_alive, lo)
+        if pos < len(self._sorted_alive) and (self._sorted_alive[pos] >> shift) == (lo >> shift):
+            return self._sorted_alive[pos]
+        return None
+
+    def discover_failure(self, observer_id: int, dead_id: int) -> None:
+        """An observer timed out contacting ``dead_id``: drop it from
+        the observer's local state and repair the vacated cell.  Used
+        by the event-driven emulation, where failures are discovered
+        by timeout rather than by the oracle."""
+        observer = self.nodes.get(observer_id)
+        if observer is not None:
+            self._forget_and_refill(observer, dead_id)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def closest_alive(self, key: int) -> int:
+        """Id of the alive node numerically closest to ``key`` (oracle)."""
+        if not self._sorted_alive:
+            raise RoutingError("no alive nodes")
+        return closest_in_sorted(self._sorted_alive, key, 1)[0]
+
+    def replica_candidates(self, key: int, k: int) -> list[int]:
+        """The k alive nodes numerically closest to ``key`` (oracle)."""
+        if not self._sorted_alive:
+            raise RoutingError("no alive nodes")
+        return closest_in_sorted(self._sorted_alive, key, min(k, len(self._sorted_alive)))
+
+    def route(self, src_id: int, key: int) -> RouteResult:
+        """Route ``key`` from ``src_id`` using only local node state.
+
+        Dead next-hops are discovered on contact: the current node
+        forgets them and retries with the failure excluded, mirroring
+        timeout-and-reroute in a deployment.
+        """
+        src = self.nodes.get(src_id)
+        if src is None or not src.alive:
+            raise RoutingError(f"source {src_id:#x} is not alive")
+
+        path = [src_id]
+        failures = 0
+        current = src
+        for _ in range(self.MAX_HOPS):
+            excluded: set[int] = set()
+            while True:
+                nxt = current.next_hop(key, exclude=excluded)
+                if nxt is None:
+                    return RouteResult(key, path, False, failures)
+                if nxt == current.node_id:
+                    return RouteResult(key, path, True, failures)
+                if self.is_alive(nxt):
+                    break
+                # Discovered a dead neighbour: drop it, repair the
+                # vacated cell, and retry.
+                failures += 1
+                excluded.add(nxt)
+                self._forget_and_refill(current, nxt)
+            path.append(nxt)
+            current = self.nodes[nxt]
+        return RouteResult(key, path, False, failures, meta={"reason": "hop-limit"})

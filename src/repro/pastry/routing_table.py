@@ -1,0 +1,96 @@
+"""Pastry prefix routing table.
+
+Row ``r`` holds nodes sharing exactly ``r`` leading digits with the
+owner; column ``c`` is the value of digit ``r`` of the entry.  With
+b=4 there are 32 rows of 16 columns over the 128-bit space, of which
+roughly ``log_16 N`` rows are populated in an N-node network.
+
+Proximity-based entry selection (FreePastry picks the topologically
+nearest candidate per cell) is out of scope: the reproduced
+experiments do not depend on proximity, only on hop counts, which are
+determined by prefix-match progress alone.
+"""
+
+from __future__ import annotations
+
+from repro.pastry.constants import DEFAULT_B_BITS
+from repro.util.ids import ID_BITS, id_digit, shared_prefix_digits
+
+
+class RoutingTable:
+    """Sparse (row, column) -> nodeid map with a reverse index."""
+
+    def __init__(self, owner_id: int, b_bits: int = DEFAULT_B_BITS):
+        if ID_BITS % b_bits != 0:
+            raise ValueError(f"b={b_bits} must divide {ID_BITS}")
+        self.owner_id = owner_id
+        self.b_bits = b_bits
+        self.rows = ID_BITS // b_bits
+        self.cols = 1 << b_bits
+        self._cells: dict[tuple[int, int], int] = {}
+        self._reverse: dict[int, tuple[int, int]] = {}
+
+    def cell_for(self, node_id: int) -> tuple[int, int] | None:
+        """The (row, col) a candidate id would occupy, or None for self."""
+        if node_id == self.owner_id:
+            return None
+        row = shared_prefix_digits(self.owner_id, node_id, self.b_bits)
+        col = id_digit(node_id, row, self.b_bits)
+        return row, col
+
+    def add(self, node_id: int, replace: bool = False) -> bool:
+        """Install a candidate in its cell.
+
+        Keeps the incumbent unless ``replace`` — entry churn does not
+        affect correctness, only which of several valid nodes fills the
+        cell.  Returns True if the candidate was installed.
+        """
+        cell = self.cell_for(node_id)
+        if cell is None:
+            return False
+        if cell in self._cells and not replace:
+            return self._cells[cell] == node_id
+        old = self._cells.get(cell)
+        if old is not None:
+            self._reverse.pop(old, None)
+        self._cells[cell] = node_id
+        self._reverse[node_id] = cell
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        cell = self._reverse.pop(node_id, None)
+        if cell is None:
+            return False
+        del self._cells[cell]
+        return True
+
+    def lookup(self, row: int, col: int) -> int | None:
+        return self._cells.get((row, col))
+
+    def entry_for_key(self, key: int) -> int | None:
+        """The routing-table next hop for ``key``: the cell matching the
+        key's first divergent digit, if populated."""
+        row = shared_prefix_digits(self.owner_id, key, self.b_bits)
+        if row >= self.rows:
+            return None  # key == owner id
+        col = id_digit(key, row, self.b_bits)
+        return self._cells.get((row, col))
+
+    def row_entries(self, row: int) -> dict[int, int]:
+        """col -> nodeid mapping of one row (copy)."""
+        return {c: nid for (r, c), nid in self._cells.items() if r == row}
+
+    @property
+    def entries(self) -> set[int]:
+        """All node ids currently installed."""
+        return set(self._reverse)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._reverse
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        populated = sorted({r for r, _ in self._cells})
+        return f"RoutingTable(owner={self.owner_id:#x}, rows={populated})"

@@ -1,0 +1,42 @@
+"""Discrete-event network simulation substrate.
+
+The paper evaluates TAP "on a network emulation environment, through
+which the instances of the node software communicate", with per-link
+random latency approximating the Internet and 1.5 Mb/s links (§7.3).
+This package provides the equivalent:
+
+* :mod:`repro.simnet.events` — a deterministic discrete-event kernel
+  (heap-based scheduler with a simulated clock);
+* :mod:`repro.simnet.topology` — per-link latency/bandwidth models with
+  O(1) memory (latencies are hash-derived on demand, so a 10^4-node
+  all-pairs topology needs no N² table);
+* :mod:`repro.simnet.transport` — message/file transfer-time models
+  (store-and-forward and pipelined/chunked);
+* :mod:`repro.simnet.network` — a message-passing façade that delivers
+  payloads to node handlers through the event kernel.
+"""
+
+from repro.simnet.events import Simulator, Event, SimulationError
+from repro.simnet.topology import Topology, UniformLatencyModel, LinkSpec
+from repro.simnet.transport import (
+    TransferModel,
+    transfer_time,
+    path_transfer_time,
+    serialization_delay,
+)
+from repro.simnet.network import SimNetwork, SimMessage
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "Topology",
+    "UniformLatencyModel",
+    "LinkSpec",
+    "TransferModel",
+    "transfer_time",
+    "path_transfer_time",
+    "serialization_delay",
+    "SimNetwork",
+    "SimMessage",
+]

@@ -1,0 +1,104 @@
+"""Message-passing façade over the event kernel.
+
+Nodes register a handler; ``send`` schedules delivery after the link's
+propagation + serialization delay.  Sends to a dead or unknown address
+are silently dropped (like UDP into the void) unless the caller
+registers a drop callback — TAP's fault-tolerance logic is exercised by
+exactly these drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simnet.events import Simulator
+from repro.simnet.topology import Topology
+from repro.simnet.transport import transfer_time
+
+Handler = Callable[["SimNetwork", int, int, Any], None]
+
+
+@dataclass
+class SimMessage:
+    """Bookkeeping record for an in-flight or delivered message."""
+
+    src: int
+    dst: int
+    payload: Any
+    size_bits: float
+    sent_at: float
+    delivered_at: float | None = None
+    dropped: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+class SimNetwork:
+    """Registry of addressable nodes on a shared simulator/topology."""
+
+    def __init__(self, simulator: Simulator, topology: Topology):
+        self.simulator = simulator
+        self.topology = topology
+        self._handlers: dict[int, Handler] = {}
+        self._alive: dict[int, bool] = {}
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bits_sent = 0.0
+        self.on_drop: Callable[[SimMessage], None] | None = None
+
+    # -- membership ----------------------------------------------------
+    def attach(self, address: int, handler: Handler) -> None:
+        """Register a node.  Re-attaching an address revives it."""
+        self._handlers[address] = handler
+        self._alive[address] = True
+
+    def detach(self, address: int) -> None:
+        """Remove a node entirely (leaves no tombstone)."""
+        self._handlers.pop(address, None)
+        self._alive.pop(address, None)
+
+    def fail(self, address: int) -> None:
+        """Mark a node dead without removing it (it can be revived)."""
+        if address in self._alive:
+            self._alive[address] = False
+
+    def revive(self, address: int) -> None:
+        if address in self._handlers:
+            self._alive[address] = True
+
+    def is_alive(self, address: int) -> bool:
+        return self._alive.get(address, False)
+
+    @property
+    def addresses(self) -> list[int]:
+        return [a for a, alive in self._alive.items() if alive]
+
+    # -- messaging -----------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, size_bits: float = 8 * 1024) -> SimMessage:
+        """Schedule delivery of ``payload`` from ``src`` to ``dst``.
+
+        Liveness is checked at *delivery* time, so a node failing while
+        a message is in flight causes a drop — the situation TAP's
+        replica fail-over must handle.
+        """
+        record = SimMessage(src, dst, payload, size_bits, self.simulator.now)
+        self.bits_sent += size_bits
+        if src == dst:
+            delay = 0.0
+        else:
+            link = self.topology.link(src, dst)
+            delay = transfer_time(size_bits, link.latency_s, link.bandwidth_bps)
+        self.simulator.schedule(delay, self._deliver, record)
+        return record
+
+    def _deliver(self, record: SimMessage) -> None:
+        handler = self._handlers.get(record.dst)
+        if handler is None or not self._alive.get(record.dst, False):
+            record.dropped = True
+            self.dropped_count += 1
+            if self.on_drop is not None:
+                self.on_drop(record)
+            return
+        record.delivered_at = self.simulator.now
+        self.delivered_count += 1
+        handler(self, record.src, record.dst, record.payload)

@@ -1,0 +1,70 @@
+"""Tests for the churn process (Figure 5's object-level machinery)."""
+
+import random
+
+import pytest
+
+from repro.adversary.churn import ChurnProcess
+from repro.adversary.collusion import ColludingAdversary
+
+
+@pytest.fixture()
+def setup(tap_system):
+    malicious = set(tap_system.network.alive_ids[::10])
+    adversary = ColludingAdversary(malicious)
+    adversary.attach(tap_system.store)
+    return tap_system, adversary
+
+
+class TestChurnStep:
+    def test_population_roughly_constant(self, setup):
+        system, adversary = setup
+        churn = ChurnProcess(leaves_per_unit=5, joins_per_unit=5)
+        before = system.network.size
+        stats = churn.step(system, adversary, random.Random(901))
+        assert stats["departed"] == 5 and stats["joined"] == 5
+        assert system.network.size == before
+
+    def test_malicious_never_leave(self, setup):
+        system, adversary = setup
+        churn = ChurnProcess(leaves_per_unit=10, joins_per_unit=10)
+        for step in range(3):
+            churn.step(system, adversary, random.Random(902 + step))
+        for nid in adversary.malicious_ids:
+            assert system.network.is_alive(nid)
+
+    def test_store_invariants_preserved(self, setup):
+        system, adversary = setup
+        alice = system.tap_node(system.random_node_id("a"))
+        system.deploy_thas(alice, count=8)
+        churn = ChurnProcess(leaves_per_unit=8, joins_per_unit=8)
+        for step in range(3):
+            churn.step(system, adversary, random.Random(903 + step))
+        assert system.store.verify_invariants() == []
+
+    def test_tunnels_survive_churn(self, setup):
+        """TAP's headline property under realistic churn: a tunnel
+        formed before several churn units still works."""
+        system, adversary = setup
+        alice = system.tap_node(system.random_node_id("a"))
+        system.deploy_thas(alice, count=8)
+        tunnel = system.form_tunnel(alice, length=3)
+        churn = ChurnProcess(leaves_per_unit=8, joins_per_unit=8)
+        rng = random.Random(904)
+        for _ in range(4):
+            churn.step(system, adversary, rng)
+        if system.network.is_alive(alice.node_id):
+            trace = system.send(alice, tunnel, 42, b"x")
+            assert trace.success, trace.failure_reason
+
+    def test_adversary_knowledge_monotone(self, setup):
+        system, adversary = setup
+        alice = system.tap_node(system.random_node_id("a"))
+        system.deploy_thas(alice, count=8)
+        churn = ChurnProcess(leaves_per_unit=8, joins_per_unit=8)
+        rng = random.Random(905)
+        sizes = [len(adversary.known_hopids)]
+        for _ in range(4):
+            churn.step(system, adversary, rng)
+            sizes.append(len(adversary.known_hopids))
+        assert sizes == sorted(sizes)

@@ -1,0 +1,75 @@
+"""Tests for the simultaneous-failure model."""
+
+import random
+
+import pytest
+
+from repro.adversary.failures import FailureModel, tunnel_functions
+
+
+class TestSampling:
+    def test_exact_count(self):
+        model = FailureModel(0.25)
+        victims = model.sample(list(range(100)), random.Random(1))
+        assert len(victims) == 25
+        assert len(set(victims)) == 25
+
+    def test_zero_fraction(self):
+        assert FailureModel(0.0).sample(list(range(10)), random.Random(1)) == []
+
+    def test_full_fraction(self):
+        victims = FailureModel(1.0).sample(list(range(10)), random.Random(1))
+        assert sorted(victims) == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(1.5)
+        with pytest.raises(ValueError):
+            FailureModel(-0.1)
+
+
+class TestApply:
+    def test_fails_sampled_nodes(self, tap_system):
+        model = FailureModel(0.2)
+        before = tap_system.network.size
+        victims = model.apply(tap_system, random.Random(2))
+        assert tap_system.network.size == before - len(victims)
+        assert all(not tap_system.network.is_alive(v) for v in victims)
+
+
+class TestTunnelFunctions:
+    def test_healthy_tunnel_functions(self, tap_system):
+        alice = tap_system.tap_node(tap_system.random_node_id("a"))
+        tap_system.deploy_thas(alice, count=6)
+        tunnel = tap_system.form_tunnel(alice, length=3)
+        assert tunnel_functions(tap_system, tunnel)
+
+    def test_hop_failover_still_functions(self, tap_system):
+        alice = tap_system.tap_node(tap_system.random_node_id("a"))
+        tap_system.deploy_thas(alice, count=6)
+        tunnel = tap_system.form_tunnel(alice, length=3)
+        tap_system.fail_node(
+            tap_system.network.closest_alive(tunnel.hops[0].hop_id)
+        )
+        assert tunnel_functions(tap_system, tunnel)
+
+    def test_lost_anchor_breaks_tunnel(self, tap_system):
+        alice = tap_system.tap_node(tap_system.random_node_id("a"))
+        tap_system.deploy_thas(alice, count=6)
+        tunnel = tap_system.form_tunnel(alice, length=3)
+        holders = list(tap_system.store.holders(tunnel.hops[2].hop_id))
+        tap_system.fail_nodes(holders, repair_after=False)
+        assert not tunnel_functions(tap_system, tunnel)
+
+    def test_predicate_agrees_with_forwarder(self, tap_system):
+        """The bulk predicate and the cryptographic engine must agree
+        on whether a damaged tunnel works."""
+        alice = tap_system.tap_node(tap_system.random_node_id("a"))
+        tap_system.deploy_thas(alice, count=8)
+        tunnel = tap_system.form_tunnel(alice, length=3)
+        model = FailureModel(0.3)
+        model.apply(tap_system, random.Random(3), repair_after=False)
+        predicted = tunnel_functions(tap_system, tunnel)
+        if tap_system.network.is_alive(alice.node_id):
+            trace = tap_system.send(alice, tunnel, 42, b"x")
+            assert trace.success == predicted

@@ -1,0 +1,108 @@
+"""Tests for the anonymity metrics (§6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.anonymity import (
+    anonymity_set_entropy,
+    degree_of_anonymity,
+    predecessor_confidence,
+    responder_guess_probability,
+    uniform_with_suspect,
+)
+
+
+class TestResponderGuess:
+    def test_paper_formula(self):
+        assert responder_guess_probability(10_000) == pytest.approx(1 / 9999)
+
+    def test_two_nodes(self):
+        assert responder_guess_probability(2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            responder_guess_probability(1)
+
+
+class TestPredecessorConfidence:
+    def test_uniform_over_positions(self):
+        assert predecessor_confidence(5) == pytest.approx(0.2)
+
+    def test_position_known(self):
+        assert predecessor_confidence(5, position_known=True, position=1) == 1.0
+        assert predecessor_confidence(5, position_known=True, position=3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predecessor_confidence(0)
+        with pytest.raises(ValueError):
+            predecessor_confidence(5, position_known=True, position=9)
+
+    def test_longer_tunnels_less_confidence(self):
+        values = [predecessor_confidence(l) for l in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEntropy:
+    def test_uniform_max(self):
+        probs = [0.25] * 4
+        assert anonymity_set_entropy(probs) == pytest.approx(2.0)
+
+    def test_certainty_zero(self):
+        assert anonymity_set_entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_zero_entries_ignored(self):
+        assert anonymity_set_entropy([0.5, 0.5, 0.0]) == pytest.approx(1.0)
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            anonymity_set_entropy([0.5, 0.6])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity_set_entropy([1.5, -0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity_set_entropy([])
+
+
+class TestDegreeOfAnonymity:
+    def test_uniform_is_one(self):
+        assert degree_of_anonymity([0.1] * 10) == pytest.approx(1.0)
+
+    def test_identified_is_zero(self):
+        assert degree_of_anonymity([1.0] + [0.0] * 9) == 0.0
+
+    def test_single_candidate_zero(self):
+        assert degree_of_anonymity([1.0]) == 0.0
+
+    def test_monotone_in_suspicion(self):
+        values = [
+            degree_of_anonymity(uniform_with_suspect(100, s))
+            for s in (0.01, 0.2, 0.5, 0.9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_tap_responder_view_nearly_anonymous(self):
+        """From the responder's seat, TAP leaves a uniform distribution
+        over N-1 nodes — degree of anonymity 1."""
+        n = 1000
+        probs = np.full(n - 1, 1.0 / (n - 1))
+        assert degree_of_anonymity(probs) == pytest.approx(1.0)
+
+
+class TestUniformWithSuspect:
+    def test_shape_and_sum(self):
+        dist = uniform_with_suspect(50, 0.3)
+        assert len(dist) == 50
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist[0] == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_with_suspect(1, 0.5)
+        with pytest.raises(ValueError):
+            uniform_with_suspect(10, 1.5)

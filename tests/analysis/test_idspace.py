@@ -1,0 +1,205 @@
+"""Tests for the vectorised id-space model — including the critical
+cross-validation against the object-level substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.idspace import IdSpaceModel, replica_table
+from repro.util.ids import closest_ids
+
+RING = 1 << 64
+
+ids64 = st.integers(min_value=0, max_value=RING - 1)
+
+
+class TestReplicaTable:
+    @given(
+        pool=st.sets(ids64, min_size=1, max_size=30),
+        keys=st.lists(ids64, min_size=1, max_size=10),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_reference(self, pool, keys, k):
+        """The NumPy path must agree with the scalar reference —
+        ids scaled onto the 128-bit ring (order/distance isomorphism)."""
+        k = min(k, len(pool))
+        sorted_ids = np.array(sorted(pool), dtype=np.uint64)
+        table = replica_table(sorted_ids, np.array(keys, dtype=np.uint64), k)
+        for row, key in zip(table, keys):
+            got = [int(sorted_ids[i]) << 64 for i in row]
+            want = closest_ids([p << 64 for p in pool], key << 64, k)
+            assert got == want
+
+    def test_closest_first_order(self):
+        ids = np.array([10, 20, 30, 40], dtype=np.uint64)
+        table = replica_table(ids, np.array([21], dtype=np.uint64), 3)
+        assert list(ids[table[0]]) == [20, 30, 10]
+
+    def test_wraparound(self):
+        ids = np.array([5, RING - 5], dtype=np.uint64)
+        table = replica_table(ids, np.array([RING - 1], dtype=np.uint64), 1)
+        assert ids[table[0, 0]] == RING - 5
+
+    def test_k_validation(self):
+        ids = np.array([1, 2], dtype=np.uint64)
+        keys = np.array([0], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            replica_table(ids, keys, 0)
+        with pytest.raises(ValueError):
+            replica_table(ids, keys, 3)
+
+    def test_small_population_path(self):
+        # 2k >= n triggers the full-ranking branch
+        ids = np.array([10, 20, 30], dtype=np.uint64)
+        table = replica_table(ids, np.array([12], dtype=np.uint64), 2)
+        assert list(ids[table[0]]) == [10, 20]
+
+    def test_large_batch_consistency(self):
+        rng = np.random.default_rng(0)
+        ids = np.sort(IdSpaceModel.draw_unique_ids(500, rng))
+        keys = IdSpaceModel.draw_unique_ids(200, rng)
+        table = replica_table(ids, keys, 4)
+        # spot-check 10 keys against the scalar reference
+        for i in range(0, 200, 20):
+            got = [int(x) for x in ids[table[i]]]
+            want = [
+                w >> 64
+                for w in closest_ids([int(x) << 64 for x in ids], int(keys[i]) << 64, 4)
+            ]
+            assert got == want
+
+
+class TestCrossValidationAgainstObjectModel:
+    def test_same_replica_sets_as_replicated_store(self):
+        """THE bridge test: the vectorised model and the object-level
+        ReplicatedStore must compute identical replica sets when fed
+        isomorphic ids (64-bit ids shifted onto the 128-bit ring)."""
+        from repro.past.replication import ReplicatedStore
+        from repro.pastry.network import PastryNetwork
+
+        rng = np.random.default_rng(7)
+        ids64 = IdSpaceModel.draw_unique_ids(60, rng)
+        keys64 = IdSpaceModel.draw_unique_ids(25, rng)
+
+        model = IdSpaceModel(ids64)
+        net = PastryNetwork.build([int(i) << 64 for i in ids64])
+        store = ReplicatedStore(net, replication_factor=3)
+
+        table = model.replica_ids(keys64, 3)
+        for key64, row in zip(keys64, table):
+            object_level = store.replica_set(int(key64) << 64)
+            assert [int(x) << 64 for x in row] == object_level
+
+    def test_any_survivor_matches_object_semantics(self):
+        from repro.pastry.network import PastryNetwork
+
+        rng = np.random.default_rng(8)
+        # sort so the failure mask aligns with model.ids
+        ids64 = np.sort(IdSpaceModel.draw_unique_ids(50, rng))
+        keys64 = IdSpaceModel.draw_unique_ids(20, rng)
+        model = IdSpaceModel(ids64)
+
+        failed = np.zeros(50, dtype=bool)
+        failed[rng.choice(50, size=20, replace=False)] = True
+
+        survived = model.any_survivor(keys64, 3, failed)
+
+        # Object semantics: closest alive node after failure must be a
+        # member of the original replica set iff any member survived.
+        net = PastryNetwork.build([int(i) << 64 for i in ids64])
+        original_sets = {
+            int(key): [int(x) for x in row]
+            for key, row in zip(keys64, model.replica_ids(keys64, 3))
+        }
+        for idx, flag in enumerate(failed):
+            if flag:
+                net.fail(int(ids64[idx]) << 64)
+        for key64, ok in zip(keys64, survived):
+            members_alive = [
+                m for m in original_sets[int(key64)]
+                if net.is_alive(m << 64)
+            ]
+            assert bool(ok) == bool(members_alive)
+            if members_alive:
+                assert net.closest_alive(int(key64) << 64) >> 64 in [
+                    m for m in members_alive
+                ]
+
+
+class TestModelAttributes:
+    def test_random_malicious_count(self):
+        rng = np.random.default_rng(1)
+        model = IdSpaceModel.random(1000, rng, malicious_fraction=0.1)
+        assert model.malicious.sum() == 100
+        assert model.size == 1000
+
+    def test_ids_sorted_and_unique(self):
+        rng = np.random.default_rng(2)
+        model = IdSpaceModel.random(500, rng)
+        assert np.all(np.diff(model.ids.astype(np.uint64)) > 0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            IdSpaceModel(np.array([1, 1, 2], dtype=np.uint64))
+
+    def test_flag_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            IdSpaceModel(
+                np.array([1, 2], dtype=np.uint64),
+                malicious=np.array([True]),
+            )
+
+    def test_flags_follow_sort(self):
+        model = IdSpaceModel(
+            np.array([30, 10, 20], dtype=np.uint64),
+            malicious=np.array([True, False, False]),
+        )
+        assert list(model.ids) == [10, 20, 30]
+        assert list(model.malicious) == [False, False, True]
+
+    def test_any_malicious_holder(self):
+        model = IdSpaceModel(
+            np.array([10, 20, 30, 1000], dtype=np.uint64),
+            malicious=np.array([False, True, False, False]),
+        )
+        keys = np.array([11, 999], dtype=np.uint64)
+        out = model.any_malicious_holder(keys, 2)
+        assert list(out) == [True, False]  # {10,20} vs {1000,30}
+
+
+class TestChurnPrimitives:
+    def test_remove_nodes(self):
+        model = IdSpaceModel(np.array([10, 20, 30], dtype=np.uint64))
+        model.remove_nodes([1])
+        assert list(model.ids) == [10, 30]
+
+    def test_add_nodes_keeps_sorted(self):
+        model = IdSpaceModel(np.array([10, 30], dtype=np.uint64))
+        model.add_nodes(np.array([20], dtype=np.uint64),
+                        malicious=np.array([True]))
+        assert list(model.ids) == [10, 20, 30]
+        assert list(model.malicious) == [False, True, False]
+
+    def test_add_duplicate_rejected(self):
+        model = IdSpaceModel(np.array([10], dtype=np.uint64))
+        with pytest.raises(ValueError):
+            model.add_nodes(np.array([10], dtype=np.uint64))
+
+    def test_benign_indices(self):
+        model = IdSpaceModel(
+            np.array([10, 20], dtype=np.uint64),
+            malicious=np.array([True, False]),
+        )
+        assert list(model.benign_indices()) == [1]
+
+    def test_churn_preserves_population(self):
+        rng = np.random.default_rng(3)
+        model = IdSpaceModel.random(200, rng, malicious_fraction=0.1)
+        for _ in range(5):
+            benign = model.benign_indices()
+            model.remove_nodes(rng.choice(benign, size=10, replace=False))
+            model.add_nodes(IdSpaceModel.draw_unique_ids(10, rng))
+            assert model.size == 200
+            assert model.malicious.sum() == 20  # malicious never leave

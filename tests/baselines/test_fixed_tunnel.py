@@ -1,0 +1,73 @@
+"""Tests for the "current tunneling" fixed-node baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.fixed_tunnel import FixedNodeTunnel, form_fixed_tunnel
+
+
+class TestFormation:
+    def test_distinct_relays(self):
+        t = form_fixed_tunnel(list(range(100)), 5, random.Random(1))
+        assert len(set(t.relay_ids)) == 5
+        assert len(t.keys) == 5
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            form_fixed_tunnel([1, 2], 3, random.Random(1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FixedNodeTunnel([])
+
+    def test_keys_must_parallel(self):
+        from repro.crypto.symmetric import SymmetricKey
+
+        with pytest.raises(ValueError):
+            FixedNodeTunnel([1, 2], [SymmetricKey(b"k" * 16)])
+
+
+class TestFunctions:
+    def test_all_alive_functions(self):
+        t = form_fixed_tunnel(list(range(10)), 3, random.Random(2))
+        assert t.functions(lambda nid: True)
+
+    def test_any_dead_breaks(self):
+        t = form_fixed_tunnel(list(range(10)), 3, random.Random(2))
+        dead = t.relay_ids[1]
+        assert not t.functions(lambda nid: nid != dead)
+
+
+class TestSend:
+    def test_payload_delivered(self):
+        t = form_fixed_tunnel(list(range(10)), 3, random.Random(3))
+        ok, dest, payload = t.send(77, b"msg", lambda nid: True)
+        assert ok and dest == 77 and payload == b"msg"
+
+    def test_dead_relay_kills_message(self):
+        t = form_fixed_tunnel(list(range(10)), 3, random.Random(3))
+        dead = t.relay_ids[2]
+        ok, dest, payload = t.send(77, b"msg", lambda nid: nid != dead)
+        assert not ok and dest is None and payload is None
+
+    def test_send_without_keys_rejected(self):
+        t = form_fixed_tunnel(list(range(10)), 3, random.Random(3), with_keys=False)
+        with pytest.raises(ValueError):
+            t.send(77, b"msg", lambda nid: True)
+
+    def test_failure_prob_matches_theory(self):
+        """Monte-Carlo failure rate ≈ 1-(1-p)^l — the Figure 2 curve."""
+        from repro.analysis.theory import tunnel_failure_prob_current
+
+        rng = random.Random(4)
+        nodes = list(range(1000))
+        p, l, trials = 0.3, 5, 800
+        fails = 0
+        for _ in range(trials):
+            t = form_fixed_tunnel(nodes, l, rng, with_keys=False)
+            dead = set(rng.sample(nodes, int(p * len(nodes))))
+            if not t.functions(lambda nid: nid not in dead):
+                fails += 1
+        expected = tunnel_failure_prob_current(p, l, n_nodes=len(nodes))
+        assert fails / trials == pytest.approx(expected, abs=0.05)

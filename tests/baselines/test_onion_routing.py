@@ -1,0 +1,61 @@
+"""Tests for the Onion Routing baseline/bootstrap circuit."""
+
+import random
+
+import pytest
+
+from repro.baselines.onion_routing import OnionCircuit, OnionRoutingError
+
+
+@pytest.fixture()
+def relays(tap_system):
+    ids = tap_system.network.alive_ids[:3]
+    return [tap_system.tap_node(nid) for nid in ids]
+
+
+class TestCircuit:
+    def test_empty_rejected(self):
+        with pytest.raises(OnionRoutingError):
+            OnionCircuit([])
+
+    def test_traverse_delivers(self, relays):
+        circuit = OnionCircuit(relays)
+        ok, dest, payload = circuit.traverse(
+            99, b"deploy-this", random.Random(1), lambda nid: True
+        )
+        assert ok and dest == 99 and payload == b"deploy-this"
+
+    def test_each_relay_sees_only_next(self, relays):
+        circuit = OnionCircuit(relays)
+        blob = circuit.wrap(99, b"secret", random.Random(1))
+        is_exit, nxt, inner = OnionCircuit.peel(relays[0], blob)
+        assert not is_exit and nxt == relays[1].node_id
+        assert b"secret" not in inner
+        is_exit, nxt, inner = OnionCircuit.peel(relays[1], inner)
+        assert not is_exit and nxt == relays[2].node_id
+        is_exit, dest, payload = OnionCircuit.peel(relays[2], inner)
+        assert is_exit and dest == 99 and payload == b"secret"
+
+    def test_dead_relay_aborts_session(self, relays):
+        """§3.3: a dead node on the bootstrap path aborts deployment."""
+        circuit = OnionCircuit(relays)
+        dead = relays[1].node_id
+        ok, dest, payload = circuit.traverse(
+            99, b"x", random.Random(1), lambda nid: nid != dead
+        )
+        assert not ok and dest is None
+
+    def test_wrong_relay_cannot_peel(self, relays):
+        circuit = OnionCircuit(relays)
+        blob = circuit.wrap(99, b"x", random.Random(1))
+        from repro.crypto.asymmetric import RsaError
+
+        with pytest.raises((OnionRoutingError, RsaError)):
+            OnionCircuit.peel(relays[2], blob)
+
+    def test_single_relay_circuit(self, relays):
+        circuit = OnionCircuit(relays[:1])
+        ok, dest, payload = circuit.traverse(
+            7, b"y", random.Random(2), lambda nid: True
+        )
+        assert ok and dest == 7 and payload == b"y"

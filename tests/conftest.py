@@ -1,0 +1,57 @@
+"""Shared fixtures for the test-suite.
+
+Networks are expensive to build, so module-scoped fixtures provide
+read-only overlays; tests that mutate membership build their own
+(small) systems via the factory fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.system import TapSystem
+from repro.pastry.network import PastryNetwork
+from repro.util.rng import SeedSequenceFactory
+
+
+@pytest.fixture()
+def seeds() -> SeedSequenceFactory:
+    return SeedSequenceFactory(1234)
+
+
+@pytest.fixture()
+def rng(seeds) -> random.Random:
+    return seeds.pyrandom("test")
+
+
+def build_network(num_nodes: int, seed: int = 99, **kwargs) -> PastryNetwork:
+    rng = random.Random(seed)
+    ids = set()
+    while len(ids) < num_nodes:
+        ids.add(rng.getrandbits(128))
+    return PastryNetwork.build(ids, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def network200() -> PastryNetwork:
+    """A read-only 200-node overlay (do not mutate membership!)."""
+    return build_network(200)
+
+
+@pytest.fixture()
+def small_network() -> PastryNetwork:
+    """A fresh 60-node overlay safe to mutate."""
+    return build_network(60, seed=7)
+
+
+@pytest.fixture()
+def tap_system() -> TapSystem:
+    """A fresh 150-node TAP system safe to mutate."""
+    return TapSystem.bootstrap(num_nodes=150, seed=5, replication_factor=3)
+
+
+@pytest.fixture()
+def network_factory():
+    return build_network

@@ -1,0 +1,105 @@
+"""Tests for emulation observation taps and cover traffic."""
+
+import random
+
+import pytest
+
+from repro.core.emulation import TapEmulation
+from repro.core.system import TapSystem
+from repro.simnet.topology import Topology
+
+
+@pytest.fixture()
+def setup():
+    system = TapSystem.bootstrap(num_nodes=150, seed=41)
+    alice = system.tap_node(system.random_node_id("alice"))
+    system.deploy_thas(alice, count=8)
+    emu = TapEmulation.from_system(system, topology=Topology(seed=42))
+    return system, alice, emu
+
+
+class TestMetadataTaps:
+    def test_tap_sees_every_physical_delivery(self, setup):
+        system, alice, emu = setup
+        events = []
+        emu.taps.append(lambda t, s, d, b: events.append((t, s, d, b)))
+        tunnel = system.form_tunnel(alice, length=2)
+        trace = emu.send_through_tunnel(alice, tunnel, 42, b"x", size_bits=1000)
+        emu.simulator.run()
+        assert trace.delivered
+        # one event per physical hop of the recorded path
+        assert len(events) == len(trace.path) - 1
+        assert [d for _, _, d, _ in events] == trace.path[1:]
+
+    def test_tap_sees_only_metadata_sizes(self, setup):
+        system, alice, emu = setup
+        sizes = []
+        emu.taps.append(lambda t, s, d, b: sizes.append(b))
+        tunnel = system.form_tunnel(alice, length=2)
+        emu.send_through_tunnel(alice, tunnel, 42, b"x", size_bits=5000)
+        emu.simulator.run()
+        assert all(b == sizes[0] for b in sizes)  # constant along the path
+
+    def test_multiple_taps_all_invoked(self, setup):
+        system, alice, emu = setup
+        counts = [0, 0]
+        emu.taps.append(lambda *a: counts.__setitem__(0, counts[0] + 1))
+        emu.taps.append(lambda *a: counts.__setitem__(1, counts[1] + 1))
+        tunnel = system.form_tunnel(alice, length=2)
+        emu.send_through_tunnel(alice, tunnel, 42, b"x")
+        emu.simulator.run()
+        assert counts[0] == counts[1] > 0
+
+
+class TestContentTaps:
+    def test_exit_reveal_fires_once_with_destination(self, setup):
+        system, alice, emu = setup
+        reveals = []
+        emu.content_taps.append(lambda t, n, dest, b: reveals.append((n, dest)))
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(alice, tunnel, 4242, b"x")
+        emu.simulator.run()
+        assert trace.delivered
+        assert len(reveals) == 1
+        tail_node, dest = reveals[0]
+        assert dest == 4242
+        assert tail_node == system.network.closest_alive(tunnel.hops[-1].hop_id)
+
+
+class TestCoverTraffic:
+    def test_cover_messages_delivered_and_counted(self, setup):
+        system, alice, emu = setup
+        rng = random.Random(1)
+        traces = emu.inject_cover_traffic(rng, messages=10, size_bits=500,
+                                          over_seconds=5.0)
+        emu.simulator.run()
+        assert all(t.delivered for t in traces)
+        assert emu.net.delivered_count == 10
+
+    def test_cover_traffic_visible_to_taps(self, setup):
+        """The whole point: an observer cannot tell cover from real by
+        metadata — both arrive through the same tap."""
+        system, alice, emu = setup
+        events = []
+        emu.taps.append(lambda t, s, d, b: events.append(b))
+        rng = random.Random(2)
+        emu.inject_cover_traffic(rng, messages=5, size_bits=777, over_seconds=2.0)
+        emu.simulator.run()
+        assert events.count(777) == 5
+
+    def test_cover_traffic_costs_bandwidth(self, setup):
+        system, alice, emu = setup
+        rng = random.Random(3)
+        before = emu.net.bits_sent
+        emu.inject_cover_traffic(rng, messages=4, size_bits=1000, over_seconds=1.0)
+        emu.simulator.run()
+        assert emu.net.bits_sent == before + 4000
+
+    def test_cover_spread_over_interval(self, setup):
+        system, alice, emu = setup
+        rng = random.Random(4)
+        times = []
+        emu.taps.append(lambda t, s, d, b: times.append(t))
+        emu.inject_cover_traffic(rng, messages=20, size_bits=100, over_seconds=60.0)
+        emu.simulator.run()
+        assert max(times) - min(times) > 10.0

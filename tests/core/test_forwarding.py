@@ -1,0 +1,222 @@
+"""Tests for the tunneling engine: traversal, fail-over, hints, replies."""
+
+import random
+
+import pytest
+
+from repro.crypto.onion import build_reply_onion, make_fake_onion
+from repro.core.node import PendingReply
+from repro.crypto.asymmetric import RsaKeyPair
+
+
+@pytest.fixture()
+def system(tap_system):
+    return tap_system
+
+
+@pytest.fixture()
+def alice(system):
+    node = system.tap_node(system.random_node_id("alice"))
+    system.deploy_thas(node, count=12)
+    return node
+
+
+def _destination(system, label="dest"):
+    return system.random_node_id(label)
+
+
+class TestForwardTraversal:
+    def test_delivers_payload_to_destination_root(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3)
+        dest_key = 123456789
+        delivered = []
+        trace = system.forwarder.send(
+            alice, tunnel, dest_key, b"payload",
+            deliver=lambda nid, p: delivered.append((nid, p)),
+        )
+        assert trace.success
+        assert delivered == [(system.network.closest_alive(dest_key), b"payload")]
+        assert trace.overlay_hops == 3
+
+    def test_hop_nodes_are_replica_roots(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        for rec, tha in zip(trace.records, tunnel.hops):
+            assert rec.hop_id == tha.hop_id
+            assert rec.hop_node == system.network.closest_alive(tha.hop_id)
+            assert not rec.promoted
+
+    def test_underlying_path_continuous(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = system.send(alice, tunnel, 42, b"x")
+        path = trace.full_underlying_path()
+        assert path[0] == alice.node_id
+        assert path[-1] == system.network.closest_alive(42)
+        # consecutive entries differ (no zero-length hops kept)
+        assert all(a != b for a, b in zip(path, path[1:]))
+
+    def test_single_hop_tunnel(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=1)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success and trace.overlay_hops == 1
+
+
+class TestFaultTolerance:
+    def test_survives_hop_node_failure(self, system, alice):
+        """The headline claim: tunnels keep working when tunnel hop
+        nodes fail, because routing lands on the promoted candidate."""
+        tunnel = system.form_tunnel(alice, length=3)
+        for tha in tunnel.hops:
+            system.fail_node(system.network.closest_alive(tha.hop_id))
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        assert all(rec.promoted for rec in trace.records)
+
+    def test_survives_repeated_failures_with_repair(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3)
+        for _round in range(3):
+            for tha in tunnel.hops:
+                system.fail_node(system.network.closest_alive(tha.hop_id))
+            trace = system.send(alice, tunnel, 42, b"x")
+            assert trace.success, trace.failure_reason
+
+    def test_breaks_when_all_replicas_fail_simultaneously(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3)
+        victim_hop = tunnel.hops[1]
+        holders = list(system.store.holders(victim_hop.hop_id))
+        system.fail_nodes(holders, repair_after=False)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert not trace.success
+        assert "no THA replica" in trace.failure_reason
+
+    def test_current_tunneling_breaks_where_tap_survives(self, system, alice):
+        """Head-to-head on the same failure: the fixed-node baseline
+        dies, TAP lives."""
+        from repro.baselines.fixed_tunnel import form_fixed_tunnel
+
+        rng = random.Random(1)
+        tunnel = system.form_tunnel(alice, length=3)
+        roots = [system.network.closest_alive(t.hop_id) for t in tunnel.hops]
+        fixed = form_fixed_tunnel(roots, 3, rng)
+
+        system.fail_node(roots[1])
+
+        assert not fixed.functions(system.network.is_alive)
+        ok, _, payload = fixed.send(42, b"x", system.network.is_alive)
+        assert not ok
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+
+
+class TestIpHints:
+    def test_hints_used_when_fresh(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3, use_hints=True)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        assert all(rec.via_hint for rec in trace.records)
+        # each hinted hop is exactly one physical link
+        for rec in trace.records:
+            assert len(rec.underlying_path) == 2
+
+    def test_hint_shorter_than_basic(self, system, alice):
+        hinted = system.form_tunnel(alice, length=3, use_hints=True)
+        t1 = system.send(alice, hinted, 42, b"x")
+        basic = system.form_tunnel(alice, length=3, use_hints=False)
+        t2 = system.send(alice, basic, 42, b"x")
+        assert t1.underlying_hops <= t2.underlying_hops
+
+    def test_stale_hint_falls_back_to_dht(self, system, alice):
+        tunnel = system.form_tunnel(alice, length=3, use_hints=True)
+        victim_root = system.network.closest_alive(tunnel.hops[1].hop_id)
+        system.fail_node(victim_root)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        stale = trace.records[1]
+        assert stale.hint_failed and not stale.via_hint
+        assert stale.promoted
+
+    def test_displaced_root_still_serves_via_hint(self, system, alice):
+        """A hinted node that lost root status but kept its replica
+        (it is still in the k-closest set) legitimately serves the
+        hop — decoupling hop identity from a specific node."""
+        tunnel = system.form_tunnel(alice, length=2, use_hints=True)
+        hop = tunnel.hops[0]
+        old_root = system.network.closest_alive(hop.hop_id)
+        new_id = hop.hop_id + 1
+        system.join_node(new_id)
+        assert system.network.closest_alive(hop.hop_id) == new_id
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        first = trace.records[0]
+        assert first.via_hint and first.hop_node == old_root
+
+    def test_alive_but_evicted_hint_routes_onward(self, system, alice):
+        """A hinted node that is alive but lost its replica entirely
+        (pushed out of the k-closest set by joins) forwards the message
+        into the DHT from where it sits (§5 fallback)."""
+        tunnel = system.form_tunnel(alice, length=2, use_hints=True)
+        hop = tunnel.hops[0]
+        old_root = system.network.closest_alive(hop.hop_id)
+        # Join k nodes closer to the hopid than the old root: it drops
+        # out of the replica set and its copy is handed off.
+        for off in range(1, system.store.k + 1):
+            system.join_node(hop.hop_id + off)
+        assert old_root not in system.store.replica_set(hop.hop_id)
+        assert not system.store.storage_of(old_root).contains(hop.hop_id)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        first = trace.records[0]
+        assert first.hint_failed and not first.via_hint
+        assert first.hop_node == system.network.closest_alive(hop.hop_id)
+        # fallback started from the hinted node, not the initiator
+        assert first.underlying_path[1] == old_root
+
+
+class TestReplyTraversal:
+    def test_reply_reaches_initiator(self, system, alice):
+        reply_tunnel = system.form_reply_tunnel(alice, length=3)
+        fake = make_fake_onion(random.Random(1))
+        first_hop, blob = build_reply_onion(
+            reply_tunnel.onion_layers(), reply_tunnel.bid, fake
+        )
+        got = []
+        alice.register_pending(PendingReply(
+            bid=reply_tunnel.bid,
+            temp_keypair=RsaKeyPair.generate(random.Random(2), 512),
+            reply_hops=reply_tunnel.hop_ids,
+            callback=got.append,
+        ))
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"answer")
+        assert trace.success
+        assert trace.destination == alice.node_id
+        assert got == [b"answer"]
+
+    def test_reply_survives_hop_failure(self, system, alice):
+        reply_tunnel = system.form_reply_tunnel(alice, length=3)
+        fake = make_fake_onion(random.Random(1))
+        first_hop, blob = build_reply_onion(
+            reply_tunnel.onion_layers(), reply_tunnel.bid, fake
+        )
+        alice.register_pending(PendingReply(
+            bid=reply_tunnel.bid,
+            temp_keypair=RsaKeyPair.generate(random.Random(2), 512),
+            reply_hops=reply_tunnel.hop_ids,
+        ))
+        system.fail_node(system.network.closest_alive(reply_tunnel.hops[1].hop_id))
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"answer")
+        assert trace.success
+
+    def test_unclaimed_bid_breaks(self, system, alice):
+        """Without a pending-reply registration the last leg lands on a
+        node with neither a THA nor a pending bid."""
+        reply_tunnel = system.form_reply_tunnel(alice, length=2)
+        fake = make_fake_onion(random.Random(1))
+        first_hop, blob = build_reply_onion(
+            reply_tunnel.onion_layers(), reply_tunnel.bid, fake
+        )
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"answer")
+        assert not trace.success

@@ -1,0 +1,121 @@
+"""Tests for CPU-puzzle deployment charging (§3.3 DoS defence)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.puzzles import (
+    PuzzleError,
+    PuzzlePolicy,
+    _leading_zero_bits,
+    solve_puzzle,
+    verify_puzzle,
+)
+
+
+class TestLeadingZeroBits:
+    def test_all_zero(self):
+        assert _leading_zero_bits(b"\x00\x00") == 16
+
+    def test_high_bit_set(self):
+        assert _leading_zero_bits(b"\x80") == 0
+
+    def test_partial(self):
+        assert _leading_zero_bits(b"\x00\x10") == 11  # 8 + 3
+
+    def test_one(self):
+        assert _leading_zero_bits(b"\x01") == 7
+
+
+class TestSolveVerify:
+    @given(hop_id=st.integers(min_value=0, max_value=(1 << 128) - 1),
+           difficulty=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_solutions_verify(self, hop_id, difficulty):
+        nonce = solve_puzzle(hop_id, difficulty)
+        assert verify_puzzle(hop_id, nonce, difficulty)
+
+    def test_zero_difficulty_free(self):
+        assert solve_puzzle(123, 0) == 0
+        assert verify_puzzle(123, 999, 0)
+
+    def test_wrong_nonce_rejected(self):
+        nonce = solve_puzzle(42, 8)
+        # a different hopid invalidates the proof
+        assert not verify_puzzle(43, nonce, 8) or solve_puzzle(43, 8) == nonce
+
+    def test_difficulty_monotone_in_verification(self):
+        nonce = solve_puzzle(42, 10)
+        assert verify_puzzle(42, nonce, 10)
+        assert verify_puzzle(42, nonce, 5)  # easier bar also passes
+
+    def test_out_of_range_difficulty(self):
+        with pytest.raises(PuzzleError):
+            solve_puzzle(1, -1)
+        with pytest.raises(PuzzleError):
+            solve_puzzle(1, 65)
+
+    def test_max_attempts_bound(self):
+        with pytest.raises(PuzzleError):
+            solve_puzzle(1, 30, max_attempts=4)
+
+    def test_invalid_nonce_range(self):
+        assert not verify_puzzle(1, -1, 4)
+        assert not verify_puzzle(1, 1 << 64, 4)
+
+    def test_work_scales_with_difficulty(self):
+        """Statistically, harder puzzles need larger nonces (more
+        attempts) — the charging property."""
+        easy = [solve_puzzle(h, 4) for h in range(200, 240)]
+        hard = [solve_puzzle(h, 10) for h in range(200, 240)]
+        assert sum(hard) / len(hard) > 5 * (sum(easy) / len(easy) + 1)
+
+
+class TestPolicy:
+    def test_disabled_by_default(self):
+        policy = PuzzlePolicy()
+        assert not policy.enabled
+        assert policy.expected_work() == 0
+        assert policy.admit(1, 0)
+
+    def test_charge_and_admit(self):
+        policy = PuzzlePolicy(difficulty=8)
+        nonce = policy.charge(777)
+        assert policy.admit(777, nonce)
+        assert not policy.admit(778, nonce) or policy.charge(778) == nonce
+
+    def test_expected_work(self):
+        assert PuzzlePolicy(difficulty=10).expected_work() == 1024
+
+
+class TestDeploymentIntegration:
+    def test_charged_deployment_succeeds(self, tap_system):
+        """Honest deployment with charging enabled works end to end."""
+        tap_system.deployer.puzzle_policy = PuzzlePolicy(difficulty=6)
+        alice = tap_system.tap_node(tap_system.random_node_id("alice"))
+        report = tap_system.deploy_thas(alice, count=3)
+        assert len(report.deployed) == 3
+
+    def test_unpaid_deployment_rejected(self, tap_system):
+        """A flooder skipping the charge is refused by storing nodes."""
+        from repro.core.deploy import DeploymentError
+
+        class CheatingPolicy(PuzzlePolicy):
+            """Flooder behaviour: claims a zero nonce instead of
+            paying the CPU cost; verification still enforces it."""
+
+            def charge(self, hop_id: int) -> int:  # type: ignore[override]
+                return 0
+
+        deployer = tap_system.deployer
+        deployer.puzzle_policy = CheatingPolicy(difficulty=16)
+        alice = tap_system.tap_node(tap_system.random_node_id("alice"))
+        thas = [alice.new_tha()]
+        candidates = [
+            tap_system.tap_node(nid)
+            for nid in tap_system.network.alive_ids[:10]
+            if nid != alice.node_id
+        ]
+        with pytest.raises(DeploymentError):
+            deployer.deploy(alice, thas, candidates, max_attempts=2)
+        assert not thas[0].deployed

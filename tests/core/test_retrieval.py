@@ -1,0 +1,141 @@
+"""Tests for the §4 anonymous file retrieval application."""
+
+import pytest
+
+
+@pytest.fixture()
+def system(tap_system):
+    return tap_system
+
+
+@pytest.fixture()
+def alice(system):
+    node = system.tap_node(system.random_node_id("alice"))
+    system.deploy_thas(node, count=12)
+    return node
+
+
+@pytest.fixture()
+def published(system):
+    content = b"file-content " * 100
+    fid = system.publish(content, name=b"paper.pdf")
+    return fid, content
+
+
+class TestHappyPath:
+    def test_end_to_end(self, system, alice, published):
+        fid, content = published
+        fwd = system.form_tunnel(alice, length=3)
+        rpl = system.form_reply_tunnel(alice, length=3)
+        result = system.retrieve(alice, fid, fwd, rpl)
+        assert result.success, result.failure_reason
+        assert result.content == content
+
+    def test_request_and_reply_use_different_tunnels(self, system, alice, published):
+        """§4: the reply tunnel differs from the request tunnel to
+        hinder request/reply correlation."""
+        fid, _ = published
+        fwd = system.form_tunnel(alice, length=3)
+        rpl = system.form_reply_tunnel(alice, length=3)
+        assert set(fwd.hop_ids).isdisjoint(rpl.hop_ids)
+        result = system.retrieve(alice, fid, fwd, rpl)
+        fwd_hops = [r.hop_id for r in result.forward_trace.records]
+        rpl_hops = [r.hop_id for r in result.reply_trace.records]
+        assert set(fwd_hops).isdisjoint(rpl_hops)
+
+    def test_reply_ends_at_initiator_via_bid(self, system, alice, published):
+        fid, _ = published
+        result = system.retrieve(
+            alice, fid,
+            system.form_tunnel(alice, length=2),
+            system.form_reply_tunnel(alice, length=2),
+        )
+        assert result.reply_trace.destination == alice.node_id
+        # reply walked 2 hops + the bid leg
+        assert result.reply_trace.overlay_hops == 3
+
+    def test_pending_state_cleaned_up(self, system, alice, published):
+        fid, _ = published
+        rpl = system.form_reply_tunnel(alice, length=2)
+        system.retrieve(alice, fid, system.form_tunnel(alice, length=2), rpl)
+        assert rpl.bid not in alice.pending_replies
+
+    def test_responder_is_fid_root(self, system, alice, published):
+        fid, _ = published
+        result = system.retrieve(
+            alice, fid,
+            system.form_tunnel(alice, length=2),
+            system.form_reply_tunnel(alice, length=2),
+        )
+        assert result.forward_trace.exit_path[-1] == system.network.closest_alive(fid)
+
+
+class TestFailureModes:
+    def test_missing_file(self, system, alice):
+        bogus_fid = 777777
+        result = system.retrieve(
+            alice, bogus_fid,
+            system.form_tunnel(alice, length=2),
+            system.form_reply_tunnel(alice, length=2),
+        )
+        assert not result.success
+        assert "responder" in result.failure_reason
+
+    def test_forward_tunnel_hop_lost(self, system, alice, published):
+        fid, _ = published
+        fwd = system.form_tunnel(alice, length=3)
+        holders = list(system.store.holders(fwd.hops[0].hop_id))
+        system.fail_nodes(holders, repair_after=False)
+        result = system.retrieve(
+            alice, fid, fwd, system.form_reply_tunnel(alice, length=3)
+        )
+        assert not result.success
+        assert result.failure_reason.startswith("forward")
+
+    def test_reply_tunnel_hop_lost(self, system, alice, published):
+        fid, _ = published
+        rpl = system.form_reply_tunnel(alice, length=3)
+        holders = list(system.store.holders(rpl.hops[1].hop_id))
+        system.fail_nodes(holders, repair_after=False)
+        result = system.retrieve(
+            alice, fid, system.form_tunnel(alice, length=3), rpl
+        )
+        assert not result.success
+        assert result.failure_reason.startswith("reply")
+
+    def test_retrieval_survives_hop_node_failures(self, system, alice, published):
+        """The paper's motivating scenario: individual tunnel hop
+        nodes fail (with repair) and the retrieval still completes."""
+        fid, content = published
+        fwd = system.form_tunnel(alice, length=3)
+        rpl = system.form_reply_tunnel(alice, length=3)
+        system.fail_node(system.network.closest_alive(fwd.hops[1].hop_id))
+        system.fail_node(system.network.closest_alive(rpl.hops[0].hop_id))
+        result = system.retrieve(alice, fid, fwd, rpl)
+        assert result.success, result.failure_reason
+        assert result.content == content
+
+
+class TestAccounting:
+    def test_underlying_hops_positive(self, system, alice, published):
+        fid, _ = published
+        result = system.retrieve(
+            alice, fid,
+            system.form_tunnel(alice, length=2),
+            system.form_reply_tunnel(alice, length=2),
+        )
+        assert result.total_underlying_hops >= result.forward_trace.overlay_hops
+
+    def test_optimised_tunnels_cut_hops(self, system, alice, published):
+        fid, _ = published
+        basic = system.retrieve(
+            alice, fid,
+            system.form_tunnel(alice, length=3),
+            system.form_reply_tunnel(alice, length=3),
+        )
+        hinted = system.retrieve(
+            alice, fid,
+            system.form_tunnel(alice, length=3, use_hints=True),
+            system.form_reply_tunnel(alice, length=3),
+        )
+        assert hinted.forward_trace.underlying_hops <= basic.forward_trace.underlying_hops

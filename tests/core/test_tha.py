@@ -1,0 +1,90 @@
+"""Tests for tunnel hop anchors (§3.1–§3.2)."""
+
+import random
+
+import pytest
+
+from repro.core.tha import (
+    OwnedTha,
+    TunnelHopAnchor,
+    generate_tha,
+    tha_value_decode,
+    tha_value_encode,
+)
+from repro.crypto.hashing import hash_password, verify_password
+from repro.crypto.symmetric import SymmetricKey
+
+
+class TestGeneration:
+    def test_owner_holds_secrets(self):
+        tha = generate_tha(b"node-a", b"hkey", 1, random.Random(1))
+        assert verify_password(tha.pw, tha.anchor.pw_hash)
+        assert not tha.deployed
+        assert tha.created_at == 1
+
+    def test_hopid_node_specific(self):
+        a = generate_tha(b"node-a", b"hkey", 1, random.Random(1))
+        b = generate_tha(b"node-b", b"hkey", 1, random.Random(1))
+        assert a.hop_id != b.hop_id
+
+    def test_hopid_unlinkable_without_hkey(self):
+        """Same node, same time, different hkey -> different hopid: an
+        observer who knows node identifiers but not hkeys cannot link
+        by recomputation (§3.2)."""
+        a = generate_tha(b"node-a", b"hkey1", 1, random.Random(1))
+        b = generate_tha(b"node-a", b"hkey2", 1, random.Random(1))
+        assert a.hop_id != b.hop_id
+
+    def test_timestamps_give_fresh_hopids(self):
+        rng = random.Random(1)
+        ids = {generate_tha(b"n", b"h", t, rng).hop_id for t in range(100)}
+        assert len(ids) == 100
+
+    def test_key_and_pw_are_random_not_derived(self):
+        a = generate_tha(b"n", b"h", 1, random.Random(1))
+        b = generate_tha(b"n", b"h", 1, random.Random(2))
+        assert a.hop_id == b.hop_id  # deterministic hash
+        assert a.anchor.key != b.anchor.key  # random material
+        assert a.pw != b.pw
+
+    def test_no_collisions_across_many_nodes(self):
+        rng = random.Random(3)
+        hopids = {
+            generate_tha(f"node-{n}".encode(), b"h", t, rng).hop_id
+            for n in range(40)
+            for t in range(25)
+        }
+        assert len(hopids) == 1000
+
+
+class TestAnchorValidation:
+    def test_pw_hash_length_enforced(self):
+        with pytest.raises(ValueError):
+            TunnelHopAnchor(1, SymmetricKey(b"k" * 16), b"short")
+
+    def test_frozen(self):
+        anchor = TunnelHopAnchor(1, SymmetricKey(b"k" * 16), hash_password(b"x"))
+        with pytest.raises(AttributeError):
+            anchor.hop_id = 2  # type: ignore[misc]
+
+
+class TestValueEncoding:
+    def test_roundtrip(self):
+        tha = generate_tha(b"n", b"h", 1, random.Random(1))
+        blob = tha_value_encode(tha.anchor)
+        decoded = tha_value_decode(tha.hop_id, blob)
+        assert decoded == tha.anchor
+
+    def test_value_contains_key_and_pw_hash_only(self):
+        """The stored 'file content' is K + H(PW) (§3.1): the PW itself
+        must never be serialised."""
+        tha = generate_tha(b"n", b"h", 1, random.Random(1))
+        blob = tha_value_encode(tha.anchor)
+        assert tha.anchor.key.key_bytes in blob
+        assert tha.anchor.pw_hash in blob
+        assert tha.pw not in blob
+
+    def test_owned_accessors(self):
+        tha = generate_tha(b"n", b"h", 7, random.Random(1))
+        assert tha.hop_id == tha.anchor.hop_id
+        assert tha.key is tha.anchor.key

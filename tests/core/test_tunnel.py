@@ -1,0 +1,107 @@
+"""Tests for tunnel formation and scattered anchor selection (§3.5)."""
+
+import random
+
+import pytest
+
+from repro.core.tha import generate_tha
+from repro.core.tunnel import ReplyTunnel, Tunnel, TunnelFormationError, select_scattered
+from repro.util.ids import id_digit
+
+
+def _thas(count, deployed=True, seed=1):
+    rng = random.Random(seed)
+    out = []
+    for t in range(count):
+        tha = generate_tha(b"node", b"hkey", t, rng)
+        tha.deployed = deployed
+        out.append(tha)
+    return out
+
+
+class TestTunnel:
+    def test_requires_hops(self):
+        with pytest.raises(TunnelFormationError):
+            Tunnel(hops=[])
+
+    def test_hint_defaults(self):
+        t = Tunnel(hops=_thas(3))
+        assert t.hint_ips == [None, None, None]
+
+    def test_hint_length_checked(self):
+        with pytest.raises(ValueError):
+            Tunnel(hops=_thas(3), hint_ips=["1.2.3.4"])
+
+    def test_hop_ids_and_length(self):
+        thas = _thas(4)
+        t = Tunnel(hops=thas)
+        assert t.length == 4
+        assert t.hop_ids == [x.hop_id for x in thas]
+
+    def test_onion_layers_carry_keys_and_hints(self):
+        thas = _thas(2)
+        t = Tunnel(hops=thas, hint_ips=["10.0.0.1", None])
+        layers = t.onion_layers()
+        assert layers[0].hop_id == thas[0].hop_id
+        assert layers[0].key is thas[0].anchor.key
+        assert layers[0].ip_hint == "10.0.0.1"
+        assert layers[1].ip_hint == ""
+
+
+class TestReplyTunnel:
+    def test_requires_bid(self):
+        with pytest.raises(ValueError):
+            ReplyTunnel(hops=_thas(2))
+
+    def test_carries_bid(self):
+        t = ReplyTunnel(hops=_thas(2), bid=99)
+        assert t.bid == 99
+
+
+class TestSelectScattered:
+    def test_needs_enough_deployed(self):
+        thas = _thas(5, deployed=False)
+        with pytest.raises(TunnelFormationError):
+            select_scattered(thas, 3, random.Random(1))
+
+    def test_ignores_undeployed(self):
+        thas = _thas(3) + _thas(3, deployed=False, seed=2)
+        chosen = select_scattered(thas, 3, random.Random(1))
+        assert all(t.deployed for t in chosen)
+
+    def test_selects_requested_count_distinct(self):
+        thas = _thas(30)
+        chosen = select_scattered(thas, 5, random.Random(1))
+        assert len(chosen) == 5
+        assert len({id(t) for t in chosen}) == 5
+
+    def test_prefixes_scatter_when_possible(self):
+        """With enough prefix diversity, chosen hopids must have
+        pairwise-distinct leading digits (§3.5)."""
+        thas = _thas(200, seed=5)
+        for _ in range(10):
+            chosen = select_scattered(thas, 5, random.Random(2))
+            prefixes = [id_digit(t.hop_id, 0) for t in chosen]
+            assert len(set(prefixes)) == 5
+
+    def test_relaxes_when_fewer_groups_than_hops(self):
+        # All anchors share the leading digit -> scattering impossible,
+        # selection must still succeed.
+        thas = [t for t in _thas(300, seed=7) if id_digit(t.hop_id, 0) == 3]
+        assert len(thas) >= 4
+        chosen = select_scattered(thas, 4, random.Random(3))
+        assert len(chosen) == 4
+
+    def test_deterministic_per_rng(self):
+        thas = _thas(50)
+        a = select_scattered(thas, 5, random.Random(9))
+        b = select_scattered(thas, 5, random.Random(9))
+        assert [t.hop_id for t in a] == [t.hop_id for t in b]
+
+    def test_multi_digit_scatter(self):
+        thas = _thas(300, seed=11)
+        chosen = select_scattered(
+            thas, 4, random.Random(1), scatter_digits=2
+        )
+        pairs = [(id_digit(t.hop_id, 0), id_digit(t.hop_id, 1)) for t in chosen]
+        assert len(set(pairs)) == 4

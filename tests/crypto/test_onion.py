@@ -1,0 +1,156 @@
+"""Tests for layered onion construction/peeling (§2, §4, §5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.onion import (
+    OnionLayer,
+    build_onion,
+    build_reply_onion,
+    make_fake_onion,
+    peel_layer,
+)
+from repro.crypto.symmetric import CipherError, SymmetricKey
+
+
+def _layers(n: int, with_hints: bool = False) -> list[OnionLayer]:
+    out = []
+    for i in range(n):
+        key = SymmetricKey(bytes([i + 1]) * 16)
+        hint = f"10.0.0.{i + 1}" if with_hints else ""
+        out.append(OnionLayer(hop_id=1000 + i, key=key, ip_hint=hint))
+    return out
+
+
+class TestForwardOnion:
+    def test_three_hop_structure(self):
+        """Mirrors Fig. 1: {h2, {h3, {D, m}K3}K2}K1."""
+        layers = _layers(3)
+        blob = build_onion(layers, destination_id=77, payload=b"m")
+
+        p1 = peel_layer(layers[0].key, blob)
+        assert not p1.is_exit and p1.next_id == layers[1].hop_id
+
+        p2 = peel_layer(layers[1].key, p1.inner)
+        assert not p2.is_exit and p2.next_id == layers[2].hop_id
+
+        p3 = peel_layer(layers[2].key, p2.inner)
+        assert p3.is_exit and p3.next_id == 77 and p3.inner == b"m"
+
+    def test_single_hop(self):
+        layers = _layers(1)
+        p = peel_layer(layers[0].key, build_onion(layers, 5, b"x"))
+        assert p.is_exit and p.next_id == 5 and p.inner == b"x"
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            build_onion([], 5, b"x")
+
+    def test_hints_ride_in_layers(self):
+        layers = _layers(3, with_hints=True)
+        blob = build_onion(layers, 77, b"m")
+        p1 = peel_layer(layers[0].key, blob)
+        # Layer 1 reveals the *next* hop's hint.
+        assert p1.ip_hint == layers[1].ip_hint
+        p2 = peel_layer(layers[1].key, p1.inner)
+        assert p2.ip_hint == layers[2].ip_hint
+
+    def test_wrong_key_cannot_peel(self):
+        layers = _layers(2)
+        blob = build_onion(layers, 1, b"x")
+        with pytest.raises(CipherError):
+            peel_layer(layers[1].key, blob)
+
+    def test_intermediate_hop_cannot_see_payload(self):
+        layers = _layers(3)
+        blob = build_onion(layers, 77, b"super-secret")
+        p1 = peel_layer(layers[0].key, blob)
+        assert b"super-secret" not in p1.inner
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        payload=st.binary(max_size=100),
+        dest=st.integers(min_value=0, max_value=(1 << 128) - 1),
+    )
+    @settings(max_examples=50)
+    def test_full_peel_recovers_payload(self, n, payload, dest):
+        layers = _layers(n)
+        blob = build_onion(layers, dest, payload)
+        for layer in layers[:-1]:
+            p = peel_layer(layer.key, blob)
+            assert not p.is_exit
+            blob = p.inner
+        final = peel_layer(layers[-1].key, blob)
+        assert final.is_exit and final.next_id == dest and final.inner == payload
+
+
+class TestReplyOnion:
+    def test_structure_all_relay(self):
+        """T_r = {hid1,{hid2,{hid3,{bid, fakeonion}K3}K2}K1}: every
+        layer, including the last, peels to a RELAY — the tail cannot
+        recognise itself (§4)."""
+        layers = _layers(3)
+        fake = make_fake_onion(random.Random(0))
+        first, blob = build_reply_onion(layers, bid=4242, fake_onion=fake)
+        assert first == layers[0].hop_id
+
+        p1 = peel_layer(layers[0].key, blob)
+        assert not p1.is_exit and p1.next_id == layers[1].hop_id
+        p2 = peel_layer(layers[1].key, p1.inner)
+        assert not p2.is_exit and p2.next_id == layers[2].hop_id
+        p3 = peel_layer(layers[2].key, p2.inner)
+        assert not p3.is_exit  # indistinguishable from one more hop
+        assert p3.next_id == 4242
+        assert p3.inner == fake
+
+    def test_fake_onion_required(self):
+        with pytest.raises(ValueError):
+            build_reply_onion(_layers(2), bid=1, fake_onion=b"")
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            build_reply_onion([], bid=1, fake_onion=b"x")
+
+    def test_fake_onion_unpeelable(self):
+        """Treating the fakeonion as a real layer fails exactly like a
+        layer sealed under an unknown key."""
+        layers = _layers(1)
+        fake = make_fake_onion(random.Random(0))
+        _, blob = build_reply_onion(layers, bid=1, fake_onion=fake)
+        p = peel_layer(layers[0].key, blob)
+        with pytest.raises(CipherError):
+            peel_layer(SymmetricKey(b"z" * 16), p.inner)
+
+
+class TestFakeOnion:
+    def test_sized_like_layers(self):
+        small = make_fake_onion(random.Random(0), approx_layers=1)
+        big = make_fake_onion(random.Random(0), approx_layers=4)
+        assert len(big) > len(small)
+
+    def test_random_content(self):
+        a = make_fake_onion(random.Random(1))
+        b = make_fake_onion(random.Random(2))
+        assert a != b
+
+    def test_deterministic_per_seed(self):
+        assert make_fake_onion(random.Random(3)) == make_fake_onion(random.Random(3))
+
+
+class TestMalformedLayers:
+    def test_garbage_plaintext_rejected(self):
+        key = SymmetricKey(b"k" * 16)
+        sealed = key.seal(b"not a valid layer")
+        with pytest.raises(CipherError):
+            peel_layer(key, sealed)
+
+    def test_unknown_tag_rejected(self):
+        from repro.util.serialize import pack_fields, pack_int
+
+        key = SymmetricKey(b"k" * 16)
+        bogus = key.seal(pack_fields(b"X", pack_int(1), b"", b"inner"))
+        with pytest.raises(CipherError):
+            peel_layer(key, bogus)

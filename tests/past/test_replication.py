@@ -1,0 +1,205 @@
+"""Tests for the k-closest replication manager."""
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import hash_password
+from repro.past.replication import ReplicatedStore, ReplicationError
+from repro.past.storage import StorageError
+from repro.util.ids import random_id
+from tests.conftest import build_network
+
+
+@pytest.fixture()
+def store():
+    net = build_network(80, seed=13)
+    return ReplicatedStore(net, replication_factor=3)
+
+
+def _insert_many(store, count, seed=1):
+    rng = random.Random(seed)
+    keys = []
+    for _ in range(count):
+        key = random_id(rng)
+        store.insert(key, f"v{key}".encode())
+        keys.append(key)
+    return keys
+
+
+class TestInsertFetch:
+    def test_insert_places_on_k_closest(self, store):
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        assert store.holders(key) == set(store.replica_set(key))
+        assert len(store.holders(key)) == 3
+
+    def test_replicas_are_real_node_local_objects(self, store):
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        for nid in store.holders(key):
+            assert store.storage_of(nid).lookup(key).value == b"v"
+
+    def test_fetch_returns_value(self, store):
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        assert store.fetch(key).value == b"v"
+
+    def test_duplicate_insert_rejected(self, store):
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        with pytest.raises(ReplicationError):
+            store.insert(key, b"w")
+
+    def test_fetch_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.fetch(12345)
+
+    def test_root_is_closest(self, store):
+        key = random_id(random.Random(2))
+        assert store.root(key) == store.network.closest_alive(key)
+
+    def test_invalid_k_rejected(self):
+        net = build_network(10, seed=1)
+        with pytest.raises(ValueError):
+            ReplicatedStore(net, replication_factor=0)
+
+    def test_access_control_outside_replica_set(self, store):
+        """§3.1: only replica-set nodes may read a THA via the overlay."""
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        outsider = next(
+            nid for nid in store.network.alive_ids
+            if nid not in store.replica_set(key)
+        )
+        with pytest.raises(ReplicationError):
+            store.fetch(key, requester_id=outsider)
+
+    def test_access_control_inside_replica_set(self, store):
+        key = random_id(random.Random(2))
+        store.insert(key, b"v")
+        member = store.replica_set(key)[1]
+        assert store.fetch(key, requester_id=member).value == b"v"
+
+
+class TestDelete:
+    def test_delete_with_pw(self, store):
+        key = random_id(random.Random(3))
+        store.insert(key, b"v", delete_proof_hash=hash_password(b"pw"))
+        assert store.delete(key, b"pw")
+        assert not store.exists(key)
+        for nid in store.network.alive_ids:
+            assert not store.storage_of(nid).contains(key)
+
+    def test_delete_wrong_pw_fails_everywhere(self, store):
+        key = random_id(random.Random(3))
+        store.insert(key, b"v", delete_proof_hash=hash_password(b"pw"))
+        assert not store.delete(key, b"bad")
+        assert store.exists(key)
+
+    def test_delete_missing_key(self, store):
+        assert not store.delete(999, b"pw")
+
+
+class TestFailureRepair:
+    def test_root_failure_promotes_candidate(self, store):
+        key = random_id(random.Random(4))
+        store.insert(key, b"v")
+        old_root = store.root(key)
+        store.network.fail(old_root)
+        store.on_fail(old_root)
+        new_root = store.root(key)
+        assert new_root != old_root
+        assert store.storage_of(new_root).contains(key)
+        assert store.fetch(key).value == b"v"
+
+    def test_invariant_restored_after_each_failure(self, store):
+        keys = _insert_many(store, 30)
+        rng = random.Random(5)
+        for _ in range(15):
+            victim = rng.choice(store.network.alive_ids)
+            store.network.fail(victim)
+            store.on_fail(victim)
+        assert store.verify_invariants() == []
+        for key in keys:
+            assert store.fetch(key).value == f"v{key}".encode()
+
+    def test_simultaneous_failure_of_all_replicas_loses_object(self, store):
+        key = random_id(random.Random(6))
+        store.insert(key, b"v")
+        holders = list(store.holders(key))
+        for nid in holders:  # all fail before any repair
+            store.network.fail(nid)
+        for nid in holders:
+            store.on_fail(nid)
+        assert not store.exists(key)
+        with pytest.raises(StorageError):
+            store.fetch(key)
+
+    def test_partial_replica_failure_keeps_object(self, store):
+        key = random_id(random.Random(7))
+        store.insert(key, b"v")
+        holders = list(store.holders(key))
+        for nid in holders[:-1]:  # leave one survivor
+            store.network.fail(nid)
+        for nid in holders[:-1]:
+            store.on_fail(nid)
+        assert store.exists(key)
+        assert store.fetch(key).value == b"v"
+        assert store.verify_invariants() == []
+
+
+class TestJoinHandoff:
+    def test_join_inside_replica_arc_receives_copy(self, store):
+        key = random_id(random.Random(8))
+        store.insert(key, b"v")
+        # Craft a newcomer id right next to the key: it must become root.
+        new_id = key + 1 if key + 1 not in store.network.nodes else key + 2
+        store.network.join(new_id)
+        store.on_join(new_id)
+        assert store.root(key) == new_id
+        assert store.storage_of(new_id).contains(key)
+        assert store.verify_invariants() == []
+
+    def test_join_far_away_changes_nothing(self, store):
+        keys = _insert_many(store, 10, seed=9)
+        before = {k: store.holders(k) for k in keys}
+        # Pick an id maximally far from every key (just a random one
+        # that lands in no replica set).
+        rng = random.Random(10)
+        while True:
+            new_id = random_id(rng)
+            if all(
+                new_id not in store.replica_set(k) for k in keys
+            ) and new_id not in store.network.nodes:
+                break
+        store.network.join(new_id)
+        store.on_join(new_id)
+        after = {k: store.holders(k) for k in keys}
+        assert before == after
+
+    def test_displaced_holder_dropped(self, store):
+        key = random_id(random.Random(11))
+        store.insert(key, b"v")
+        displaced = store.replica_set(key)[-1]
+        new_id = key + 1 if key + 1 not in store.network.nodes else key + 2
+        store.network.join(new_id)
+        store.on_join(new_id)
+        assert displaced not in store.holders(key)
+        assert not store.storage_of(displaced).contains(key)
+
+    def test_churn_sequence_preserves_invariants(self, store):
+        keys = _insert_many(store, 25, seed=12)
+        # NB: seed must differ from the network-build seed (13) or the
+        # id stream regenerates existing node ids.
+        rng = random.Random(777)
+        for step in range(10):
+            victim = rng.choice(store.network.alive_ids)
+            store.network.fail(victim)
+            store.on_fail(victim)
+            new_id = random_id(rng)
+            store.network.join(new_id)
+            store.on_join(new_id)
+        assert store.verify_invariants() == []
+        for key in keys:
+            assert store.fetch(key).value == f"v{key}".encode()

@@ -1,0 +1,140 @@
+"""Hypothesis stateful testing of the overlay + replication invariants.
+
+A random interleaving of joins, failures, inserts and deletes must
+never violate:
+
+* the alive-id list matches per-node liveness flags;
+* every stored object's live holders are exactly the k closest alive
+  nodes (after the corresponding repair hook ran);
+* routing from any alive node reaches the numerically closest node;
+* objects with at least one surviving holder remain fetchable with
+  their original value; deletion requires the right password.
+
+This is the strongest correctness net over the substrate: hypothesis
+explores operation orders no hand-written scenario covers.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.crypto.hashing import hash_password
+from repro.past.replication import ReplicatedStore
+from repro.pastry.network import PastryNetwork
+from repro.util.ids import random_id
+
+MIN_ALIVE = 12  # keep the overlay routable (> leaf-set half + margin)
+
+
+class ReplicationMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.rng = random.Random(0xC0FFEE)
+        self.expected: dict[int, bytes] = {}  # key -> value for live objects
+        self.passwords: dict[int, bytes] = {}
+
+    @initialize()
+    def setup(self):
+        ids = {random_id(self.rng) for _ in range(30)}
+        self.network = PastryNetwork.build(ids)
+        self.store = ReplicatedStore(self.network, replication_factor=3)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    @rule(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def insert_object(self, seed):
+        key = random_id(random.Random(seed))
+        if self.store.exists(key) or key in self.expected:
+            return
+        value = f"value-{seed}".encode()
+        pw = f"pw-{seed}".encode()
+        self.store.insert(key, value, delete_proof_hash=hash_password(pw))
+        self.expected[key] = value
+        self.passwords[key] = pw
+
+    @rule(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def join_node(self, seed):
+        new_id = random_id(random.Random(seed ^ 0xABCDEF))
+        if new_id in self.network.nodes:
+            return
+        self.network.join(new_id)
+        self.store.on_join(new_id)
+
+    @precondition(lambda self: self.network.size > MIN_ALIVE)
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def fail_node(self, pick):
+        victim = self.network.alive_ids[pick % self.network.size]
+        holders_lost = {
+            key for key in self.expected
+            if set(self.store.holders(key))
+            & {h for h in self.store.holders(key) if self.network.is_alive(h)}
+            == {victim}
+        }
+        self.network.fail(victim)
+        self.store.on_fail(victim)
+        # Objects whose last live holder was the victim are gone.
+        for key in list(self.expected):
+            if not self.store.exists(key):
+                del self.expected[key]
+                self.passwords.pop(key, None)
+        del holders_lost
+
+    @precondition(lambda self: bool(self.expected))
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def delete_object(self, pick):
+        keys = sorted(self.expected)
+        key = keys[pick % len(keys)]
+        assert self.store.delete(key, self.passwords[key])
+        del self.expected[key]
+        del self.passwords[key]
+
+    @precondition(lambda self: bool(self.expected))
+    @rule(pick=st.integers(min_value=0, max_value=10**9))
+    def delete_with_wrong_password_fails(self, pick):
+        keys = sorted(self.expected)
+        key = keys[pick % len(keys)]
+        assert not self.store.delete(key, b"not-the-password")
+        assert self.store.exists(key)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def alive_list_consistent(self):
+        alive = [nid for nid, node in self.network.nodes.items() if node.alive]
+        assert sorted(alive) == self.network.alive_ids
+
+    @invariant()
+    def replica_sets_are_k_closest(self):
+        problems = self.store.verify_invariants()
+        assert problems == [], problems
+
+    @invariant()
+    def objects_fetchable_with_original_value(self):
+        for key, value in self.expected.items():
+            assert self.store.fetch(key).value == value
+
+    @invariant()
+    def routing_reaches_closest(self):
+        if self.network.size == 0:
+            return
+        src = self.network.alive_ids[0]
+        key = random_id(random.Random(self.network.size))
+        result = self.network.route(src, key)
+        assert result.success
+        assert result.destination == self.network.closest_alive(key)
+
+
+ReplicationMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+TestReplicationStateful = ReplicationMachine.TestCase

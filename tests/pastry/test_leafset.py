@@ -1,0 +1,133 @@
+"""Tests for the Pastry leaf set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pastry.leafset import LeafSet
+from repro.util.ids import ID_SPACE, ring_distance
+
+ids_st = st.integers(min_value=0, max_value=ID_SPACE - 1)
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LeafSet(0, capacity=3)  # odd
+        with pytest.raises(ValueError):
+            LeafSet(0, capacity=0)
+
+    def test_owner_never_member(self):
+        ls = LeafSet(100)
+        assert not ls.add(100)
+        assert 100 not in ls
+
+    def test_add_and_contains(self):
+        ls = LeafSet(100)
+        assert ls.add(200)
+        assert 200 in ls and len(ls) == 1
+
+    def test_remove(self):
+        ls = LeafSet(100)
+        ls.add(200)
+        ls.remove(200)
+        assert 200 not in ls
+
+    def test_remove_missing_is_noop(self):
+        LeafSet(100).remove(999)
+
+
+class TestHalves:
+    def test_cw_and_ccw_split(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all([1001, 1002, 999, 998])
+        assert ls.cw_members() == [1001, 1002]
+        assert ls.ccw_members() == [999, 998]
+
+    def test_halves_bounded(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all(range(1001, 1020))  # all clockwise
+        assert len(ls.cw_members()) == 2
+        # far clockwise nodes count as counterclockwise around the ring
+        assert len(ls) <= 4
+
+    def test_eviction_keeps_nearest(self):
+        ls = LeafSet(0, capacity=2)
+        ls.add(10)
+        ls.add(5)  # nearer clockwise: evicts 10 from the cw half
+        assert 5 in ls.cw_members()
+        assert ls.cw_members()[0] == 5
+
+    def test_wraparound_ccw(self):
+        ls = LeafSet(5, capacity=4)
+        ls.add_all([ID_SPACE - 1, ID_SPACE - 2])
+        assert ls.ccw_members() == [ID_SPACE - 1, ID_SPACE - 2]
+
+
+class TestCovers:
+    def test_non_full_covers_everything(self):
+        ls = LeafSet(0, capacity=8)
+        ls.add_all([1, 2, 3])
+        assert ls.covers(ID_SPACE // 2)
+
+    def test_full_covers_only_arc(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all([900, 950, 1050, 1100])
+        assert ls.is_full()
+        assert ls.covers(1000)
+        assert ls.covers(925)
+        assert ls.covers(1075)
+        assert not ls.covers(ID_SPACE // 2)
+
+    def test_covers_boundary_members(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all([900, 950, 1050, 1100])
+        assert ls.covers(900) and ls.covers(1100)
+
+
+class TestClosest:
+    def test_includes_owner_by_default(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all([900, 1100])
+        assert ls.closest(1001) == 1000
+
+    def test_exclude_owner(self):
+        ls = LeafSet(1000, capacity=4)
+        ls.add_all([900, 1100])
+        assert ls.closest(1001, include_owner=False) == 1100
+
+    def test_empty_without_owner_rejected(self):
+        with pytest.raises(ValueError):
+            LeafSet(1).closest(5, include_owner=False)
+
+    @given(
+        owner=ids_st,
+        members=st.sets(ids_st, min_size=1, max_size=12),
+        key=ids_st,
+    )
+    @settings(max_examples=100)
+    def test_closest_is_truly_closest(self, owner, members, key):
+        ls = LeafSet(owner, capacity=16)
+        ls.add_all(members)
+        pool = ls.members | {owner}
+        best = ls.closest(key)
+        assert all(
+            (ring_distance(best, key), best) <= (ring_distance(m, key), m)
+            for m in pool
+        )
+
+
+class TestTrimInvariant:
+    @given(
+        owner=ids_st,
+        members=st.sets(ids_st, min_size=0, max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_members_always_in_a_half(self, owner, members):
+        """Every retained member belongs to the bounded CW or CCW half."""
+        ls = LeafSet(owner, capacity=8)
+        ls.add_all(members)
+        halves = set(ls.cw_members()) | set(ls.ccw_members())
+        assert ls.members == halves
+        assert len(ls.cw_members()) <= 4
+        assert len(ls.ccw_members()) <= 4

@@ -1,0 +1,106 @@
+"""Tests for the per-node Pastry forwarding rule."""
+
+import random
+
+from repro.pastry.node import PastryNode, ip_for_id
+from repro.util.ids import ID_BITS, random_id, ring_distance, shared_prefix_digits
+
+
+def _id_with_digits(*digits: int) -> int:
+    value = 0
+    for d in digits:
+        value = (value << 4) | d
+    return value << (ID_BITS - 4 * len(digits))
+
+
+class TestIpForId:
+    def test_deterministic(self):
+        assert ip_for_id(123) == ip_for_id(123)
+
+    def test_valid_ipv4_shape(self):
+        octets = ip_for_id(random_id(random.Random(1))).split(".")
+        assert len(octets) == 4
+        assert all(1 <= int(o) <= 254 for o in octets)
+
+    def test_different_ids_usually_differ(self):
+        rng = random.Random(2)
+        ips = {ip_for_id(random_id(rng)) for _ in range(100)}
+        assert len(ips) > 95
+
+
+class TestNextHop:
+    def test_leafset_delivery_to_self(self):
+        node = PastryNode(_id_with_digits(0x8))
+        # alone: leaf set empty and not full -> covers all -> self
+        assert node.next_hop(12345) == node.node_id
+
+    def test_leafset_delivery_to_closest_leaf(self):
+        node = PastryNode(1000)
+        node.learn([900, 1100])
+        # non-full leaf set covers everything; 1090 closest to 1100
+        assert node.next_hop(1090) == 1100
+
+    def test_routing_table_hop_preferred_outside_leafset(self):
+        owner = _id_with_digits(0x1)
+        node = PastryNode(owner, leaf_set_size=2)
+        near = [owner + 1, owner - 1]
+        far = _id_with_digits(0x9, 0x9)
+        node.learn(near + [far])
+        key = _id_with_digits(0x9, 0x3)
+        nxt = node.next_hop(key)
+        # must move toward the key (longer prefix or closer), not to a leaf
+        assert shared_prefix_digits(nxt, key) >= shared_prefix_digits(owner, key)
+        assert nxt == far
+
+    def test_exclude_forces_alternative(self):
+        node = PastryNode(1000)
+        node.learn([900, 1100])
+        first = node.next_hop(1090)
+        second = node.next_hop(1090, exclude={first})
+        assert second != first
+
+    def test_exclude_all_leaves_falls_back(self):
+        node = PastryNode(1000)
+        node.learn([1100])
+        # excluding everything known (and self covered by pool check)
+        nxt = node.next_hop(1090, exclude={1100, 1000})
+        # rare-case scan: no known node closer -> deliver locally
+        assert nxt == 1000
+
+    def test_rare_case_makes_progress(self):
+        """Rule 3: chosen node shares >= prefix and is strictly closer."""
+        owner = _id_with_digits(0x1, 0x0)
+        node = PastryNode(owner, leaf_set_size=2)
+        key = _id_with_digits(0x1, 0xF)
+        closer = _id_with_digits(0x1, 0xA)
+        node.leaf_set.add(owner + 1)  # useless leaf
+        node.routing_table._cells[(99, 0)] = closer  # bypass cell logic
+        node.routing_table._reverse[closer] = (99, 0)
+        nxt = node.next_hop(key, exclude={owner + 1})
+        if nxt != owner:
+            assert ring_distance(nxt, key) < ring_distance(owner, key)
+
+
+class TestLearnForget:
+    def test_learn_populates_both_structures(self):
+        node = PastryNode(1000)
+        node.learn([2000])
+        assert 2000 in node.leaf_set
+        assert 2000 in node.routing_table
+
+    def test_learn_skips_self(self):
+        node = PastryNode(1000)
+        node.learn([1000])
+        assert len(node.leaf_set) == 0
+
+    def test_forget_clears_both(self):
+        node = PastryNode(1000)
+        node.learn([2000])
+        node.forget(2000)
+        assert 2000 not in node.leaf_set
+        assert 2000 not in node.routing_table
+
+    def test_known_nodes_union(self):
+        node = PastryNode(1000)
+        node.learn([2000, 3000])
+        assert node.known_nodes() == {2000, 3000}

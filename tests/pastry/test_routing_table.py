@@ -1,0 +1,143 @@
+"""Tests for the Pastry prefix routing table."""
+
+import pytest
+
+from repro.pastry.routing_table import RoutingTable
+from repro.util.ids import ID_BITS, id_digit, shared_prefix_digits
+
+
+def _id_with_digits(*digits: int, b: int = 4) -> int:
+    """Build an id from leading digits (rest zero)."""
+    value = 0
+    for d in digits:
+        value = (value << b) | d
+    return value << (ID_BITS - b * len(digits))
+
+
+OWNER = _id_with_digits(0xA, 0xB, 0xC)
+
+
+class TestCellAssignment:
+    def test_self_has_no_cell(self):
+        rt = RoutingTable(OWNER)
+        assert rt.cell_for(OWNER) is None
+        assert not rt.add(OWNER)
+
+    def test_row_is_shared_prefix_length(self):
+        rt = RoutingTable(OWNER)
+        other = _id_with_digits(0xA, 0xB, 0xD)  # shares 2 digits
+        row, col = rt.cell_for(other)
+        assert row == 2 and col == 0xD
+
+    def test_row_zero_for_no_shared_prefix(self):
+        rt = RoutingTable(OWNER)
+        other = _id_with_digits(0x1)
+        row, col = rt.cell_for(other)
+        assert row == 0 and col == 0x1
+
+    def test_b_must_divide_id_bits(self):
+        with pytest.raises(ValueError):
+            RoutingTable(OWNER, b_bits=5)
+
+    def test_b2_dimensions(self):
+        rt = RoutingTable(OWNER, b_bits=2)
+        assert rt.rows == 64 and rt.cols == 4
+
+
+class TestAddRemove:
+    def test_add_and_lookup(self):
+        rt = RoutingTable(OWNER)
+        other = _id_with_digits(0x1)
+        assert rt.add(other)
+        assert rt.lookup(0, 0x1) == other
+        assert other in rt
+
+    def test_incumbent_kept_by_default(self):
+        rt = RoutingTable(OWNER)
+        first = _id_with_digits(0x1, 0x0)
+        second = _id_with_digits(0x1, 0x5)
+        rt.add(first)
+        assert not rt.add(second)  # same cell (row 0, col 1)
+        assert rt.lookup(0, 0x1) == first
+
+    def test_replace_evicts(self):
+        rt = RoutingTable(OWNER)
+        first = _id_with_digits(0x1, 0x0)
+        second = _id_with_digits(0x1, 0x5)
+        rt.add(first)
+        assert rt.add(second, replace=True)
+        assert rt.lookup(0, 0x1) == second
+        assert first not in rt
+
+    def test_re_add_same_node_true(self):
+        rt = RoutingTable(OWNER)
+        other = _id_with_digits(0x1)
+        rt.add(other)
+        assert rt.add(other)
+
+    def test_remove(self):
+        rt = RoutingTable(OWNER)
+        other = _id_with_digits(0x1)
+        rt.add(other)
+        assert rt.remove(other)
+        assert rt.lookup(0, 0x1) is None
+        assert not rt.remove(other)
+
+    def test_len_counts_cells(self):
+        rt = RoutingTable(OWNER)
+        rt.add(_id_with_digits(0x1))
+        rt.add(_id_with_digits(0x2))
+        assert len(rt) == 2
+
+
+class TestEntryForKey:
+    def test_matches_divergent_digit(self):
+        rt = RoutingTable(OWNER)
+        candidate = _id_with_digits(0xA, 0x7)  # row 1, col 7
+        rt.add(candidate)
+        key = _id_with_digits(0xA, 0x7, 0xF)
+        assert rt.entry_for_key(key) == candidate
+
+    def test_missing_cell_none(self):
+        rt = RoutingTable(OWNER)
+        assert rt.entry_for_key(_id_with_digits(0x3)) is None
+
+    def test_own_id_none(self):
+        rt = RoutingTable(OWNER)
+        assert rt.entry_for_key(OWNER) is None
+
+    def test_entry_shares_longer_prefix_with_key(self):
+        """The Pastry progress property: a routing-table hop increases
+        the shared prefix with the key."""
+        rt = RoutingTable(OWNER)
+        candidate = _id_with_digits(0xA, 0x7)
+        rt.add(candidate)
+        key = _id_with_digits(0xA, 0x7, 0x1)
+        entry = rt.entry_for_key(key)
+        assert shared_prefix_digits(entry, key) > shared_prefix_digits(OWNER, key)
+
+
+class TestRowEntries:
+    def test_row_listing(self):
+        rt = RoutingTable(OWNER)
+        a = _id_with_digits(0x1)
+        b = _id_with_digits(0x2)
+        deep = _id_with_digits(0xA, 0x5)
+        for node in (a, b, deep):
+            rt.add(node)
+        row0 = rt.row_entries(0)
+        assert row0 == {0x1: a, 0x2: b}
+        assert rt.row_entries(1) == {0x5: deep}
+
+    def test_entries_set(self):
+        rt = RoutingTable(OWNER)
+        a = _id_with_digits(0x1)
+        rt.add(a)
+        assert rt.entries == {a}
+
+    def test_cell_digit_consistency(self):
+        rt = RoutingTable(OWNER)
+        node = _id_with_digits(0xA, 0xB, 0x1)
+        rt.add(node)
+        (row, col), = [rt.cell_for(node)]
+        assert id_digit(node, row) == col

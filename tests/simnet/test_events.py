@@ -1,0 +1,123 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet.events import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous(self):
+        sim = Simulator()
+        log = []
+        for tag in "abc":
+            sim.schedule(1.0, log.append, tag)
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_may_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(1.0, lambda: log.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "dead")
+        sim.schedule(2.0, log.append, "alive")
+        handle.cancel()
+        sim.run()
+        assert log == ["alive"]
+
+    def test_len_ignores_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert len(sim) == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "in")
+        sim.schedule(5.0, log.append, "out")
+        sim.run(until=2.0)
+        assert log == ["in"]
+        assert sim.now == 2.0  # clock advanced to the bound
+        sim.run()
+        assert log == ["in", "out"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(float(i + 1), log.append, i)
+        sim.run(max_events=2)
+        assert log == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_count(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 3
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            sim.run()

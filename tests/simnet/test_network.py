@@ -1,0 +1,122 @@
+"""Tests for the message-passing façade."""
+
+import pytest
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import SimNetwork
+from repro.simnet.topology import Topology
+
+
+@pytest.fixture()
+def net():
+    sim = Simulator()
+    topo = Topology(seed=1, min_latency_s=0.05, max_latency_s=0.05,
+                    bandwidth_bps=1000.0)
+    return sim, SimNetwork(sim, topo)
+
+
+class TestDelivery:
+    def test_message_delivered_with_delay(self, net):
+        sim, network = net
+        inbox = []
+        network.attach(1, lambda n, s, d, p: inbox.append((s, d, p, sim.now)))
+        network.attach(2, lambda *a: None)
+        network.send(2, 1, "hello", size_bits=100)
+        sim.run()
+        assert len(inbox) == 1
+        src, dst, payload, when = inbox[0]
+        assert (src, dst, payload) == (2, 1, "hello")
+        assert when == pytest.approx(0.05 + 0.1)  # latency + 100/1000
+
+    def test_self_send_instant(self, net):
+        sim, network = net
+        inbox = []
+        network.attach(1, lambda n, s, d, p: inbox.append(sim.now))
+        network.send(1, 1, "x")
+        sim.run()
+        assert inbox == [0.0]
+
+    def test_delivery_order_respects_size(self, net):
+        sim, network = net
+        inbox = []
+        network.attach(1, lambda n, s, d, p: inbox.append(p))
+        network.attach(2, lambda *a: None)
+        network.send(2, 1, "big", size_bits=10_000)
+        network.send(2, 1, "small", size_bits=10)
+        sim.run()
+        assert inbox == ["small", "big"]
+
+    def test_stats_counted(self, net):
+        sim, network = net
+        network.attach(1, lambda *a: None)
+        network.attach(2, lambda *a: None)
+        network.send(1, 2, "a", size_bits=8)
+        network.send(1, 2, "b", size_bits=8)
+        sim.run()
+        assert network.delivered_count == 2
+        assert network.bits_sent == 16
+
+
+class TestDrops:
+    def test_unknown_destination_dropped(self, net):
+        sim, network = net
+        network.attach(1, lambda *a: None)
+        record = network.send(1, 99, "void")
+        sim.run()
+        assert record.dropped and network.dropped_count == 1
+
+    def test_failed_node_drops(self, net):
+        sim, network = net
+        network.attach(1, lambda *a: None)
+        network.attach(2, lambda *a: None)
+        network.fail(2)
+        record = network.send(1, 2, "x")
+        sim.run()
+        assert record.dropped
+
+    def test_failure_in_flight_drops(self, net):
+        """Liveness is checked at delivery, not send — the race TAP's
+        fail-over must survive."""
+        sim, network = net
+        network.attach(1, lambda *a: None)
+        network.attach(2, lambda *a: None)
+        record = network.send(1, 2, "x")
+        network.fail(2)  # dies while message is in flight
+        sim.run()
+        assert record.dropped
+
+    def test_drop_callback(self, net):
+        sim, network = net
+        drops = []
+        network.on_drop = drops.append
+        network.attach(1, lambda *a: None)
+        network.send(1, 42, "x")
+        sim.run()
+        assert len(drops) == 1 and drops[0].dst == 42
+
+    def test_revive_restores_delivery(self, net):
+        sim, network = net
+        inbox = []
+        network.attach(1, lambda *a: None)
+        network.attach(2, lambda n, s, d, p: inbox.append(p))
+        network.fail(2)
+        network.revive(2)
+        network.send(1, 2, "back")
+        sim.run()
+        assert inbox == ["back"]
+
+    def test_detach_removes(self, net):
+        sim, network = net
+        network.attach(1, lambda *a: None)
+        network.detach(1)
+        assert not network.is_alive(1)
+        assert network.addresses == []
+
+
+class TestAddresses:
+    def test_alive_listing(self, net):
+        _, network = net
+        network.attach(1, lambda *a: None)
+        network.attach(2, lambda *a: None)
+        network.fail(2)
+        assert network.addresses == [1]

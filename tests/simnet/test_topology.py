@@ -1,0 +1,72 @@
+"""Tests for the hash-derived link latency/bandwidth model."""
+
+import pytest
+
+from repro.simnet.topology import Topology, UniformLatencyModel
+
+
+class TestUniformLatencyModel:
+    def test_symmetric(self):
+        m = UniformLatencyModel(seed=1)
+        assert m.latency(10, 20) == m.latency(20, 10)
+
+    def test_self_latency_zero(self):
+        assert UniformLatencyModel(seed=1).latency(5, 5) == 0.0
+
+    def test_within_bounds(self):
+        m = UniformLatencyModel(seed=1, min_latency_s=0.01, max_latency_s=0.23)
+        for a in range(20):
+            for b in range(a + 1, 20):
+                assert 0.01 <= m.latency(a, b) <= 0.23
+
+    def test_deterministic_per_seed(self):
+        assert UniformLatencyModel(seed=3).latency(1, 2) == UniformLatencyModel(
+            seed=3
+        ).latency(1, 2)
+
+    def test_seed_changes_values(self):
+        assert UniformLatencyModel(seed=3).latency(1, 2) != UniformLatencyModel(
+            seed=4
+        ).latency(1, 2)
+
+    def test_distribution_roughly_uniform(self):
+        """Mean of many links should sit near the interval midpoint."""
+        m = UniformLatencyModel(seed=5, min_latency_s=0.0, max_latency_s=1.0)
+        values = [m.latency(0, b) for b in range(1, 2001)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(seed=0, min_latency_s=0.5, max_latency_s=0.1)
+        with pytest.raises(ValueError):
+            UniformLatencyModel(seed=0, min_latency_s=-0.1)
+
+
+class TestTopology:
+    def test_link_spec(self):
+        topo = Topology(seed=1, bandwidth_bps=1_500_000.0)
+        link = topo.link(1, 2)
+        assert link.bandwidth_bps == 1_500_000.0
+        assert topo.min_latency_s <= link.latency_s <= topo.max_latency_s
+
+    def test_path_latency_sums_links(self):
+        topo = Topology(seed=1)
+        path = [1, 2, 3, 4]
+        expected = sum(topo.latency(a, b) for a, b in zip(path, path[1:]))
+        assert topo.path_latency(path) == pytest.approx(expected)
+
+    def test_path_latency_trivial_paths(self):
+        topo = Topology(seed=1)
+        assert topo.path_latency([7]) == 0.0
+        assert topo.path_latency([]) == 0.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(seed=1, bandwidth_bps=0)
+
+    def test_paper_defaults(self):
+        topo = Topology(seed=0)
+        assert topo.min_latency_s == pytest.approx(0.010)
+        assert topo.max_latency_s == pytest.approx(0.230)
+        assert topo.bandwidth_bps == pytest.approx(1_500_000.0)

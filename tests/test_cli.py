@@ -1,0 +1,54 @@
+"""Tests for the tap-repro command-line interface."""
+
+import pytest
+
+from repro.cli import _ALL_RUNNERS, _EXTENSIONS, _FIGURES, main
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        assert set(_FIGURES) == {"fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6"}
+
+    def test_extensions_registered(self):
+        assert {"tradeoff", "hints", "scatter", "timing", "secure-routing"} <= set(
+            _EXTENSIONS
+        )
+
+    def test_all_runners_have_fast_configs(self):
+        for name, (config_cls, runner, desc) in _ALL_RUNNERS.items():
+            assert callable(runner)
+            assert desc
+            assert hasattr(config_cls, "fast")
+
+
+class TestInvocation:
+    def test_single_figure(self, capsys):
+        assert main(["fig3", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "malicious_fraction" in out
+
+    def test_seed_override_changes_nothing_structural(self, capsys):
+        assert main(["fig3", "--fast", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "corrupted_tunnels" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "rows.csv"
+        assert main(["fig3", "--fast", "--csv", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("figure,")
+        assert "fig3" in content
+
+    def test_outdir_output(self, tmp_path, capsys):
+        assert main(["fig4a", "--fast", "--outdir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4a.csv").exists()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_extension_invocation(self, capsys):
+        assert main(["scatter", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "scattered" in out
