@@ -2,13 +2,31 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures extensions examples all clean
+.PHONY: install lint test audit bench bench-paper figures extensions examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# Static checks: ruff when available, else a stdlib syntax sweep so
+# offline containers still get a gate.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to compileall syntax check"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 suite with repro.obs invariant auditing threaded through every
+# membership event of every TapSystem fixture (TAP_AUDIT=1 is read by
+# tests/conftest.py).
+audit:
+	TAP_AUDIT=1 $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -25,7 +43,7 @@ extensions:
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
 
-all: test bench figures extensions
+all: lint test audit bench figures extensions
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

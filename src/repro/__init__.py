@@ -17,7 +17,9 @@ The package rebuilds the paper's full stack in Python:
 * :mod:`repro.adversary` — failure, collusion, and churn models;
 * :mod:`repro.analysis` — vectorised Monte-Carlo id-space model,
   anonymity metrics, and closed-form cross-checks;
-* :mod:`repro.experiments` — one module per figure of the paper.
+* :mod:`repro.experiments` — one module per figure of the paper;
+* :mod:`repro.obs` — observability: metrics registry, structured
+  event traces, and the invariant auditor.
 
 Entry point for most users::
 
@@ -27,7 +29,17 @@ Entry point for most users::
 from repro.core.system import TapSystem
 from repro.core.tunnel import ReplyTunnel, Tunnel
 from repro.core.node import TapNode
+from repro.obs import EventTrace, InvariantAuditor, MetricsRegistry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["TapSystem", "Tunnel", "ReplyTunnel", "TapNode", "__version__"]
+__all__ = [
+    "TapSystem",
+    "Tunnel",
+    "ReplyTunnel",
+    "TapNode",
+    "MetricsRegistry",
+    "EventTrace",
+    "InvariantAuditor",
+    "__version__",
+]

@@ -4,14 +4,23 @@ Usage::
 
     tap-repro fig2 [--fast] [--csv out.csv]
     tap-repro all  [--fast] [--outdir results/]
+    tap-repro fig6 [--fast] [--metrics-out metrics.json] [--audit]
 
 ``--fast`` runs the scaled-down configs (same shapes, ~100x quicker);
 without it the paper-scale parameters are used.
+
+``--metrics-out`` threads a :class:`repro.obs.MetricsRegistry` through
+every runner that supports it and writes the final snapshot (counters,
+gauges, per-hop latency histograms with p50/p95/p99) as JSON — plus a
+sibling ``.csv`` of tidy per-instrument rows.  ``--audit`` enables
+:class:`repro.obs.InvariantAuditor` checks inside supporting runners
+(the run aborts on the first invariant violation).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import pathlib
 import sys
 
@@ -77,14 +86,26 @@ _EXTENSIONS = {
 _ALL_RUNNERS = {**_FIGURES, **_EXTENSIONS}
 
 
-def _run_one(name: str, fast: bool, seed: int | None) -> list[dict]:
+def _run_one(
+    name: str,
+    fast: bool,
+    seed: int | None,
+    metrics=None,
+    audit: bool = False,
+) -> list[dict]:
     config_cls, runner, _ = _ALL_RUNNERS[name]
     config = config_cls.fast() if fast else config_cls()
     if seed is not None:
         from dataclasses import replace
 
         config = replace(config, seed=seed)
-    return runner(config)
+    kwargs = {}
+    params = inspect.signature(runner).parameters
+    if metrics is not None and "metrics" in params:
+        kwargs["metrics"] = metrics
+    if audit and "audit" in params:
+        kwargs["audit"] = True
+    return runner(config, **kwargs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,7 +127,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write rows as CSV to this path")
     parser.add_argument("--outdir", type=pathlib.Path, default=None,
                         help="with 'all': write one CSV per figure here")
+    parser.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                        help="write a repro.obs metrics snapshot (JSON, plus "
+                             "a sibling .csv of per-instrument rows)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run invariant audits inside supporting runners "
+                             "(abort on the first violation)")
     args = parser.parse_args(argv)
+
+    metrics = None
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
 
     if args.figure == "all":
         names = list(_FIGURES)
@@ -115,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.figure]
     for name in names:
-        rows = _run_one(name, args.fast, args.seed)
+        rows = _run_one(name, args.fast, args.seed,
+                        metrics=metrics, audit=args.audit)
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
         if args.csv is not None and len(names) == 1:
@@ -126,6 +160,14 @@ def main(argv: list[str] | None = None) -> int:
             target = args.outdir / f"{name}.csv"
             target.write_text(rows_to_csv(rows))
             print(f"wrote {target}")
+    if metrics is not None:
+        from repro.experiments.runner import metrics_rows
+
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(metrics.to_json() + "\n")
+        csv_path = args.metrics_out.with_suffix(".csv")
+        csv_path.write_text(rows_to_csv(metrics_rows(metrics)))
+        print(f"wrote {args.metrics_out} and {csv_path}")
     return 0
 
 

@@ -92,11 +92,14 @@ class TapEmulation:
         ip_index: dict[str, int],
         topology: Topology | None = None,
         simulator: Simulator | None = None,
+        metrics=None,
     ):
         self.network = network
         self.store = store
         self.tap_registry = tap_registry
         self.ip_index = ip_index
+        #: optional :class:`repro.obs.MetricsRegistry`
+        self.metrics = metrics
         self.simulator = simulator or Simulator()
         self.topology = topology or Topology(seed=0)
         self.net = SimNetwork(self.simulator, self.topology)
@@ -124,6 +127,7 @@ class TapEmulation:
             system.tap_nodes,
             system.ip_index,
             topology=topology,
+            metrics=getattr(system, "metrics", None),
         )
 
     # ------------------------------------------------------------------
@@ -135,6 +139,32 @@ class TapEmulation:
         if repair:
             self.store.on_fail(node_id)
         self.net.fail(node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a node back in both the overlay and the message
+        fabric, reconciling its stale replicas (resurrection guard)."""
+        self.network.revive(node_id)
+        self.store.on_revive(node_id)
+        self.net.attach(node_id, self._handle)
+
+    def _finish_trace(
+        self, trace: EmuTrace, now: float, delivered: bool, reason: str | None = None
+    ) -> None:
+        trace._finish(now, delivered, reason)
+        m = self.metrics
+        if m is None:
+            return
+        m.counter("emu.transmissions").inc()
+        if delivered:
+            m.counter("emu.delivered").inc()
+            m.histogram("emu.latency_s").observe(trace.latency)
+            m.histogram("emu.physical_hops").observe(max(0, len(trace.path) - 1))
+        else:
+            m.counter("emu.failed").inc()
+        if trace.timeouts:
+            m.counter("emu.timeouts").inc(trace.timeouts)
+        if trace.hint_failures:
+            m.counter("emu.hint_failures").inc(trace.hint_failures)
 
     # ------------------------------------------------------------------
     # client API
@@ -213,7 +243,7 @@ class TapEmulation:
         node = self.network.nodes[from_node]
         nxt = node.next_hop(env.key)
         if nxt is None:
-            env.trace._finish(self.simulator.now, False, "routing dead end")
+            self._finish_trace(env.trace, self.simulator.now, False, "routing dead end")
             return
         if nxt == from_node:
             self._deliver_local(from_node, env)
@@ -228,7 +258,7 @@ class TapEmulation:
             # Dummy traffic: absorbed at the first recipient (it cannot
             # be distinguished from real traffic by outsiders, but it
             # carries no onion to process).
-            env.trace._finish(self.simulator.now, True)
+            self._finish_trace(env.trace, self.simulator.now, True)
             return
         env.trace.path.append(dst)
         if env.via_hint:
@@ -272,7 +302,7 @@ class TapEmulation:
         if env.kind == "exit":
             env.trace.destination = node_id
             env.trace.payload = env.blob
-            env.trace._finish(now, True)
+            self._finish_trace(env.trace, now, True)
             return
 
         # kind == "tunnel": this node must hold the hop's anchor.
@@ -280,8 +310,8 @@ class TapEmulation:
         try:
             stored = storage.lookup(env.key)
         except StorageError:
-            env.trace._finish(
-                now, False,
+            self._finish_trace(
+                env.trace, now, False,
                 f"node {node_id:#x} closest to hop {env.key:#x} holds no replica",
             )
             return
@@ -289,7 +319,7 @@ class TapEmulation:
         try:
             peeled = peel_layer(anchor.key, env.blob)
         except (CipherError, SerializationError):
-            env.trace._finish(now, False, f"decryption failed at {node_id:#x}")
+            self._finish_trace(env.trace, now, False, f"decryption failed at {node_id:#x}")
             return
 
         if peeled.is_exit:

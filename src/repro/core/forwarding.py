@@ -49,7 +49,11 @@ class HopRecord:
     hop_node: int | None
     underlying_path: list[int] = field(default_factory=list)
     via_hint: bool = False
+    #: the hint did not directly serve the hop (stale or dead)
     hint_failed: bool = False
+    #: the hinted node was dead/unknown: the probe timed out and its
+    #: link does not appear in ``underlying_path``
+    hint_timeout: bool = False
     #: True when the node serving this hop is not the one that was the
     #: replica root when the tunnel was formed (fail-over happened).
     promoted: bool = False
@@ -77,8 +81,11 @@ class ForwardTrace:
     def underlying_hops(self) -> int:
         """Total physical-link traversals, the latency driver of Fig. 6."""
         total = sum(max(0, len(r.underlying_path) - 1) for r in self.records)
-        # Failed hint probes cost one extra link each (probe + timeout).
-        total += sum(1 for r in self.records if r.hint_failed)
+        # Timed-out hint probes cost one extra link each (probe to the
+        # dead/unknown node + timeout).  A *stale* hint — alive node
+        # that no longer holds the replica — is not charged here: its
+        # probe link is already the first edge of ``underlying_path``.
+        total += sum(1 for r in self.records if r.hint_timeout)
         total += max(0, len(self.exit_path) - 1)
         return total
 
@@ -106,12 +113,62 @@ class TunnelForwarder:
         store: ReplicatedStore,
         tap_registry: dict[int, TapNode],
         ip_index: dict[str, int] | None = None,
+        metrics=None,
+        event_trace=None,
     ):
         self.network = network
         self.store = store
         self.tap_registry = tap_registry
         #: simulated-IP -> node id (the §5 hint resolver)
         self.ip_index = ip_index if ip_index is not None else {}
+        #: optional :class:`repro.obs.MetricsRegistry`
+        self.metrics = metrics
+        #: optional :class:`repro.obs.EventTrace` of per-hop events
+        self.event_trace = event_trace
+
+    def _observe_trace(self, kind: str, trace: ForwardTrace) -> None:
+        m = self.metrics
+        if m is not None:
+            m.counter(f"tap.{kind}.sends").inc()
+            if trace.success:
+                m.counter(f"tap.{kind}.delivered").inc()
+                m.histogram(f"tap.{kind}.underlying_hops").observe(
+                    trace.underlying_hops
+                )
+                m.histogram(f"tap.{kind}.overlay_hops").observe(
+                    trace.overlay_hops
+                )
+            else:
+                m.counter(f"tap.{kind}.broken").inc()
+            for rec in trace.records:
+                if rec.via_hint:
+                    m.counter("tap.hint.hits").inc()
+                elif rec.hint_timeout:
+                    m.counter("tap.hint.timeouts").inc()
+                elif rec.hint_failed:
+                    m.counter("tap.hint.stale").inc()
+                if rec.promoted:
+                    m.counter("tap.hop.promotions").inc()
+        if self.event_trace is not None:
+            self.event_trace.record(
+                f"tap.{kind}",
+                success=trace.success,
+                overlay_hops=trace.overlay_hops,
+                underlying_hops=trace.underlying_hops,
+                failure_reason=trace.failure_reason,
+                hops=[
+                    {
+                        "hop_node": rec.hop_node,
+                        "links": max(0, len(rec.underlying_path) - 1),
+                        "via_hint": rec.via_hint,
+                        "hint_failed": rec.hint_failed,
+                        "hint_timeout": rec.hint_timeout,
+                        "promoted": rec.promoted,
+                        "route_failures": rec.route_failures,
+                    }
+                    for rec in trace.records
+                ],
+            )
 
     # ------------------------------------------------------------------
     # hop location
@@ -145,6 +202,7 @@ class TunnelForwarder:
                 # Dead or unknown: the probe times out; re-route from
                 # the current hop node.
                 record.hint_failed = True
+                record.hint_timeout = True
         try:
             route = self.network.route(start, hop_id)
         except RoutingError as exc:
@@ -164,6 +222,8 @@ class TunnelForwarder:
         try:
             stored = storage.lookup(hop_id)
         except StorageError as exc:
+            if self.metrics is not None:
+                self.metrics.counter("tap.peel.anchor_lost").inc()
             raise TunnelBroken(
                 f"node {node_id:#x} is closest to hop {hop_id:#x} "
                 f"but holds no THA replica (anchor lost)"
@@ -172,6 +232,8 @@ class TunnelForwarder:
         try:
             return peel_layer(anchor.key, blob)
         except (CipherError, SerializationError) as exc:
+            if self.metrics is not None:
+                self.metrics.counter("tap.peel.decrypt_failures").inc()
             raise TunnelBroken(f"layer decryption failed at {node_id:#x}") from exc
 
     # ------------------------------------------------------------------
@@ -192,6 +254,18 @@ class TunnelForwarder:
         nothing: failures are reported in the trace (like a deployed
         system, the initiator only observes a timeout).
         """
+        trace = self._send_impl(initiator, tunnel, destination_id, payload, deliver)
+        self._observe_trace("forward", trace)
+        return trace
+
+    def _send_impl(
+        self,
+        initiator: TapNode,
+        tunnel: Tunnel,
+        destination_id: int,
+        payload: bytes,
+        deliver: Callable[[int, bytes], None] | None = None,
+    ) -> ForwardTrace:
         blob = build_onion(tunnel.onion_layers(), destination_id, payload)
         trace = ForwardTrace()
         current = initiator.node_id
@@ -255,6 +329,20 @@ class TunnelForwarder:
         pending ``bid`` values — from the outside indistinguishable
         from one more hop.
         """
+        trace = self._send_reply_impl(
+            responder_id, first_hop_id, reply_blob, payload, max_hops
+        )
+        self._observe_trace("reply", trace)
+        return trace
+
+    def _send_reply_impl(
+        self,
+        responder_id: int,
+        first_hop_id: int,
+        reply_blob: bytes,
+        payload: bytes,
+        max_hops: int = 32,
+    ) -> ForwardTrace:
         trace = ForwardTrace()
         current = responder_id
         hop_id = first_hop_id

@@ -32,6 +32,8 @@ class TapSystem:
         network: PastryNetwork,
         store: ReplicatedStore,
         seeds: SeedSequenceFactory,
+        metrics=None,
+        event_trace=None,
     ):
         self.network = network
         self.store = store
@@ -46,6 +48,14 @@ class TapSystem:
             self.forwarder, store, seeds.pyrandom("retrieval")
         )
         self._form_rng = seeds.pyrandom("tunnel-form")
+        self.metrics = None
+        self.event_trace = None
+        #: set by :meth:`enable_auditing`
+        self.auditor = None
+        #: raise on audit violations (vs. collect in auditor.history)
+        self.audit_strict = True
+        if metrics is not None or event_trace is not None:
+            self.attach_observability(metrics, event_trace)
 
     # ------------------------------------------------------------------
     # construction
@@ -58,6 +68,8 @@ class TapSystem:
         replication_factor: int = 3,
         b_bits: int = 4,
         leaf_set_size: int = 16,
+        metrics=None,
+        event_trace=None,
     ) -> "TapSystem":
         """Random overlay of ``num_nodes`` with correct initial state."""
         seeds = SeedSequenceFactory(seed)
@@ -67,7 +79,47 @@ class TapSystem:
             ids.add(random_id(id_rng))
         network = PastryNetwork.build(ids, b_bits=b_bits, leaf_set_size=leaf_set_size)
         store = ReplicatedStore(network, replication_factor)
-        return cls(network, store, seeds)
+        return cls(network, store, seeds, metrics=metrics, event_trace=event_trace)
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs)
+    # ------------------------------------------------------------------
+    def attach_observability(self, metrics=None, event_trace=None) -> None:
+        """Thread a :class:`repro.obs.MetricsRegistry` and/or
+        :class:`repro.obs.EventTrace` through every substrate."""
+        if metrics is not None:
+            self.metrics = metrics
+            self.network.metrics = metrics
+            self.store.metrics = metrics
+            self.forwarder.metrics = metrics
+            metrics.gauge("pastry.population").set(self.network.size)
+        if event_trace is not None:
+            self.event_trace = event_trace
+            self.forwarder.event_trace = event_trace
+
+    def enable_auditing(self, strict: bool = True):
+        """Run an :class:`repro.obs.InvariantAuditor` after every
+        membership event this system performs.
+
+        ``strict`` raises :class:`repro.obs.InvariantViolationError` on
+        the first violation; otherwise reports accumulate in
+        ``self.auditor.history``.  Returns the auditor.
+        """
+        from repro.obs.audit import InvariantAuditor
+
+        self.auditor = InvariantAuditor(
+            self.network, self.store, metrics=self.metrics
+        )
+        self.audit_strict = strict
+        return self.auditor
+
+    def _audit(self, context: str) -> None:
+        if self.auditor is None:
+            return
+        if self.audit_strict:
+            self.auditor.assert_clean(context)
+        else:
+            self.auditor.run(context)
 
     # ------------------------------------------------------------------
     # node access
@@ -210,6 +262,7 @@ class TapSystem:
         self.network.fail(node_id)
         if repair:
             self.store.on_fail(node_id)
+            self._audit(f"fail {node_id:#x}")
 
     def fail_nodes(self, node_ids, repair_after: bool = True) -> None:
         """Simultaneous mass failure (Figure 2's model).
@@ -224,11 +277,26 @@ class TapSystem:
         if repair_after:
             for nid in node_ids:
                 self.store.on_fail(nid)
+            self._audit(f"mass-fail x{len(node_ids)}")
 
     def join_node(self, node_id: int) -> TapNode:
         self.network.join(node_id)
         self.ip_index[self.network.nodes[node_id].ip] = node_id
         self.store.on_join(node_id)
+        self._audit(f"join {node_id:#x}")
+        return self.tap_node(node_id)
+
+    def revive_node(self, node_id: int) -> TapNode:
+        """Bring a failed node back, reconciling its stale replicas.
+
+        The revived node drops local objects the holder index no
+        longer attributes to it (deleted or handed-off while it was
+        away — resurrection guard) and adopts the replicas it is now
+        responsible for, like a fresh join.
+        """
+        self.network.revive(node_id)
+        self.store.on_revive(node_id)
+        self._audit(f"revive {node_id:#x}")
         return self.tap_node(node_id)
 
     # ------------------------------------------------------------------

@@ -44,7 +44,13 @@ from repro.experiments.reply_durability import (
     ReplyDurabilityConfig,
     run_reply_durability,
 )
-from repro.experiments.runner import render_table, rows_to_csv, series
+from repro.experiments.runner import (
+    metrics_rows,
+    render_metrics,
+    render_table,
+    rows_to_csv,
+    series,
+)
 
 __all__ = [
     "Fig2Config",
@@ -74,6 +80,8 @@ __all__ = [
     "run_anonymity_comparison",
     "ReplyDurabilityConfig",
     "run_reply_durability",
+    "metrics_rows",
+    "render_metrics",
     "render_table",
     "rows_to_csv",
     "series",

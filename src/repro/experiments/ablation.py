@@ -91,21 +91,30 @@ class HintStalenessConfig:
         return cls(num_nodes=150, tunnels=6, churn_steps=(0, 5, 15))
 
 
-def run_hint_staleness(config: HintStalenessConfig = HintStalenessConfig()) -> list[dict]:
+def run_hint_staleness(
+    config: HintStalenessConfig = HintStalenessConfig(),
+    metrics=None,
+    audit: bool = False,
+) -> list[dict]:
     """Object-level: form hinted tunnels, churn, measure hint failures.
 
     For each churn level, a fresh TapSystem is built, hinted tunnels
     are formed, the overlay churns (fail+join with repair), and every
     tunnel is exercised.  Reported per level: fraction of hops whose
     hint failed, and mean underlying hops (the latency driver).
+    ``metrics``/``audit`` thread a :mod:`repro.obs` registry and
+    post-event invariant audits through every system built.
     """
     from repro.core.system import TapSystem
 
     rows: list[dict] = []
     for churn in config.churn_steps:
         system = TapSystem.bootstrap(
-            num_nodes=config.num_nodes, seed=config.seed + churn
+            num_nodes=config.num_nodes, seed=config.seed + churn,
+            metrics=metrics,
         )
+        if audit:
+            system.enable_auditing(strict=True)
         rng = system.seeds.pyrandom("hint-churn")
         tunnels = []
         for i in range(config.tunnels):
@@ -138,6 +147,9 @@ def run_hint_staleness(config: HintStalenessConfig = HintStalenessConfig()) -> l
                 "figure": "ablation-hints",
                 "churn_events": churn,
                 "hint_failure_rate": sum(r.hint_failed for r in hop_records) / total_hops,
+                # timed-out probes (dead/unknown hint) are the only ones
+                # charged an extra physical link in underlying_hops
+                "hint_timeout_rate": sum(r.hint_timeout for r in hop_records) / total_hops,
                 "via_hint_rate": sum(r.via_hint for r in hop_records) / total_hops,
                 "mean_underlying_per_hop": float(
                     np.mean([max(0, len(r.underlying_path) - 1) for r in hop_records])

@@ -67,7 +67,19 @@ def _tunnel_paths(
     return basic, optimised
 
 
-def run_fig6(config: Fig6Config = Fig6Config()) -> list[dict]:
+def run_fig6(
+    config: Fig6Config = Fig6Config(),
+    metrics=None,
+    audit: bool = False,
+) -> list[dict]:
+    """Generate the Figure-6 rows.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) additionally
+    accumulates per-link latency and per-transfer time histograms —
+    the paper's latency data as a first-class artifact.  ``audit``
+    runs the :class:`repro.obs.InvariantAuditor` on every overlay
+    built, raising on violations.
+    """
     seeds = SeedSequenceFactory(config.seed)
     acc: dict[tuple[int, str], list[float]] = {}
 
@@ -87,7 +99,14 @@ def run_fig6(config: Fig6Config = Fig6Config()) -> list[dict]:
                 ids,
                 b_bits=config.b_bits,
                 proximity=topology.latency if config.pns else None,
+                metrics=metrics,
             )
+            if audit:
+                from repro.obs.audit import InvariantAuditor
+
+                InvariantAuditor(network, metrics=metrics).assert_clean(
+                    f"fig6 build n={n_nodes} rep={rep}"
+                )
             alive = network.alive_ids
 
             def record(scheme: str, path: list[int]) -> None:
@@ -96,6 +115,13 @@ def run_fig6(config: Fig6Config = Fig6Config()) -> list[dict]:
                     TransferModel.STORE_AND_FORWARD,
                 )
                 acc.setdefault((n_nodes, scheme), []).append(t)
+                if metrics is not None:
+                    metrics.histogram(f"fig6.transfer_time_s.{scheme}").observe(t)
+                    hops = metrics.histogram(f"fig6.underlying_hops.{scheme}")
+                    hops.observe(max(0, len(path) - 1))
+                    link = metrics.histogram("fig6.link_latency_s")
+                    for a, b in zip(path, path[1:]):
+                        link.observe(topology.latency(a, b))
 
             for _ in range(config.transfers_per_size):
                 initiator = alive[rng.randrange(len(alive))]

@@ -83,3 +83,18 @@ def summarize(rows: Iterable[dict], label: str = "") -> str:
     """One-line digest used in benchmark logs."""
     rows = list(rows)
     return f"{label}: {len(rows)} rows" if label else f"{len(rows)} rows"
+
+
+def metrics_rows(registry) -> list[dict]:
+    """Tidy per-instrument rows from a :class:`repro.obs.MetricsRegistry`.
+
+    One row per counter/gauge/histogram with uniform columns, ready
+    for :func:`render_table` / :func:`rows_to_csv` — how the CLI's
+    ``--metrics-out`` surfaces per-hop latency histograms as CSV.
+    """
+    return registry.rows()
+
+
+def render_metrics(registry, title: str = "metrics") -> str:
+    """Fixed-width table of every instrument in the registry."""
+    return render_table(metrics_rows(registry), title=title)

@@ -1,0 +1,35 @@
+"""Observability substrate: metrics, structured traces, invariant audits.
+
+Every performance or robustness claim this reproduction makes rests on
+per-hop counters and replica-set invariants.  This package makes those
+first-class artifacts instead of ad-hoc computations inside the hot
+paths:
+
+* :class:`MetricsRegistry` — named counters, gauges and histograms
+  (p50/p95/p99), exportable as JSON or tidy CSV rows;
+* :class:`EventTrace` — a bounded ring buffer of structured per-hop /
+  per-route events with JSON-lines export;
+* :class:`InvariantAuditor` — systematic post-event checks over the
+  overlay (leaf-set symmetry, routing-table liveness, ``_sorted_alive``
+  consistency) and the replicated store (holder/intended agreement,
+  storage/index agreement).
+
+All instrumentation is opt-in: substrates accept an optional registry
+and pay only a ``None`` check when observability is disabled.
+"""
+
+from repro.obs.audit import AuditReport, InvariantAuditor, InvariantViolationError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "AuditReport",
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "InvariantAuditor",
+    "InvariantViolationError",
+    "MetricsRegistry",
+    "TraceEvent",
+]

@@ -1,0 +1,188 @@
+"""Invariant auditor: systematic health checks after membership events.
+
+Wraps :meth:`repro.past.replication.ReplicatedStore.verify_invariants`
+and adds the Pastry-level checks the store cannot see:
+
+* ``sorted-alive`` — the network's ``_sorted_alive`` index is strictly
+  ascending and agrees exactly with per-node ``alive`` flags;
+* ``leaf-liveness`` / ``table-liveness`` — no alive node references a
+  dead node in its leaf set or routing table (holds when the network
+  runs eager repair, the stand-in for Pastry's maintenance protocol);
+* ``leaf-symmetry`` — every alive node's leaf set contains its
+  immediate ring predecessor and successor, and they contain it back
+  (the minimal property that makes closest-key routing terminate at
+  the true root);
+* ``storage-index`` — every object physically present on an *alive*
+  node is attributed to that node by the store's holder index, and
+  vice versa (dead nodes legitimately keep unreachable stale copies
+  until revival reconciles them).
+
+The auditor is cheap enough to run after every membership event in an
+experiment (``O(N·|L| + objects)``); wire it through
+:meth:`repro.core.system.TapSystem.enable_auditing` or run it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pastry.network import PastryNetwork
+
+
+class InvariantViolationError(AssertionError):
+    """Raised by :meth:`InvariantAuditor.assert_clean` on violations."""
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    context: str = ""
+    violations: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        head = f"audit[{self.context or 'adhoc'}]: "
+        if self.clean:
+            return head + f"clean ({self.checks_run} checks)"
+        return head + f"{len(self.violations)} violation(s)\n" + "\n".join(
+            f"  - {v}" for v in self.violations
+        )
+
+
+class InvariantAuditor:
+    """Run overlay + storage invariant checks over live state."""
+
+    def __init__(
+        self,
+        network: PastryNetwork,
+        store=None,
+        metrics=None,
+        check_liveness: bool | None = None,
+    ):
+        self.network = network
+        self.store = store
+        self.metrics = metrics
+        #: liveness of leaf/table references is only an invariant when
+        #: the network eagerly repairs; lazily-repairing overlays hold
+        #: stale references by design until routing discovers them.
+        self.check_liveness = (
+            network.eager_repair if check_liveness is None else check_liveness
+        )
+        #: reports accumulated by :meth:`run` (most recent last)
+        self.history: list[AuditReport] = []
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def run(self, context: str = "") -> AuditReport:
+        report = AuditReport(context=context)
+        checks = [self._check_sorted_alive, self._check_leaf_sets]
+        if self.check_liveness:
+            checks.append(self._check_reference_liveness)
+        if self.store is not None:
+            checks.append(self._check_store)
+        for check in checks:
+            report.checks_run += 1
+            check(report)
+        self.history.append(report)
+        if self.metrics is not None:
+            self.metrics.counter("obs.audit.runs").inc()
+            self.metrics.counter("obs.audit.violations").inc(
+                len(report.violations)
+            )
+        return report
+
+    def assert_clean(self, context: str = "") -> AuditReport:
+        report = self.run(context)
+        if not report.clean:
+            raise InvariantViolationError(str(report))
+        return report
+
+    # ------------------------------------------------------------------
+    # pastry checks
+    # ------------------------------------------------------------------
+    def _check_sorted_alive(self, report: AuditReport) -> None:
+        ids = self.network.alive_ids
+        for prev, cur in zip(ids, ids[1:]):
+            if prev >= cur:
+                report.violations.append(
+                    f"sorted-alive: index not strictly ascending at {cur:#x}"
+                )
+        indexed = set(ids)
+        actual = {
+            nid for nid, node in self.network.nodes.items() if node.alive
+        }
+        for nid in indexed - actual:
+            report.violations.append(
+                f"sorted-alive: {nid:#x} indexed alive but node is dead"
+            )
+        for nid in actual - indexed:
+            report.violations.append(
+                f"sorted-alive: {nid:#x} alive but missing from index"
+            )
+
+    def _check_leaf_sets(self, report: AuditReport) -> None:
+        """Immediate-neighbour coverage and symmetry."""
+        ids = self.network.alive_ids
+        n = len(ids)
+        if n < 2:
+            return
+        for pos, nid in enumerate(ids):
+            node = self.network.nodes[nid]
+            for neighbour in (ids[(pos + 1) % n], ids[(pos - 1) % n]):
+                if neighbour == nid:
+                    continue
+                if neighbour not in node.leaf_set:
+                    report.violations.append(
+                        f"leaf-symmetry: {nid:#x} missing immediate "
+                        f"neighbour {neighbour:#x}"
+                    )
+
+    def _check_reference_liveness(self, report: AuditReport) -> None:
+        for nid in self.network.alive_ids:
+            node = self.network.nodes[nid]
+            for dead in node.leaf_set.members:
+                if not self.network.is_alive(dead):
+                    report.violations.append(
+                        f"leaf-liveness: {nid:#x} holds dead leaf {dead:#x}"
+                    )
+            for dead in node.routing_table.entries:
+                if not self.network.is_alive(dead):
+                    report.violations.append(
+                        f"table-liveness: {nid:#x} holds dead entry {dead:#x}"
+                    )
+
+    # ------------------------------------------------------------------
+    # storage checks
+    # ------------------------------------------------------------------
+    def _check_store(self, report: AuditReport) -> None:
+        store = self.store
+        report.violations.extend(
+            f"replica-set: {problem}" for problem in store.verify_invariants()
+        )
+        # index -> storage: every attributed live holder really holds it
+        for key in store.all_keys():
+            for holder in store.holders(key):
+                if not self.network.is_alive(holder):
+                    continue
+                if not store.storage_of(holder).contains(key):
+                    report.violations.append(
+                        f"storage-index: {holder:#x} indexed for "
+                        f"{key:#x} but holds no copy"
+                    )
+        # storage -> index: no alive node holds an unattributed object
+        for nid in self.network.alive_ids:
+            storage = store.storages.get(nid)
+            if storage is None:
+                continue
+            for key in storage.keys():
+                if nid not in store.holders(key):
+                    report.violations.append(
+                        f"storage-index: {nid:#x} holds stale copy of "
+                        f"{key:#x} absent from the holder index"
+                    )

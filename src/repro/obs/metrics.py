@@ -1,0 +1,209 @@
+"""Named metrics: counters, gauges, histograms with percentile export.
+
+A :class:`MetricsRegistry` is the single handle the substrates share;
+instruments are created on first use and live for the registry's
+lifetime, so hot paths hold direct references instead of doing name
+lookups per event::
+
+    metrics = MetricsRegistry()
+    hops = metrics.histogram("pastry.route.hops")
+    ...
+    hops.observe(route.hops)
+
+Export formats:
+
+* :meth:`MetricsRegistry.snapshot` — nested plain-dict (JSON-ready);
+* :meth:`MetricsRegistry.to_json` — the same, serialised;
+* :meth:`MetricsRegistry.rows` — tidy rows (one per instrument) for
+  ``render_table`` / ``rows_to_csv`` in :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-observed level (population size, pending repairs, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values with on-demand percentiles.
+
+    Samples are kept verbatim up to ``max_samples`` and then decimated
+    (every other retained sample, doubling the keep-stride) so memory
+    stays bounded while count/sum/min/max remain exact.
+    """
+
+    __slots__ = ("name", "max_samples", "count", "total", "min", "max",
+                 "_samples", "_stride", "_skip")
+
+    def __init__(self, name: str, max_samples: int = 8192):
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._samples.append(value)
+        self._skip = self._stride - 1
+        if len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 <= q <= 100) of the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Process-local instrument registry shared by all substrates."""
+
+    histogram_max_samples: int = 8192
+    _counters: dict[str, Counter] = field(default_factory=dict)
+    _gauges: dict[str, Gauge] = field(default_factory=dict)
+    _histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(
+                name, self.histogram_max_samples
+            )
+        return inst
+
+    @contextmanager
+    def timer(self, name: str):
+        """Observe a wall-clock duration (seconds) into a histogram."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All instruments as one nested, JSON-serialisable dict."""
+        out: dict[str, dict] = {}
+        for group in (self._counters, self._gauges, self._histograms):
+            for name, inst in group.items():
+                out[name] = inst.snapshot()
+        return dict(sorted(out.items()))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    #: uniform column set so CSV export is rectangular
+    ROW_COLUMNS = ("metric", "type", "count", "value", "mean",
+                   "min", "max", "p50", "p95", "p99")
+
+    def rows(self) -> list[dict]:
+        """Tidy per-instrument rows (uniform columns) for table/CSV."""
+        rows = []
+        for name, snap in self.snapshot().items():
+            row = dict.fromkeys(self.ROW_COLUMNS, "")
+            row["metric"] = name
+            for key, value in snap.items():
+                if key in row:
+                    row[key] = value
+            rows.append(row)
+        return rows
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,83 @@
+"""Structured event trace: a bounded ring buffer with JSONL export.
+
+The hot paths append small dict-shaped events (hop located, hint
+probed, replica copied, ...) tagged with a monotone sequence number.
+The buffer is bounded, so tracing a long experiment keeps the most
+recent ``capacity`` events — enough to reconstruct the tail of any
+route while never growing without bound.
+
+Events are plain data; export is JSON-lines (one event per line), the
+format downstream latency-graph tooling ingests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured observation."""
+
+    seq: int
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind, **self.fields}
+
+
+class EventTrace:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: total events ever recorded (>= len(self) once wrapped)
+        self.recorded = 0
+
+    def record(self, kind: str, **fields) -> TraceEvent:
+        event = TraceEvent(self._seq, kind, fields)
+        self._seq += 1
+        self.recorded += 1
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # access / export
+    # ------------------------------------------------------------------
+    def events(self, kind: str | None = None) -> Iterator[TraceEvent]:
+        if kind is None:
+            return iter(self._events)
+        return (e for e in self._events if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self.recorded - len(self._events)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(
+            json.dumps(e.to_dict(), default=str) for e in self._events
+        ) + ("\n" if self._events else "")
+
+    def dump(self, path) -> int:
+        """Write JSON-lines to ``path``; returns the event count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -35,11 +35,18 @@ class ReplicatedStore:
     plaintext object — the property TAP's collusion analysis needs).
     """
 
-    def __init__(self, network: PastryNetwork, replication_factor: int = 3):
+    def __init__(
+        self,
+        network: PastryNetwork,
+        replication_factor: int = 3,
+        metrics=None,
+    ):
         if replication_factor < 1:
             raise ValueError("replication factor must be >= 1")
         self.network = network
         self.k = replication_factor
+        #: optional :class:`repro.obs.MetricsRegistry`
+        self.metrics = metrics
         self.storages: dict[int, Storage] = {
             nid: Storage(nid) for nid in network.nodes
         }
@@ -77,6 +84,8 @@ class ReplicatedStore:
         if not holders:
             insort(self._sorted_keys, obj.key)
         holders.add(node_id)
+        if self.metrics is not None:
+            self.metrics.counter("past.replica.placements").inc()
         for callback in self.on_replica_placed:
             callback(obj.key, node_id)
 
@@ -166,26 +175,83 @@ class ReplicatedStore:
         storage = self.storages.get(node_id)
         if storage is None:
             return
+        if self.metrics is not None:
+            self.metrics.counter("past.repair.on_fail").inc()
         for key in storage.keys():
             holders = self._holders.get(key, set())
             holders.discard(node_id)
             live = [h for h in holders if self.network.is_alive(h)]
             if not live:
                 self._forget_key(key)
+                if self.metrics is not None:
+                    self.metrics.counter("past.objects.lost").inc()
                 continue
-            source = self.storage_of(live[0]).lookup(key)
+            # Copy from the live holder numerically closest to the key
+            # (ties by id): the same deterministic choice fetch/on_join
+            # make, so re-replication traces are seed-stable regardless
+            # of set-iteration order.
+            source = self.storage_of(
+                min(live, key=lambda h: (ring_distance(h, key), h))
+            ).lookup(key)
             for target in self.replica_set(key):
                 if target not in holders:
                     self._place(target, source)
         # The dead node keeps its (now unreachable) local copies; if it
-        # ever rejoins, on_join will reconcile.
+        # ever rejoins, on_join/on_revive will reconcile.
 
     def on_join(self, node_id: int) -> None:
         """Hand the newcomer the replicas it is now responsible for.
 
         Call *after* ``network.join(node_id)``.  Also trims holders
-        that dropped out of the intended k-closest set.
+        that dropped out of the intended k-closest set, and purges any
+        stale local copies left over if the id previously lived (and
+        died) in the overlay.
         """
+        if self.metrics is not None:
+            self.metrics.counter("past.repair.on_join").inc()
+        self._reconcile_storage(node_id)
+        self._adopt(node_id)
+
+    def on_revive(self, node_id: int) -> None:
+        """Reconcile a node returning from the dead with stale storage.
+
+        Call *after* ``network.revive(node_id)``.  Two things happened
+        while the node was away that its local storage cannot know:
+
+        * objects were *deleted* (the owner presented PW to the live
+          holders; §3.4) — keeping the local copy would resurrect a
+          deleted object the moment the node is locally readable again;
+        * replicas were handed off to other nodes — the returning copy
+          is no longer attributed to this node by the index, and a §5
+          hint probe would wrongly treat the node as a current holder.
+
+        Both cases are "objects the holder index does not attribute to
+        this node": drop them, then adopt whatever the node is *now*
+        responsible for (same logic as a fresh join).
+        """
+        if self.metrics is not None:
+            self.metrics.counter("past.repair.on_revive").inc()
+        self._reconcile_storage(node_id)
+        self._adopt(node_id)
+
+    def _reconcile_storage(self, node_id: int) -> int:
+        """Drop local objects the holder index does not attribute to
+        ``node_id``; returns how many were purged."""
+        storage = self.storages.get(node_id)
+        if storage is None:
+            return 0
+        purged = 0
+        for key in storage.keys():
+            if node_id not in self._holders.get(key, ()):
+                storage.drop(key)
+                purged += 1
+        if purged and self.metrics is not None:
+            self.metrics.counter("past.replica.stale_purged").inc(purged)
+        return purged
+
+    def _adopt(self, node_id: int) -> None:
+        """Hand ``node_id`` the replicas it is now responsible for and
+        trim holders that dropped out of the intended k-closest set."""
         affected = self._keys_near(node_id)
         for key in affected:
             holders = self.holders(key)

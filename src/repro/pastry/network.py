@@ -67,6 +67,7 @@ class PastryNetwork:
         b_bits: int = DEFAULT_B_BITS,
         leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
         eager_repair: bool = True,
+        metrics=None,
     ):
         self.b_bits = b_bits
         self.leaf_set_size = leaf_set_size
@@ -75,6 +76,8 @@ class PastryNetwork:
         self.eager_repair = eager_repair
         self.nodes: dict[int, PastryNode] = {}
         self._sorted_alive: list[int] = []
+        #: optional :class:`repro.obs.MetricsRegistry`
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +91,7 @@ class PastryNetwork:
         eager_repair: bool = True,
         proximity=None,
         proximity_sample: int = 16,
+        metrics=None,
     ) -> "PastryNetwork":
         """Omniscient bootstrap: correct state for every node at once.
 
@@ -100,7 +104,12 @@ class PastryNetwork:
         PNS only changes which one, trading build time for shorter
         physical routes (visible in the Figure-6 latencies).
         """
-        net = cls(b_bits=b_bits, leaf_set_size=leaf_set_size, eager_repair=eager_repair)
+        net = cls(
+            b_bits=b_bits,
+            leaf_set_size=leaf_set_size,
+            eager_repair=eager_repair,
+            metrics=metrics,
+        )
         ids = sorted(set(node_ids))
         if not ids:
             return net
@@ -257,6 +266,9 @@ class PastryNetwork:
             other = self.nodes.get(other_id)
             if other is not None and other.alive:
                 other.learn([node_id])
+        if self.metrics is not None:
+            self.metrics.counter("pastry.joins").inc()
+            self.metrics.gauge("pastry.population").set(self.size)
         return newcomer
 
     def leave(self, node_id: int) -> None:
@@ -270,16 +282,53 @@ class PastryNetwork:
             return
         node.alive = False
         self._mark_dead(node_id)
+        if self.metrics is not None:
+            self.metrics.counter("pastry.fails").inc()
+            self.metrics.gauge("pastry.population").set(self.size)
         if self.eager_repair:
             self._repair_after_departure(node_id)
 
     def revive(self, node_id: int) -> None:
-        """Bring a failed node back with stale state (tests churn logic)."""
+        """Bring a failed node back into the overlay.
+
+        The returning node's state is stale: peers that died while it
+        was away still populate its leaf set and routing table, and no
+        live node remembers it.  Under eager repair (the maintenance
+        protocol stand-in) both sides are reconciled: the stale
+        references are dropped and repaired, the revived node's leaf
+        set is refilled, and its ring neighbours re-adopt it.  Without
+        eager repair the node returns stale, and routing discovers the
+        inconsistencies lazily (tests churn logic).
+        """
         node = self.nodes.get(node_id)
         if node is None or node.alive:
             return
         node.alive = True
         self._mark_alive(node_id)
+        if self.metrics is not None:
+            self.metrics.counter("pastry.revives").inc()
+            self.metrics.gauge("pastry.population").set(self.size)
+        if self.eager_repair:
+            self._repair_after_revival(node_id)
+
+    def _repair_after_revival(self, node_id: int) -> None:
+        """Reconcile a revived node's stale state with the overlay."""
+        node = self.nodes[node_id]
+        for stale in [m for m in node.known_nodes() if not self.is_alive(m)]:
+            self._forget_and_refill(node, stale)
+        ids = self._sorted_alive
+        n = len(ids)
+        if n < 2:
+            return
+        pos = bisect_left(ids, node_id)
+        half = self.leaf_set_size // 2
+        for off in range(1, min(half, n - 1) + 1):
+            for neighbour_id in (ids[(pos + off) % n], ids[(pos - off) % n]):
+                if neighbour_id == node_id:
+                    continue
+                node.leaf_set.add(neighbour_id)
+                node.routing_table.add(neighbour_id)
+                self.nodes[neighbour_id].learn([node_id])
 
     def _repair_after_departure(self, dead_id: int) -> None:
         """Refill leaf sets and routing cells that referenced the dead node.
@@ -359,6 +408,19 @@ class PastryNetwork:
         forgets them and retries with the failure excluded, mirroring
         timeout-and-reroute in a deployment.
         """
+        if self.metrics is None:
+            return self._route_impl(src_id, key)
+        result = self._route_impl(src_id, key)
+        m = self.metrics
+        m.counter("pastry.route.count").inc()
+        m.histogram("pastry.route.hops").observe(result.hops)
+        if result.failures:
+            m.counter("pastry.route.dead_hops").inc(result.failures)
+        if not result.success:
+            m.counter("pastry.route.failed").inc()
+        return result
+
+    def _route_impl(self, src_id: int, key: int) -> RouteResult:
         src = self.nodes.get(src_id)
         if src is None or not src.alive:
             raise RoutingError(f"source {src_id:#x} is not alive")

@@ -7,6 +7,7 @@ read-only overlays; tests that mutate membership build their own
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -14,6 +15,17 @@ import pytest
 from repro.core.system import TapSystem
 from repro.pastry.network import PastryNetwork
 from repro.util.rng import SeedSequenceFactory
+
+#: ``make audit`` sets TAP_AUDIT=1: every TapSystem built through the
+#: fixtures then runs the repro.obs invariant auditor after each
+#: membership event and fails the test on the first violation.
+AUDIT_ENABLED = os.environ.get("TAP_AUDIT", "").strip() not in ("", "0")
+
+
+def _maybe_audited(system: TapSystem) -> TapSystem:
+    if AUDIT_ENABLED:
+        system.enable_auditing(strict=True)
+    return system
 
 
 @pytest.fixture()
@@ -49,7 +61,9 @@ def small_network() -> PastryNetwork:
 @pytest.fixture()
 def tap_system() -> TapSystem:
     """A fresh 150-node TAP system safe to mutate."""
-    return TapSystem.bootstrap(num_nodes=150, seed=5, replication_factor=3)
+    return _maybe_audited(
+        TapSystem.bootstrap(num_nodes=150, seed=5, replication_factor=3)
+    )
 
 
 @pytest.fixture()

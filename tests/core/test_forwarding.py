@@ -172,6 +172,40 @@ class TestIpHints:
         # fallback started from the hinted node, not the initiator
         assert first.underlying_path[1] == old_root
 
+    def test_stale_hint_not_double_counted(self, system, alice):
+        """Regression: an alive-but-evicted hint's probe link is the
+        first edge of ``underlying_path`` and must not be charged a
+        second time by ``underlying_hops``."""
+        tunnel = system.form_tunnel(alice, length=2, use_hints=True)
+        hop = tunnel.hops[0]
+        for off in range(1, system.store.k + 1):
+            system.join_node(hop.hop_id + off)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        first = trace.records[0]
+        assert first.hint_failed and not first.hint_timeout
+        link_sum = sum(
+            max(0, len(rec.underlying_path) - 1) for rec in trace.records
+        ) + max(0, len(trace.exit_path) - 1)
+        assert trace.underlying_hops == link_sum
+
+    def test_dead_hint_charged_exactly_one_timeout_link(self, system, alice):
+        """A hint probe to a dead node costs one extra physical link
+        (probe + timeout) on top of the recorded paths — exactly one."""
+        tunnel = system.form_tunnel(alice, length=3, use_hints=True)
+        victim_root = system.network.closest_alive(tunnel.hops[1].hop_id)
+        system.fail_node(victim_root)
+        trace = system.send(alice, tunnel, 42, b"x")
+        assert trace.success
+        stale = trace.records[1]
+        assert stale.hint_timeout and stale.hint_failed
+        timeouts = sum(1 for rec in trace.records if rec.hint_timeout)
+        assert timeouts == 1
+        link_sum = sum(
+            max(0, len(rec.underlying_path) - 1) for rec in trace.records
+        ) + max(0, len(trace.exit_path) - 1)
+        assert trace.underlying_hops == link_sum + timeouts
+
 
 class TestReplyTraversal:
     def test_reply_reaches_initiator(self, system, alice):

@@ -1,0 +1,118 @@
+"""Tests for the invariant auditor: clean passes and injected faults."""
+
+import random
+
+import pytest
+
+from repro.obs import InvariantAuditor, InvariantViolationError, MetricsRegistry
+from repro.past.replication import ReplicatedStore
+from repro.past.storage import StoredObject
+from repro.util.ids import random_id
+from tests.conftest import build_network
+
+
+@pytest.fixture()
+def network():
+    return build_network(50, seed=31)
+
+
+@pytest.fixture()
+def store(network):
+    return ReplicatedStore(network, replication_factor=3)
+
+
+class TestCleanAudits:
+    def test_fresh_overlay_is_clean(self, network):
+        report = InvariantAuditor(network).assert_clean("fresh")
+        assert report.clean
+        assert report.checks_run == 3  # sorted-alive, leaf-sets, liveness
+
+    def test_store_check_included_when_given(self, network, store):
+        for seed in range(5):
+            store.insert(random_id(random.Random(seed)), b"v")
+        report = InvariantAuditor(network, store).assert_clean("with store")
+        assert report.checks_run == 4
+
+    def test_clean_through_membership_events(self, network, store):
+        keys = [random_id(random.Random(s)) for s in range(10)]
+        for key in keys:
+            store.insert(key, b"v")
+        auditor = InvariantAuditor(network, store)
+        rng = random.Random(41)
+        for _ in range(5):
+            victim = rng.choice(network.alive_ids)
+            network.fail(victim)
+            store.on_fail(victim)
+            auditor.assert_clean(f"fail {victim:#x}")
+        assert len(auditor.history) == 5
+
+    def test_liveness_check_skipped_for_lazy_networks(self):
+        network = build_network(30, seed=32, eager_repair=False)
+        auditor = InvariantAuditor(network)
+        assert not auditor.check_liveness
+        report = auditor.run("lazy")
+        assert report.checks_run == 2
+
+    def test_report_str_mentions_context(self, network):
+        report = InvariantAuditor(network).run("my-event")
+        assert "my-event" in str(report)
+        assert "clean" in str(report)
+
+
+class TestInjectedViolations:
+    def test_alive_flag_divergence_detected(self, network):
+        victim = network.alive_ids[7]
+        # Flip the per-node flag without going through network.fail:
+        # the _sorted_alive index now lies.
+        network.nodes[victim].alive = False
+        report = InvariantAuditor(network).run("flag flip")
+        assert any("sorted-alive" in v for v in report.violations)
+
+    def test_missing_immediate_neighbour_detected(self, network):
+        ids = network.alive_ids
+        node = network.nodes[ids[3]]
+        node.leaf_set.remove(ids[4])
+        report = InvariantAuditor(network).run("broken leaf set")
+        assert any("leaf-symmetry" in v for v in report.violations)
+
+    def test_dead_reference_detected(self, network):
+        victim = network.alive_ids[5]
+        holder = network.nodes[network.alive_ids[6]]
+        network.fail(victim)
+        holder.leaf_set.add(victim)  # resurrect a stale reference
+        report = InvariantAuditor(network).run("stale leaf")
+        assert any("leaf-liveness" in v for v in report.violations)
+
+    def test_index_without_copy_detected(self, network, store):
+        key = random_id(random.Random(1))
+        store.insert(key, b"v")
+        holder = next(iter(store.holders(key)))
+        store.storage_of(holder).drop(key)  # bypass _unplace
+        report = InvariantAuditor(network, store).run("dropped copy")
+        assert any("storage-index" in v for v in report.violations)
+
+    def test_copy_without_index_detected(self, network, store):
+        rogue = network.alive_ids[0]
+        store.storage_of(rogue).insert(StoredObject(777, b"stale"))
+        report = InvariantAuditor(network, store).run("rogue copy")
+        assert any("storage-index" in v for v in report.violations)
+
+    def test_assert_clean_raises(self, network):
+        victim = network.alive_ids[7]
+        network.nodes[victim].alive = False
+        auditor = InvariantAuditor(network)
+        with pytest.raises(InvariantViolationError):
+            auditor.assert_clean("bad")
+        # the failing report is still recorded for post-mortems
+        assert auditor.history and not auditor.history[-1].clean
+
+
+class TestMetricsIntegration:
+    def test_audit_counters(self, network):
+        metrics = MetricsRegistry()
+        auditor = InvariantAuditor(network, metrics=metrics)
+        auditor.run("one")
+        network.nodes[network.alive_ids[2]].alive = False
+        auditor.run("two")
+        assert metrics.counter("obs.audit.runs").value == 2
+        assert metrics.counter("obs.audit.violations").value >= 1

@@ -1,0 +1,70 @@
+"""Tests for the bounded structured event trace."""
+
+import json
+
+import pytest
+
+from repro.obs import EventTrace
+
+
+class TestRecording:
+    def test_sequence_numbers_are_monotone(self):
+        trace = EventTrace()
+        events = [trace.record("route", hops=i) for i in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert all(e.kind == "route" for e in events)
+        assert events[3].fields == {"hops": 3}
+
+    def test_kind_filter(self):
+        trace = EventTrace()
+        trace.record("a", x=1)
+        trace.record("b", x=2)
+        trace.record("a", x=3)
+        assert [e.fields["x"] for e in trace.events("a")] == [1, 3]
+        assert len(list(trace.events())) == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+
+class TestRingBound:
+    def test_oldest_events_evicted(self):
+        trace = EventTrace(capacity=4)
+        for i in range(10):
+            trace.record("e", i=i)
+        assert len(trace) == 4
+        assert trace.recorded == 10
+        assert trace.dropped == 6
+        # the survivors are the most recent four, seq intact
+        assert [e.seq for e in trace] == [6, 7, 8, 9]
+
+
+class TestExport:
+    def test_jsonl_round_trips(self):
+        trace = EventTrace()
+        trace.record("route", hops=2, ok=True)
+        trace.record("repair", node=7)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"seq": 0, "kind": "route", "hops": 2, "ok": True}
+
+    def test_empty_trace_exports_empty(self):
+        assert EventTrace().to_jsonl() == ""
+
+    def test_dump_writes_file(self, tmp_path):
+        trace = EventTrace()
+        trace.record("e", i=1)
+        trace.record("e", i=2)
+        path = tmp_path / "trace.jsonl"
+        assert trace.dump(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["i"] for row in rows] == [1, 2]
+
+    def test_clear_keeps_counters(self):
+        trace = EventTrace()
+        trace.record("e")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.recorded == 1

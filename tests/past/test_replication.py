@@ -6,7 +6,8 @@ import pytest
 
 from repro.crypto.hashing import hash_password
 from repro.past.replication import ReplicatedStore, ReplicationError
-from repro.past.storage import StorageError
+from repro.past.storage import Storage, StorageError
+from repro.pastry.network import PastryNetwork
 from repro.util.ids import random_id
 from tests.conftest import build_network
 
@@ -188,6 +189,38 @@ class TestJoinHandoff:
         assert displaced not in store.holders(key)
         assert not store.storage_of(displaced).contains(key)
 
+    def test_on_fail_copies_from_closest_live_holder(self, monkeypatch):
+        """Regression: the repair source must be the live holder
+        numerically closest to the key, not whichever node set
+        iteration happens to yield first.
+
+        The overlay is crafted so the two orders disagree: CPython
+        iterates the small-int set ``{1, 8}`` as ``[8, 1]`` (hash(x)
+        == x, table size 8), so an order-dependent choice copies from
+        node 8 while the closest live holder of key 2 is node 1.
+        """
+        net = PastryNetwork.build({1, 3, 8, 1000})
+        store = ReplicatedStore(net, replication_factor=3)
+        key = 2
+        store.insert(key, b"v")
+        assert store.holders(key) == {1, 3, 8}
+
+        lookups = []
+        orig_lookup = Storage.lookup
+
+        def spying_lookup(self, k):
+            lookups.append((self.node_id, k))
+            return orig_lookup(self, k)
+
+        monkeypatch.setattr(Storage, "lookup", spying_lookup)
+        net.fail(3)
+        store.on_fail(3)
+        sources = [nid for nid, k in lookups if k == key]
+        assert sources == [1]
+        assert store.holders(key) == {1, 8, 1000}
+        assert store.verify_invariants() == []
+        assert store.storage_of(1000).lookup(key).value == b"v"
+
     def test_churn_sequence_preserves_invariants(self, store):
         keys = _insert_many(store, 25, seed=12)
         # NB: seed must differ from the network-build seed (13) or the
@@ -203,3 +236,66 @@ class TestJoinHandoff:
         assert store.verify_invariants() == []
         for key in keys:
             assert store.fetch(key).value == f"v{key}".encode()
+
+
+class TestReviveReconciliation:
+    def test_revived_holder_does_not_resurrect_deleted_object(self, store):
+        """Regression: ``delete`` only purges *indexed* holders, so a
+        dead holder keeps its local copy; reviving it must not bring a
+        deleted object back from the grave."""
+        key = random_id(random.Random(21))
+        store.insert(key, b"v", delete_proof_hash=hash_password(b"pw"))
+        victim = store.replica_set(key)[-1]
+        store.network.fail(victim)
+        store.on_fail(victim)
+        assert store.delete(key, b"pw")
+        # the dead node still holds the stale copy...
+        assert store.storage_of(victim).contains(key)
+        store.network.revive(victim)
+        store.on_revive(victim)
+        # ...which revival reconciles away instead of resurrecting
+        assert not store.storage_of(victim).contains(key)
+        assert not store.exists(key)
+        assert store.verify_invariants() == []
+
+    def test_revived_displaced_holder_purges_stale_copy(self, store):
+        """A holder whose replica was handed off while it was dead must
+        drop its stale copy on revival (it is no longer in the
+        k-closest set, so a §5 hint probe must not find the object)."""
+        key = random_id(random.Random(23))
+        store.insert(key, b"v")
+        victim = store.replica_set(key)[-1]
+        store.network.fail(victim)
+        store.on_fail(victim)
+        # While the victim is away, closer nodes join: on return it is
+        # no longer one of the k closest.
+        new_id = key
+        for _ in range(store.k):
+            new_id += 1
+            while new_id in store.network.nodes:
+                new_id += 1
+            store.network.join(new_id)
+            store.on_join(new_id)
+        store.network.revive(victim)
+        store.on_revive(victim)
+        assert victim not in store.replica_set(key)
+        assert victim not in store.holders(key)
+        assert not store.storage_of(victim).contains(key)
+        assert store.verify_invariants() == []
+
+    def test_revived_intended_holder_readopts(self, store):
+        """A revived node that is *still* in the k-closest set gets a
+        fresh copy back and displaces whoever covered for it."""
+        key = random_id(random.Random(25))
+        store.insert(key, b"v")
+        victim = store.replica_set(key)[-1]
+        store.network.fail(victim)
+        store.on_fail(victim)
+        covered_by = store.holders(key) - {victim}
+        assert len(covered_by) == store.k
+        store.network.revive(victim)
+        store.on_revive(victim)
+        assert victim in store.holders(key)
+        assert store.storage_of(victim).lookup(key).value == b"v"
+        assert store.holders(key) == set(store.replica_set(key))
+        assert store.verify_invariants() == []

@@ -52,3 +52,33 @@ class TestInvocation:
         assert main(["scatter", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "scattered" in out
+
+
+class TestObservabilityFlags:
+    def test_metrics_out_writes_json_and_csv(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["fig6", "--fast", "--metrics-out", str(target)]) == 0
+        snapshot = json.loads(target.read_text())
+        # the Fig. 6 pipeline recorded routing and latency histograms
+        assert snapshot["pastry.route.hops"]["type"] == "histogram"
+        assert snapshot["fig6.link_latency_s"]["count"] > 0
+        for key in ("p50", "p95", "p99"):
+            assert key in snapshot["fig6.link_latency_s"]
+        csv_path = tmp_path / "metrics.csv"
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("metric,type,")
+
+    def test_audit_flag_accepted(self, capsys):
+        assert main(["fig6", "--fast", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+
+    def test_metrics_flag_ignored_by_nonsupporting_runner(self, tmp_path):
+        # fig3 is a pure Monte-Carlo model with no overlay to instrument;
+        # the flag must not break it, and the snapshot is just empty.
+        target = tmp_path / "metrics.json"
+        assert main(["fig3", "--fast", "--metrics-out", str(target)]) == 0
+        assert target.read_text().strip() in ("{}",)
