@@ -5,6 +5,8 @@ Usage::
     tap-repro fig2 [--fast] [--csv out.csv]
     tap-repro all  [--fast] [--outdir results/]
     tap-repro fig6 [--fast] [--metrics-out metrics.json] [--audit]
+    tap-repro fig6 [--fast] [--trace-out trace.json] [--trace-redact]
+    tap-repro trace trace.json [--csv breakdown.csv]
 
 ``--fast`` runs the scaled-down configs (same shapes, ~100x quicker);
 without it the paper-scale parameters are used.
@@ -15,6 +17,15 @@ gauges, per-hop latency histograms with p50/p95/p99) as JSON — plus a
 sibling ``.csv`` of tidy per-instrument rows.  ``--audit`` enables
 :class:`repro.obs.InvariantAuditor` checks inside supporting runners
 (the run aborts on the first invariant violation).
+
+``--trace-out`` threads a :class:`repro.obs.SpanTracer` (and an
+:class:`repro.obs.EventTrace`) through supporting runners and writes a
+Chrome trace-event JSON — open it in Perfetto or ``chrome://tracing``
+— plus a sibling ``.events.jsonl`` of the structured event trace.
+``--trace-redact`` applies the anonymity-aware redaction to the
+export.  ``tap-repro trace FILE`` reconstructs the span trees of such
+an export and prints the critical path of the slowest trace plus a
+per-phase latency breakdown (crypto / routing / hint-probe / repair).
 """
 
 from __future__ import annotations
@@ -92,6 +103,8 @@ def _run_one(
     seed: int | None,
     metrics=None,
     audit: bool = False,
+    tracer=None,
+    event_trace=None,
 ) -> list[dict]:
     config_cls, runner, _ = _ALL_RUNNERS[name]
     config = config_cls.fast() if fast else config_cls()
@@ -105,10 +118,69 @@ def _run_one(
         kwargs["metrics"] = metrics
     if audit and "audit" in params:
         kwargs["audit"] = True
+    if tracer is not None and "tracer" in params:
+        kwargs["tracer"] = tracer
+    if event_trace is not None and "event_trace" in params:
+        kwargs["event_trace"] = event_trace
     return runner(config, **kwargs)
 
 
+def _trace_main(argv: list[str]) -> int:
+    """The ``tap-repro trace FILE`` subcommand: critical-path report."""
+    parser = argparse.ArgumentParser(
+        prog="tap-repro trace",
+        description="Analyse a Chrome trace written by --trace-out: "
+                    "critical path + per-phase latency breakdown.",
+    )
+    parser.add_argument("path", type=pathlib.Path,
+                        help="trace JSON written by --trace-out")
+    parser.add_argument("--csv", type=pathlib.Path, default=None,
+                        help="also write the phase breakdown as CSV")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import render_table, rows_to_csv
+    from repro.obs.critical_path import (
+        render_critical_path,
+        summarize_trace_file,
+    )
+
+    try:
+        summary = summarize_trace_file(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot analyse {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not summary["spans"]:
+        print(f"error: {args.path} contains no spans", file=sys.stderr)
+        return 1
+
+    print(f"{summary['spans']} spans in {summary['traces']} traces, "
+          f"{summary['end_to_end_s']:.6f} s end-to-end\n")
+    print(render_table(
+        [
+            {
+                "phase": row["phase"],
+                "time_s": row["time_s"],
+                "share": row["share"],
+                "spans": row["spans"],
+                "links": row["links"],
+            }
+            for row in summary["breakdown"]
+        ],
+        title="per-phase latency attribution (self time)",
+    ))
+    if summary["slowest"] is not None:
+        print(render_critical_path(summary["slowest"]))
+    if args.csv is not None:
+        args.csv.write_text(rows_to_csv(summary["breakdown"]))
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tap-repro",
         description="Regenerate the figures of the TAP paper (ICPP 2004).",
@@ -133,6 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="run invariant audits inside supporting runners "
                              "(abort on the first violation)")
+    parser.add_argument("--trace-out", type=pathlib.Path, default=None,
+                        help="write a repro.obs span trace (Chrome trace-event "
+                             "JSON for Perfetto/chrome://tracing, plus a "
+                             "sibling .events.jsonl event trace)")
+    parser.add_argument("--trace-redact", action="store_true",
+                        help="apply anonymity-aware redaction to the span "
+                             "export (per-observer attribute stripping)")
     args = parser.parse_args(argv)
 
     metrics = None
@@ -140,6 +219,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    tracer = event_trace = None
+    if args.trace_out is not None:
+        from repro.obs import EventTrace, SpanTracer
+
+        tracer = SpanTracer()
+        event_trace = EventTrace()
 
     if args.figure == "all":
         names = list(_FIGURES)
@@ -149,7 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.figure]
     for name in names:
         rows = _run_one(name, args.fast, args.seed,
-                        metrics=metrics, audit=args.audit)
+                        metrics=metrics, audit=args.audit,
+                        tracer=tracer, event_trace=event_trace)
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
         if args.csv is not None and len(names) == 1:
@@ -168,6 +254,14 @@ def main(argv: list[str] | None = None) -> int:
         csv_path = args.metrics_out.with_suffix(".csv")
         csv_path.write_text(rows_to_csv(metrics_rows(metrics)))
         print(f"wrote {args.metrics_out} and {csv_path}")
+    if tracer is not None:
+        args.trace_out.parent.mkdir(parents=True, exist_ok=True)
+        count = tracer.dump(args.trace_out, redact=args.trace_redact)
+        events_path = args.trace_out.with_suffix(".events.jsonl")
+        n_events = event_trace.dump(events_path)
+        print(f"wrote {args.trace_out} ({count} spans, "
+              f"{tracer.dropped} dropped) and {events_path} "
+              f"({n_events} events)")
     return 0
 
 

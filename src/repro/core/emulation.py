@@ -54,6 +54,8 @@ class EmuTrace:
     timeouts: int = 0
     hint_failures: int = 0
     on_done: Callable[["EmuTrace"], None] | None = None
+    #: root :class:`repro.obs.Span` of this transmission (tracing only)
+    span: object | None = None
 
     @property
     def latency(self) -> float:
@@ -79,6 +81,9 @@ class _Envelope:
     size_bits: float
     trace: EmuTrace
     via_hint: bool = False  # current leg is a direct hinted send
+    #: sim time / source of the physical leg currently in flight
+    leg_start: float = 0.0
+    leg_from: int = 0
 
 
 class TapEmulation:
@@ -93,6 +98,7 @@ class TapEmulation:
         topology: Topology | None = None,
         simulator: Simulator | None = None,
         metrics=None,
+        tracer=None,
     ):
         self.network = network
         self.store = store
@@ -100,6 +106,9 @@ class TapEmulation:
         self.ip_index = ip_index
         #: optional :class:`repro.obs.MetricsRegistry`
         self.metrics = metrics
+        #: optional :class:`repro.obs.SpanTracer`; spans carry the
+        #: simulated clock (``set_sim``), one leg span per physical send
+        self.tracer = tracer
         self.simulator = simulator or Simulator()
         self.topology = topology or Topology(seed=0)
         self.net = SimNetwork(self.simulator, self.topology)
@@ -128,6 +137,7 @@ class TapEmulation:
             system.ip_index,
             topology=topology,
             metrics=getattr(system, "metrics", None),
+            tracer=getattr(system, "tracer", None),
         )
 
     # ------------------------------------------------------------------
@@ -151,6 +161,17 @@ class TapEmulation:
         self, trace: EmuTrace, now: float, delivered: bool, reason: str | None = None
     ) -> None:
         trace._finish(now, delivered, reason)
+        if trace.span is not None and self.tracer:
+            trace.span.set_sim(trace.started_at, now)
+            self.tracer.finish(
+                trace.span,
+                delivered=delivered,
+                links=max(0, len(trace.path) - 1),
+                timeouts=trace.timeouts,
+                hint_failures=trace.hint_failures,
+                error=reason,
+            )
+            trace.span = None
         m = self.metrics
         if m is None:
             return
@@ -187,6 +208,11 @@ class TapEmulation:
         blob = build_onion(tunnel.onion_layers(), destination_id, payload)
         bits = size_bits if size_bits is not None else 8.0 * len(payload)
         trace = EmuTrace(started_at=self.simulator.now, on_done=on_done)
+        if self.tracer:
+            trace.span = self.tracer.start_trace(
+                "emu.request", observer="initiator",
+                initiator=initiator.node_id, **tunnel.span_attrs(),
+            )
         trace.path.append(initiator.node_id)
         env = _Envelope(
             kind="tunnel",
@@ -236,6 +262,8 @@ class TapEmulation:
             hinted = self.ip_index.get(hint_ip)
             if hinted is not None and hinted != from_node:
                 env.via_hint = True
+                env.leg_start = self.simulator.now
+                env.leg_from = from_node
                 self.net.send(from_node, hinted, env, env.size_bits)
                 return
             env.trace.hint_failures += 1
@@ -248,6 +276,8 @@ class TapEmulation:
         if nxt == from_node:
             self._deliver_local(from_node, env)
             return
+        env.leg_start = self.simulator.now
+        env.leg_from = from_node
         self.net.send(from_node, nxt, env, env.size_bits)
 
     def _handle(self, net: SimNetwork, src: int, dst: int, payload) -> None:
@@ -261,6 +291,14 @@ class TapEmulation:
             self._finish_trace(env.trace, self.simulator.now, True)
             return
         env.trace.path.append(dst)
+        if env.trace.span is not None and self.tracer:
+            # one leg span per physical delivery, on the simulated clock
+            self.tracer.add_span(
+                "hint.direct" if env.via_hint else "dht.route",
+                parent=env.trace.span,
+                sim_start=env.leg_start, sim_end=self.simulator.now,
+                observer="hop", src=env.leg_from, dst=dst, links=1,
+            )
         if env.via_hint:
             env.via_hint = False
             # Hinted leg arrived: serve locally if we hold the anchor,
@@ -276,6 +314,8 @@ class TapEmulation:
         if nxt == dst or nxt is None:
             self._deliver_local(dst, env)
         else:
+            env.leg_start = self.simulator.now
+            env.leg_from = dst
             self.net.send(dst, nxt, env, env.size_bits)
 
     def _on_drop(self, record: SimMessage) -> None:
@@ -292,6 +332,13 @@ class TapEmulation:
             env.trace.hint_failures += 1
         self.network.discover_failure(sender, dead)
         delay = 2.0 * self.topology.latency(sender, dead)
+        if env.trace.span is not None and self.tracer:
+            # the round-trip the sender wasted waiting on the dead node
+            self.tracer.add_span(
+                "failover.repair", parent=env.trace.span,
+                sim_start=env.leg_start, sim_end=self.simulator.now + delay,
+                observer="hop", event="timeout", src=sender, links=1,
+            )
         self.simulator.schedule(delay, self._dispatch, sender, env)
 
     # ------------------------------------------------------------------
@@ -321,6 +368,14 @@ class TapEmulation:
         except (CipherError, SerializationError):
             self._finish_trace(env.trace, now, False, f"decryption failed at {node_id:#x}")
             return
+        if env.trace.span is not None and self.tracer:
+            # instantaneous on the simulated clock (crypto is not part
+            # of the latency model), still attributed to the trace
+            self.tracer.add_span(
+                "onion.peel", parent=env.trace.span,
+                sim_start=now, sim_end=now,
+                observer="hop", hop_node=node_id,
+            )
 
         if peeled.is_exit:
             for tap in self.content_taps:

@@ -23,6 +23,7 @@ difference.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -39,6 +40,18 @@ from repro.util.serialize import SerializationError
 
 class TunnelBroken(RuntimeError):
     """The message could not complete the tunnel (hop unreachable/lost)."""
+
+
+def record_links(record: "HopRecord") -> int:
+    """Physical links charged to one hop record.
+
+    Path edges plus one for a timed-out hint probe (whose link never
+    enters ``underlying_path``); a *stale* probe's link is already the
+    first path edge, so it is not charged twice.
+    """
+    return max(0, len(record.underlying_path) - 1) + (
+        1 if record.hint_timeout else 0
+    )
 
 
 @dataclass
@@ -80,12 +93,7 @@ class ForwardTrace:
     @property
     def underlying_hops(self) -> int:
         """Total physical-link traversals, the latency driver of Fig. 6."""
-        total = sum(max(0, len(r.underlying_path) - 1) for r in self.records)
-        # Timed-out hint probes cost one extra link each (probe to the
-        # dead/unknown node + timeout).  A *stale* hint — alive node
-        # that no longer holds the replica — is not charged here: its
-        # probe link is already the first edge of ``underlying_path``.
-        total += sum(1 for r in self.records if r.hint_timeout)
+        total = sum(record_links(r) for r in self.records)
         total += max(0, len(self.exit_path) - 1)
         return total
 
@@ -115,6 +123,7 @@ class TunnelForwarder:
         ip_index: dict[str, int] | None = None,
         metrics=None,
         event_trace=None,
+        tracer=None,
     ):
         self.network = network
         self.store = store
@@ -125,6 +134,8 @@ class TunnelForwarder:
         self.metrics = metrics
         #: optional :class:`repro.obs.EventTrace` of per-hop events
         self.event_trace = event_trace
+        #: optional :class:`repro.obs.SpanTracer` of causal span trees
+        self.tracer = tracer
 
     def _observe_trace(self, kind: str, trace: ForwardTrace) -> None:
         m = self.metrics
@@ -185,24 +196,33 @@ class TunnelForwarder:
         Tries the IP hint first (§5), then Pastry routing.  Returns the
         node id that will process the hop; fills the trace record.
         """
+        tr = self.tracer
         start = from_node
         if hint_ip:
+            probe = tr.start_span("hint.probe", observer="hop",
+                                  src=from_node, links=1) if tr else None
             hinted = self.ip_index.get(hint_ip)
             if hinted is not None and self.network.is_alive(hinted):
                 if self.store.storage_of(hinted).contains(hop_id):
                     record.via_hint = True
                     record.underlying_path = [from_node, hinted]
+                    if probe is not None:
+                        tr.finish(probe, outcome="hit", hinted=hinted)
                     return hinted
                 # Alive but no longer a replica holder: it forwards the
                 # message into the DHT from where it sits.
                 record.hint_failed = True
                 start = hinted
                 record.underlying_path = [from_node, hinted]
+                if probe is not None:
+                    tr.finish(probe, outcome="stale", hinted=hinted)
             else:
                 # Dead or unknown: the probe times out; re-route from
                 # the current hop node.
                 record.hint_failed = True
                 record.hint_timeout = True
+                if probe is not None:
+                    tr.finish(probe, outcome="timeout")
         try:
             route = self.network.route(start, hop_id)
         except RoutingError as exc:
@@ -218,23 +238,33 @@ class TunnelForwarder:
 
     def _peel_at(self, node_id: int, hop_id: int, blob: bytes):
         """The hop node's work: local THA lookup + one decryption."""
-        storage = self.store.storage_of(node_id)
-        try:
-            stored = storage.lookup(hop_id)
-        except StorageError as exc:
-            if self.metrics is not None:
-                self.metrics.counter("tap.peel.anchor_lost").inc()
-            raise TunnelBroken(
-                f"node {node_id:#x} is closest to hop {hop_id:#x} "
-                f"but holds no THA replica (anchor lost)"
-            ) from exc
-        anchor = tha_value_decode(hop_id, stored.value)
-        try:
-            return peel_layer(anchor.key, blob)
-        except (CipherError, SerializationError) as exc:
-            if self.metrics is not None:
-                self.metrics.counter("tap.peel.decrypt_failures").inc()
-            raise TunnelBroken(f"layer decryption failed at {node_id:#x}") from exc
+        tr = self.tracer
+        cm = tr.span("onion.peel", observer="hop",
+                     hop_node=node_id) if tr else nullcontext()
+        with cm as span:
+            storage = self.store.storage_of(node_id)
+            try:
+                stored = storage.lookup(hop_id)
+            except StorageError as exc:
+                if span is not None:
+                    span.set(outcome="anchor_lost")
+                if self.metrics is not None:
+                    self.metrics.counter("tap.peel.anchor_lost").inc()
+                raise TunnelBroken(
+                    f"node {node_id:#x} is closest to hop {hop_id:#x} "
+                    f"but holds no THA replica (anchor lost)"
+                ) from exc
+            anchor = tha_value_decode(hop_id, stored.value)
+            try:
+                return peel_layer(anchor.key, blob)
+            except (CipherError, SerializationError) as exc:
+                if span is not None:
+                    span.set(outcome="decrypt_failed")
+                if self.metrics is not None:
+                    self.metrics.counter("tap.peel.decrypt_failures").inc()
+                raise TunnelBroken(
+                    f"layer decryption failed at {node_id:#x}"
+                ) from exc
 
     # ------------------------------------------------------------------
     # forward traversal
@@ -246,6 +276,7 @@ class TunnelForwarder:
         destination_id: int,
         payload: bytes,
         deliver: Callable[[int, bytes], None] | None = None,
+        parent=None,
     ) -> ForwardTrace:
         """Send ``payload`` to ``destination_id`` through ``tunnel``.
 
@@ -253,8 +284,27 @@ class TunnelForwarder:
         payload)`` if given; the trace always carries it too.  Raises
         nothing: failures are reported in the trace (like a deployed
         system, the initiator only observes a timeout).
+
+        ``parent`` optionally attaches the traversal's span tree under
+        a caller-owned span (session round trip, retrieval, ...).
         """
-        trace = self._send_impl(initiator, tunnel, destination_id, payload, deliver)
+        tr = self.tracer
+        cm = tr.span(
+            "tap.forward", parent=parent, observer="initiator",
+            initiator=initiator.node_id, **tunnel.span_attrs(),
+        ) if tr else nullcontext()
+        with cm as span:
+            trace = self._send_impl(
+                initiator, tunnel, destination_id, payload, deliver
+            )
+            if span is not None:
+                span.set(
+                    success=trace.success,
+                    overlay_hops=trace.overlay_hops,
+                    links=trace.underlying_hops,
+                )
+                if trace.failure_reason:
+                    span.set(error=trace.failure_reason)
         self._observe_trace("forward", trace)
         return trace
 
@@ -268,41 +318,66 @@ class TunnelForwarder:
     ) -> ForwardTrace:
         blob = build_onion(tunnel.onion_layers(), destination_id, payload)
         trace = ForwardTrace()
+        tr = self.tracer
         current = initiator.node_id
         hop_id = tunnel.hops[0].hop_id
         hint_ip = tunnel.hint_ips[0] or ""
         expected_roots = {
             h.hop_id: h.meta.get("formed_root") for h in tunnel.hops
         }
-        for _ in range(len(tunnel.hops) + 1):
+        for index in range(len(tunnel.hops) + 1):
             record = HopRecord(hop_id=hop_id, hop_node=None)
             trace.records.append(record)
-            try:
-                hop_node = self._locate_hop(current, hop_id, hint_ip, record)
-                record.hop_node = hop_node
-                formed_root = expected_roots.get(hop_id)
-                if formed_root is not None and formed_root != hop_node:
-                    record.promoted = True
-                peeled = self._peel_at(hop_node, hop_id, blob)
-            except TunnelBroken as exc:
-                trace.failure_reason = str(exc)
-                return trace
-            if peeled.is_exit:
-                trace.destination = peeled.next_id
-                trace.delivered_payload = peeled.inner
+            cm = tr.span(
+                "tap.hop", observer="hop", hop_index=index
+            ) if tr else nullcontext()
+            with cm as hop_span:
                 try:
-                    exit_route = self.network.route(hop_node, peeled.next_id)
-                except RoutingError as exc:
-                    trace.failure_reason = f"exit routing failed: {exc}"
+                    hop_node = self._locate_hop(current, hop_id, hint_ip, record)
+                    record.hop_node = hop_node
+                    formed_root = expected_roots.get(hop_id)
+                    if formed_root is not None and formed_root != hop_node:
+                        record.promoted = True
+                    peeled = self._peel_at(hop_node, hop_id, blob)
+                except TunnelBroken as exc:
+                    trace.failure_reason = str(exc)
+                    if hop_span is not None:
+                        hop_span.set(error=trace.failure_reason,
+                                     links=record_links(record))
                     return trace
-                if not exit_route.success:
-                    trace.failure_reason = "exit routing did not converge"
+                if hop_span is not None:
+                    hop_span.set(
+                        hop_node=hop_node,
+                        links=record_links(record),
+                        via_hint=record.via_hint,
+                        promoted=record.promoted,
+                    )
+                if peeled.is_exit:
+                    trace.destination = peeled.next_id
+                    trace.delivered_payload = peeled.inner
+                    try:
+                        exit_route = self.network.route(hop_node, peeled.next_id)
+                    except RoutingError as exc:
+                        trace.failure_reason = f"exit routing failed: {exc}"
+                        if hop_span is not None:
+                            hop_span.set(error=trace.failure_reason)
+                        return trace
+                    if not exit_route.success:
+                        trace.failure_reason = "exit routing did not converge"
+                        if hop_span is not None:
+                            hop_span.set(error=trace.failure_reason)
+                        return trace
+                    trace.exit_path = exit_route.path
+                    trace.success = True
+                    if hop_span is not None:
+                        hop_span.set(
+                            is_exit=True,
+                            links=record_links(record)
+                            + max(0, len(exit_route.path) - 1),
+                        )
+                    if deliver is not None:
+                        deliver(exit_route.destination, peeled.inner)
                     return trace
-                trace.exit_path = exit_route.path
-                trace.success = True
-                if deliver is not None:
-                    deliver(exit_route.destination, peeled.inner)
-                return trace
             current = hop_node
             hop_id = peeled.next_id
             hint_ip = peeled.ip_hint
@@ -320,6 +395,8 @@ class TunnelForwarder:
         reply_blob: bytes,
         payload: bytes,
         max_hops: int = 32,
+        parent=None,
+        expected_roots: dict[int, int] | None = None,
     ) -> ForwardTrace:
         """Route a reply payload back along a reply tunnel.
 
@@ -328,10 +405,31 @@ class TunnelForwarder:
         closest to the current identifier recognises it as one of its
         pending ``bid`` values — from the outside indistinguishable
         from one more hop.
+
+        ``parent`` attaches the span tree under a caller-owned span.
+        ``expected_roots`` maps hop ids to their formed-time replica
+        roots (the reply tunnel's ``formed_root`` metadata, known only
+        to the initiator who formed it); when given, fail-over is
+        recorded as ``promoted`` exactly as on the forward path.
         """
-        trace = self._send_reply_impl(
-            responder_id, first_hop_id, reply_blob, payload, max_hops
-        )
+        tr = self.tracer
+        cm = tr.span(
+            "tap.reply", parent=parent, observer="exit",
+            responder=responder_id,
+        ) if tr else nullcontext()
+        with cm as span:
+            trace = self._send_reply_impl(
+                responder_id, first_hop_id, reply_blob, payload,
+                max_hops, expected_roots,
+            )
+            if span is not None:
+                span.set(
+                    success=trace.success,
+                    overlay_hops=trace.overlay_hops,
+                    links=trace.underlying_hops,
+                )
+                if trace.failure_reason:
+                    span.set(error=trace.failure_reason)
         self._observe_trace("reply", trace)
         return trace
 
@@ -342,38 +440,64 @@ class TunnelForwarder:
         reply_blob: bytes,
         payload: bytes,
         max_hops: int = 32,
+        expected_roots: dict[int, int] | None = None,
     ) -> ForwardTrace:
         trace = ForwardTrace()
+        tr = self.tracer
         current = responder_id
         hop_id = first_hop_id
         blob = reply_blob
         hint_ip = ""
-        for _ in range(max_hops):
+        for index in range(max_hops):
             record = HopRecord(hop_id=hop_id, hop_node=None)
             trace.records.append(record)
-            try:
-                hop_node = self._locate_hop(current, hop_id, hint_ip, record)
-            except TunnelBroken as exc:
-                trace.failure_reason = str(exc)
-                return trace
-            record.hop_node = hop_node
-
-            tap = self.tap_registry.get(hop_node)
-            if tap is not None:
-                pending = tap.match_reply(hop_id)
-                if pending is not None:
-                    pending.completed = True
-                    trace.success = True
-                    trace.destination = hop_node
-                    trace.delivered_payload = payload
-                    if pending.callback is not None:
-                        pending.callback(payload)
+            cm = tr.span(
+                "tap.hop", observer="hop", hop_index=index
+            ) if tr else nullcontext()
+            with cm as hop_span:
+                try:
+                    hop_node = self._locate_hop(current, hop_id, hint_ip, record)
+                except TunnelBroken as exc:
+                    trace.failure_reason = str(exc)
+                    if hop_span is not None:
+                        hop_span.set(error=trace.failure_reason,
+                                     links=record_links(record))
                     return trace
-            try:
-                peeled = self._peel_at(hop_node, hop_id, blob)
-            except TunnelBroken as exc:
-                trace.failure_reason = str(exc)
-                return trace
+                record.hop_node = hop_node
+                if expected_roots is not None:
+                    formed_root = expected_roots.get(hop_id)
+                    if formed_root is not None and formed_root != hop_node:
+                        record.promoted = True
+                if hop_span is not None:
+                    hop_span.set(
+                        hop_node=hop_node,
+                        links=record_links(record),
+                        via_hint=record.via_hint,
+                        promoted=record.promoted,
+                    )
+
+                tap = self.tap_registry.get(hop_node)
+                if tap is not None:
+                    pending = tap.match_reply(hop_id)
+                    if pending is not None:
+                        pending.completed = True
+                        trace.success = True
+                        trace.destination = hop_node
+                        trace.delivered_payload = payload
+                        if hop_span is not None:
+                            # initiator-only knowledge; stripped from
+                            # this hop-observer span on redacted export
+                            hop_span.set(delivered=True, matched_bid=hop_id)
+                        if pending.callback is not None:
+                            pending.callback(payload)
+                        return trace
+                try:
+                    peeled = self._peel_at(hop_node, hop_id, blob)
+                except TunnelBroken as exc:
+                    trace.failure_reason = str(exc)
+                    if hop_span is not None:
+                        hop_span.set(error=trace.failure_reason)
+                    return trace
             current = hop_node
             hop_id = peeled.next_id
             hint_ip = peeled.ip_hint

@@ -17,6 +17,7 @@ Flow (all crypto real, all routing over live overlay state):
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.forwarding import ForwardTrace, TunnelForwarder
@@ -105,25 +106,60 @@ class AnonymousRetrieval:
     # ------------------------------------------------------------------
     def _responder_serve(self, responder_id: int, payload: bytes) -> ForwardTrace | None:
         """R: look up the file, encrypt, send down the reply tunnel."""
-        try:
-            fid, temp_public, first_hop, reply_blob = self._decode_request(payload)
-        except (SerializationError, RsaError, ValueError):
-            return None
-        try:
-            stored = self.store.storage_of(responder_id).lookup(fid)
-        except StorageError:
-            return None
-        content: bytes = stored.value
-        k_f = SymmetricKey(random_key(self.rng))
-        sealed_file = k_f.seal(content)
-        wrapped_key = temp_public.encrypt(k_f.key_bytes, self.rng)
-        reply_payload = pack_fields(sealed_file, wrapped_key)
-        return self.forwarder.send_reply(responder_id, first_hop, reply_blob, reply_payload)
+        tr = self.forwarder.tracer
+        cm = tr.span(
+            "tap.respond", observer="exit", responder=responder_id
+        ) if tr else nullcontext()
+        with cm as span:
+            try:
+                fid, temp_public, first_hop, reply_blob = self._decode_request(payload)
+            except (SerializationError, RsaError, ValueError):
+                if span is not None:
+                    span.set(error="malformed request")
+                return None
+            if span is not None:
+                span.set(fid=fid)
+            try:
+                stored = self.store.storage_of(responder_id).lookup(fid)
+            except StorageError:
+                if span is not None:
+                    span.set(error="file not held locally")
+                return None
+            content: bytes = stored.value
+            k_f = SymmetricKey(random_key(self.rng))
+            sealed_file = k_f.seal(content)
+            wrapped_key = temp_public.encrypt(k_f.key_bytes, self.rng)
+            reply_payload = pack_fields(sealed_file, wrapped_key)
+            return self.forwarder.send_reply(
+                responder_id, first_hop, reply_blob, reply_payload
+            )
 
     # ------------------------------------------------------------------
     # the initiator's retrieval
     # ------------------------------------------------------------------
     def retrieve(
+        self,
+        initiator: TapNode,
+        fid: int,
+        forward_tunnel: Tunnel,
+        reply_tunnel: ReplyTunnel,
+    ) -> RetrievalResult:
+        tr = self.forwarder.tracer
+        cm = tr.span(
+            "tap.request", observer="initiator",
+            initiator=initiator.node_id, fid=fid,
+        ) if tr else nullcontext()
+        with cm as span:
+            result = self._retrieve_impl(
+                initiator, fid, forward_tunnel, reply_tunnel
+            )
+            if span is not None:
+                span.set(success=result.success)
+                if result.failure_reason:
+                    span.set(error=result.failure_reason)
+        return result
+
+    def _retrieve_impl(
         self,
         initiator: TapNode,
         fid: int,

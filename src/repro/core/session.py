@@ -24,6 +24,7 @@ bound to an overlay node that turns request payloads into responses.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -94,6 +95,9 @@ class TapSession:
         self.use_hints = use_hints
         self.max_retries = max_retries
         self.stats = SessionStats()
+        #: shares the system's :class:`repro.obs.SpanTracer` (if any),
+        #: so round-trip spans nest under session.request roots
+        self.tracer = getattr(system, "tracer", None)
         self._seq = 0
         self.forward: Tunnel = system.form_tunnel(
             initiator, tunnel_length, use_hints=use_hints
@@ -114,18 +118,24 @@ class TapSession:
     # ------------------------------------------------------------------
     def _reform(self, which: str) -> None:
         """Replace a broken tunnel with a fresh one (new anchors)."""
-        self.stats.tunnel_reforms += 1
-        self.system.deploy_thas(self.initiator, count=self.tunnel_length)
-        if which == "forward":
-            self.system.retire_tunnel(self.initiator, self.forward)
-            self.forward = self.system.form_tunnel(
-                self.initiator, self.tunnel_length, use_hints=self.use_hints
-            )
-        else:
-            self.system.retire_tunnel(self.initiator, self.reply)
-            self.reply = self.system.form_reply_tunnel(
-                self.initiator, self.tunnel_length, use_hints=self.use_hints
-            )
+        tr = self.tracer
+        cm = tr.span(
+            "session.reform", observer="initiator",
+            initiator=self.initiator.node_id, which=which,
+        ) if tr else nullcontext()
+        with cm:
+            self.stats.tunnel_reforms += 1
+            self.system.deploy_thas(self.initiator, count=self.tunnel_length)
+            if which == "forward":
+                self.system.retire_tunnel(self.initiator, self.forward)
+                self.forward = self.system.form_tunnel(
+                    self.initiator, self.tunnel_length, use_hints=self.use_hints
+                )
+            else:
+                self.system.retire_tunnel(self.initiator, self.reply)
+                self.reply = self.system.form_reply_tunnel(
+                    self.initiator, self.tunnel_length, use_hints=self.use_hints
+                )
 
     def _round_trip(self, body: bytes, seq: int) -> bytes | None:
         """One attempt: request out, response back.  None on failure."""
@@ -190,15 +200,25 @@ class TapSession:
         self._seq += 1
         seq = self._seq
         self.stats.requests += 1
-        for attempt in range(1 + self.max_retries):
-            if attempt:
-                self.stats.retries += 1
-            response = self._round_trip(body, seq)
-            if response is not None:
-                self.stats.responses += 1
-                return response
-        self.stats.failures += 1
-        return None
+        tr = self.tracer
+        cm = tr.span(
+            "session.request", observer="initiator",
+            initiator=self.initiator.node_id, seq=seq,
+        ) if tr else nullcontext()
+        with cm as span:
+            for attempt in range(1 + self.max_retries):
+                if attempt:
+                    self.stats.retries += 1
+                response = self._round_trip(body, seq)
+                if response is not None:
+                    self.stats.responses += 1
+                    if span is not None:
+                        span.set(success=True, attempts=attempt + 1)
+                    return response
+            self.stats.failures += 1
+            if span is not None:
+                span.set(success=False, attempts=1 + self.max_retries)
+            return None
 
     def close(self, delete_anchors: bool = True) -> None:
         """Tear the session down, retiring (and deleting) its anchors."""

@@ -34,6 +34,7 @@ class TapSystem:
         seeds: SeedSequenceFactory,
         metrics=None,
         event_trace=None,
+        tracer=None,
     ):
         self.network = network
         self.store = store
@@ -50,12 +51,13 @@ class TapSystem:
         self._form_rng = seeds.pyrandom("tunnel-form")
         self.metrics = None
         self.event_trace = None
+        self.tracer = None
         #: set by :meth:`enable_auditing`
         self.auditor = None
         #: raise on audit violations (vs. collect in auditor.history)
         self.audit_strict = True
-        if metrics is not None or event_trace is not None:
-            self.attach_observability(metrics, event_trace)
+        if metrics is not None or event_trace is not None or tracer is not None:
+            self.attach_observability(metrics, event_trace, tracer)
 
     # ------------------------------------------------------------------
     # construction
@@ -70,6 +72,7 @@ class TapSystem:
         leaf_set_size: int = 16,
         metrics=None,
         event_trace=None,
+        tracer=None,
     ) -> "TapSystem":
         """Random overlay of ``num_nodes`` with correct initial state."""
         seeds = SeedSequenceFactory(seed)
@@ -79,14 +82,20 @@ class TapSystem:
             ids.add(random_id(id_rng))
         network = PastryNetwork.build(ids, b_bits=b_bits, leaf_set_size=leaf_set_size)
         store = ReplicatedStore(network, replication_factor)
-        return cls(network, store, seeds, metrics=metrics, event_trace=event_trace)
+        return cls(
+            network, store, seeds,
+            metrics=metrics, event_trace=event_trace, tracer=tracer,
+        )
 
     # ------------------------------------------------------------------
     # observability (repro.obs)
     # ------------------------------------------------------------------
-    def attach_observability(self, metrics=None, event_trace=None) -> None:
-        """Thread a :class:`repro.obs.MetricsRegistry` and/or
-        :class:`repro.obs.EventTrace` through every substrate."""
+    def attach_observability(
+        self, metrics=None, event_trace=None, tracer=None
+    ) -> None:
+        """Thread a :class:`repro.obs.MetricsRegistry`,
+        :class:`repro.obs.EventTrace` and/or
+        :class:`repro.obs.SpanTracer` through every substrate."""
         if metrics is not None:
             self.metrics = metrics
             self.network.metrics = metrics
@@ -96,6 +105,11 @@ class TapSystem:
         if event_trace is not None:
             self.event_trace = event_trace
             self.forwarder.event_trace = event_trace
+        if tracer is not None:
+            self.tracer = tracer
+            self.network.tracer = tracer
+            self.store.tracer = tracer
+            self.forwarder.tracer = tracer
 
     def enable_auditing(self, strict: bool = True):
         """Run an :class:`repro.obs.InvariantAuditor` after every
@@ -182,10 +196,17 @@ class TapSystem:
         now: float = 0.0,
     ) -> Tunnel:
         """Form a forward tunnel from the owner's deployed anchors (§3.5)."""
+        tr = self.tracer
+        span = tr.start_span(
+            "tunnel.form", observer="initiator",
+            initiator=owner.node_id, length=length, hints=use_hints,
+        ) if tr else None
         hops = self._claim_hops(owner, length)
         hints: list[str | None] = [None] * length
         if use_hints:
             hints = [self._resolve_hint(owner, h.hop_id) for h in hops]
+        if span is not None:
+            tr.finish(span)
         return Tunnel(hops=hops, hint_ips=hints, formed_at=now)
 
     def form_reply_tunnel(
@@ -196,11 +217,19 @@ class TapSystem:
         now: float = 0.0,
     ) -> ReplyTunnel:
         """Form a reply tunnel ending at a ``bid`` owned by the initiator."""
+        tr = self.tracer
+        span = tr.start_span(
+            "tunnel.form", observer="initiator",
+            initiator=owner.node_id, length=length, hints=use_hints,
+            reply=True,
+        ) if tr else None
         hops = self._claim_hops(owner, length)
         hints: list[str | None] = [None] * length
         if use_hints:
             hints = [self._resolve_hint(owner, h.hop_id) for h in hops]
         bid = owner.make_bid(self.network.alive_ids)
+        if span is not None:
+            tr.finish(span)
         return ReplyTunnel(hops=hops, hint_ips=hints, formed_at=now, bid=bid)
 
     def _claim_hops(self, owner: TapNode, length: int):

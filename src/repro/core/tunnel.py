@@ -59,6 +59,14 @@ class Tunnel:
             for h, ip in zip(self.hops, self.hint_ips)
         ]
 
+    def span_attrs(self) -> dict:
+        """Structure attributes for the traversal's root span — shape
+        only (length, hint coverage), never hop identities."""
+        return {
+            "tunnel_length": self.length,
+            "hinted_hops": sum(1 for ip in self.hint_ips if ip),
+        }
+
 
 @dataclass
 class ReplyTunnel(Tunnel):

@@ -95,6 +95,8 @@ def run_hint_staleness(
     config: HintStalenessConfig = HintStalenessConfig(),
     metrics=None,
     audit: bool = False,
+    tracer=None,
+    event_trace=None,
 ) -> list[dict]:
     """Object-level: form hinted tunnels, churn, measure hint failures.
 
@@ -102,8 +104,9 @@ def run_hint_staleness(
     are formed, the overlay churns (fail+join with repair), and every
     tunnel is exercised.  Reported per level: fraction of hops whose
     hint failed, and mean underlying hops (the latency driver).
-    ``metrics``/``audit`` thread a :mod:`repro.obs` registry and
-    post-event invariant audits through every system built.
+    ``metrics``/``audit``/``tracer``/``event_trace`` thread a
+    :mod:`repro.obs` registry, post-event invariant audits, and span /
+    event tracing through every system built.
     """
     from repro.core.system import TapSystem
 
@@ -111,7 +114,7 @@ def run_hint_staleness(
     for churn in config.churn_steps:
         system = TapSystem.bootstrap(
             num_nodes=config.num_nodes, seed=config.seed + churn,
-            metrics=metrics,
+            metrics=metrics, event_trace=event_trace, tracer=tracer,
         )
         if audit:
             system.enable_auditing(strict=True)

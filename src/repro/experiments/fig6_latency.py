@@ -48,8 +48,15 @@ def _tunnel_paths(
     initiator: int,
     destination_key: int,
     hop_keys: list[int],
-) -> tuple[list[int], list[int]]:
-    """(basic_path, optimised_path) through the same tunnel hops."""
+) -> tuple[list[int], list[int], list[tuple[str, list[int]]], list[tuple[str, list[int]]]]:
+    """Paths *and* per-leg decomposition through the same tunnel hops.
+
+    Returns ``(basic_path, optimised_path, basic_legs, opt_legs)``;
+    legs are ``(span_name, leg_path)`` pairs whose link sets partition
+    the stitched path — so per-leg transfer times sum exactly to the
+    full-path transfer time under the additive store-and-forward model
+    (the invariant the span export relies on).
+    """
     roots = [network.closest_alive(h) for h in hop_keys]
 
     basic_segments = []
@@ -62,15 +69,26 @@ def _tunnel_paths(
     exit_seg = network.route(current, destination_key)
     assert exit_seg.success
     basic = _stitch(*basic_segments, exit_seg.path)
+    basic_legs = [("dht.route", seg) for seg in basic_segments]
+    basic_legs.append(("exit.route", exit_seg.path))
 
-    optimised = _stitch([initiator], *[[r] for r in roots], [exit_seg.destination])
-    return basic, optimised
+    waypoints = [initiator, *roots, exit_seg.destination]
+    opt_legs: list[tuple[str, list[int]]] = []
+    for i, (a, b) in enumerate(zip(waypoints, waypoints[1:])):
+        if a == b:
+            continue  # co-located waypoints cost no link
+        name = "exit.direct" if i == len(waypoints) - 2 else "hint.direct"
+        opt_legs.append((name, [a, b]))
+    optimised = _stitch(*[leg for _, leg in opt_legs]) or [initiator]
+    return basic, optimised, basic_legs, opt_legs
 
 
 def run_fig6(
     config: Fig6Config = Fig6Config(),
     metrics=None,
     audit: bool = False,
+    tracer=None,
+    event_trace=None,
 ) -> list[dict]:
     """Generate the Figure-6 rows.
 
@@ -79,6 +97,13 @@ def run_fig6(
     the paper's latency data as a first-class artifact.  ``audit``
     runs the :class:`repro.obs.InvariantAuditor` on every overlay
     built, raising on violations.
+
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records one trace per
+    transfer per scheme on the *simulated* clock: a ``tap.request``
+    root whose child legs carry their store-and-forward transfer time
+    and sum exactly to the root's end-to-end duration.  ``event_trace``
+    (an :class:`repro.obs.EventTrace`) records one ``fig6.transfer``
+    event per trace.
     """
     seeds = SeedSequenceFactory(config.seed)
     acc: dict[tuple[int, str], list[float]] = {}
@@ -109,12 +134,49 @@ def run_fig6(
                 )
             alive = network.alive_ids
 
-            def record(scheme: str, path: list[int]) -> None:
+            def record(
+                scheme: str,
+                path: list[int],
+                legs: list[tuple[str, list[int]]] | None = None,
+            ) -> None:
                 t = path_transfer_time(
                     topology, path, config.file_bits,
                     TransferModel.STORE_AND_FORWARD,
                 )
                 acc.setdefault((n_nodes, scheme), []).append(t)
+                if tracer:
+                    root = tracer.start_trace(
+                        "tap.request", observer="initiator",
+                        scheme=scheme, num_nodes=n_nodes,
+                        initiator=path[0] if path else None,
+                    )
+                    cursor = 0.0
+                    for name, leg_path in (legs or [("dht.route", path)]):
+                        dt = path_transfer_time(
+                            topology, leg_path, config.file_bits,
+                            TransferModel.STORE_AND_FORWARD,
+                        )
+                        tracer.add_span(
+                            name, parent=root,
+                            sim_start=cursor, sim_end=cursor + dt,
+                            observer="hop",
+                            src=leg_path[0], dst=leg_path[-1],
+                            links=max(0, len(leg_path) - 1),
+                        )
+                        cursor += dt
+                    # children partition the path's links, so their
+                    # durations sum exactly to the end-to-end time
+                    root.set_sim(0.0, cursor)
+                    tracer.finish(
+                        root,
+                        links=max(0, len(path) - 1),
+                        transfer_time_s=t,
+                    )
+                if event_trace is not None:
+                    event_trace.record(
+                        "fig6.transfer", scheme=scheme, num_nodes=n_nodes,
+                        transfer_time_s=t, links=max(0, len(path) - 1),
+                    )
                 if metrics is not None:
                     metrics.histogram(f"fig6.transfer_time_s.{scheme}").observe(t)
                     hops = metrics.histogram(f"fig6.underlying_hops.{scheme}")
@@ -133,11 +195,11 @@ def run_fig6(
 
                 for length in config.tunnel_lengths:
                     hop_keys = [random_id(rng) for _ in range(length)]
-                    basic, optimised = _tunnel_paths(
+                    basic, optimised, basic_legs, opt_legs = _tunnel_paths(
                         network, initiator, fid, hop_keys
                     )
-                    record(f"tap-basic-l{length}", basic)
-                    record(f"tap-opt-l{length}", optimised)
+                    record(f"tap-basic-l{length}", basic, basic_legs)
+                    record(f"tap-opt-l{length}", optimised, opt_legs)
 
     rows: list[dict] = []
     for (n_nodes, scheme), values in sorted(acc.items()):

@@ -77,12 +77,26 @@ class _FixedSession:
 
 def run_session_survival(
     config: SessionSurvivalConfig = SessionSurvivalConfig(),
+    metrics=None,
+    audit: bool = False,
+    tracer=None,
+    event_trace=None,
 ) -> list[dict]:
+    """The churn runner.  ``metrics``/``audit``/``tracer``/
+    ``event_trace`` thread :mod:`repro.obs` instrumentation through
+    every system built — with a tracer, each session request becomes a
+    ``session.request`` span tree covering its tunnel traversals and
+    any ``session.reform`` repairs."""
     seeds = SeedSequenceFactory(config.seed)
     rows: list[dict] = []
 
     for churn in config.failures_per_request:
-        system = TapSystem.bootstrap(config.num_nodes, seed=config.seed + churn)
+        system = TapSystem.bootstrap(
+            config.num_nodes, seed=config.seed + churn,
+            metrics=metrics, event_trace=event_trace, tracer=tracer,
+        )
+        if audit:
+            system.enable_auditing(strict=True)
         rng = seeds.pyrandom("session-churn", churn)
 
         # Set up TAP sessions and fixed baseline sessions on the same

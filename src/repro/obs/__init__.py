@@ -1,4 +1,4 @@
-"""Observability substrate: metrics, structured traces, invariant audits.
+"""Observability substrate: metrics, traces, spans, invariant audits.
 
 Every performance or robustness claim this reproduction makes rests on
 per-hop counters and replica-set invariants.  This package makes those
@@ -9,17 +9,42 @@ paths:
   (p50/p95/p99), exportable as JSON or tidy CSV rows;
 * :class:`EventTrace` — a bounded ring buffer of structured per-hop /
   per-route events with JSON-lines export;
+* :class:`SpanTracer` — causal span trees (one per end-to-end request,
+  children per hop and per ``onion.peel`` / ``dht.route`` /
+  ``hint.probe`` / ``failover.repair`` operation) with wall-clock and
+  simulated-cost attribution, Chrome-trace/Perfetto export, and an
+  anonymity-aware redaction mode;
+* :mod:`repro.obs.critical_path` — rebuilds span trees from an export
+  and attributes end-to-end latency to phases along the critical path;
 * :class:`InvariantAuditor` — systematic post-event checks over the
   overlay (leaf-set symmetry, routing-table liveness, ``_sorted_alive``
   consistency) and the replicated store (holder/intended agreement,
   storage/index agreement).
 
 All instrumentation is opt-in: substrates accept an optional registry
-and pay only a ``None`` check when observability is disabled.
+or tracer and pay only a ``None``/falsiness check when disabled.
 """
 
 from repro.obs.audit import AuditReport, InvariantAuditor, InvariantViolationError
+from repro.obs.critical_path import (
+    SpanRecord,
+    build_trees,
+    critical_path,
+    load_trace_file,
+    phase_breakdown,
+    records_from_tracer,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    NULL_TRACER,
+    PHASES,
+    NullTracer,
+    Span,
+    SpanContext,
+    SpanTracer,
+    phase_of,
+    redact_attrs,
+)
 from repro.obs.trace import EventTrace, TraceEvent
 
 __all__ = [
@@ -31,5 +56,19 @@ __all__ = [
     "InvariantAuditor",
     "InvariantViolationError",
     "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASES",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "SpanTracer",
     "TraceEvent",
+    "build_trees",
+    "critical_path",
+    "load_trace_file",
+    "phase_breakdown",
+    "phase_of",
+    "records_from_tracer",
+    "redact_attrs",
 ]

@@ -1,0 +1,190 @@
+"""Critical-path reconstruction over exported span trees.
+
+Consumes the Chrome trace-event JSON written by
+:meth:`repro.obs.spans.SpanTracer.dump` (or a live tracer) and answers
+the questions Figure 6 and the §5 optimisation raise:
+
+* rebuild the span *tree* of every trace from the span/parent ids
+  preserved in each event's ``args``;
+* compute the **critical path** of a trace — the root-to-leaf chain of
+  spans that determines its completion time;
+* attribute every microsecond to a *phase* (crypto / routing /
+  hint-probe / repair / other, see :func:`repro.obs.spans.phase_of`)
+  using **self time** — a span's duration minus its children's — so
+  nothing is double-counted when hops nest probes and routes.
+
+All durations are reported in seconds regardless of the export's
+microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.spans import PHASES, phase_of
+
+
+@dataclass
+class SpanRecord:
+    """One span reconstructed from an exported trace event."""
+
+    name: str
+    cat: str
+    ts: float  # seconds, trace-local
+    dur: float  # seconds
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    args: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans (floor 0 for jitter)."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def records_from_events(events: list[dict]) -> list[SpanRecord]:
+    """Trace-event dicts -> flat :class:`SpanRecord` list."""
+    records = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue  # metadata / instant events carry no duration
+        args = ev.get("args", {})
+        records.append(
+            SpanRecord(
+                name=ev.get("name", "?"),
+                cat=ev.get("cat") or phase_of(ev.get("name", "")),
+                ts=float(ev.get("ts", 0.0)) / 1e6,
+                dur=float(ev.get("dur", 0.0)) / 1e6,
+                trace_id=int(args.get("trace_id", ev.get("tid", 0))),
+                span_id=int(args["span_id"]) if "span_id" in args else id(ev),
+                parent_id=args.get("parent_id"),
+                args=args,
+            )
+        )
+    return records
+
+
+def load_trace_file(path) -> list[SpanRecord]:
+    """Load a Chrome trace file (object or bare event array)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    return records_from_events(events)
+
+
+def records_from_tracer(tracer, redact: bool = False) -> list[SpanRecord]:
+    """Records straight from a live :class:`~repro.obs.spans.SpanTracer`."""
+    return records_from_events(tracer.chrome_events(redact=redact))
+
+
+def build_trees(records: list[SpanRecord]) -> list[SpanRecord]:
+    """Link children to parents; returns root spans (parent unknown)."""
+    by_id = {(r.trace_id, r.span_id): r for r in records}
+    roots: list[SpanRecord] = []
+    for rec in records:
+        rec.children = []
+    for rec in records:
+        parent = (
+            by_id.get((rec.trace_id, rec.parent_id))
+            if rec.parent_id is not None
+            else None
+        )
+        if parent is None or parent is rec:
+            roots.append(rec)
+        else:
+            parent.children.append(rec)
+    for rec in records:
+        rec.children.sort(key=lambda c: (c.ts, c.span_id))
+    return roots
+
+
+def critical_path(root: SpanRecord) -> list[SpanRecord]:
+    """Root-to-leaf chain that determines the trace's completion time.
+
+    At every level, descend into the child whose interval *ends last*
+    (ties to the longer child) — with sequential children that is the
+    one the parent waited for.
+    """
+    chain = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda c: (c.end, c.dur, c.span_id))
+        chain.append(node)
+    return chain
+
+
+def phase_breakdown(roots: list[SpanRecord]) -> list[dict]:
+    """Per-phase latency attribution rows over a forest of traces.
+
+    Self time is attributed to each span's own phase; shares are of
+    the summed root durations (the end-to-end time the caller saw).
+    """
+    totals = dict.fromkeys(PHASES, 0.0)
+    counts = dict.fromkeys(PHASES, 0)
+    links = dict.fromkeys(PHASES, 0)
+    end_to_end = 0.0
+    for root in roots:
+        end_to_end += root.dur
+        for span in root.walk():
+            phase = span.cat if span.cat in totals else phase_of(span.name)
+            if phase not in totals:
+                phase = "other"
+            totals[phase] += span.self_time
+            counts[phase] += 1
+            raw_links = span.args.get("links")
+            if isinstance(raw_links, (int, float)):
+                links[phase] += int(raw_links)
+    rows = []
+    for phase in PHASES:
+        rows.append(
+            {
+                "phase": phase,
+                "time_s": totals[phase],
+                "share": (totals[phase] / end_to_end) if end_to_end else 0.0,
+                "spans": counts[phase],
+                "links": links[phase],
+            }
+        )
+    return rows
+
+
+def render_critical_path(root: SpanRecord, float_format: str = "{:.6f}") -> str:
+    """Human-readable critical-path chain of one trace."""
+    lines = [
+        f"critical path of trace {root.trace_id} "
+        f"(end-to-end {float_format.format(root.dur)} s):"
+    ]
+    for depth, span in enumerate(critical_path(root)):
+        lines.append(
+            f"  {'  ' * depth}{span.name} [{span.cat}] "
+            f"{float_format.format(span.dur)} s"
+            f" (self {float_format.format(span.self_time)} s)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def summarize_trace_file(path) -> dict:
+    """One-stop digest used by the ``tap-repro trace`` subcommand."""
+    records = load_trace_file(path)
+    roots = build_trees(records)
+    rows = phase_breakdown(roots)
+    slowest = max(roots, key=lambda r: r.dur, default=None)
+    return {
+        "spans": len(records),
+        "traces": len(roots),
+        "end_to_end_s": sum(r.dur for r in roots),
+        "breakdown": rows,
+        "slowest": slowest,
+    }

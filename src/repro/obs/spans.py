@@ -1,0 +1,478 @@
+"""Causal span tracing: OpenTelemetry-style trees over TAP's hot paths.
+
+A :class:`SpanTracer` issues trace/span ids and records *spans* —
+named, timed intervals arranged in a tree: one trace per end-to-end
+request (a tunnel send, a retrieval, a session round trip, an emulated
+transmission), one child span per tunnel hop, and grandchildren for
+the work a hop actually performs (``onion.peel``, ``dht.route``,
+``hint.probe``, ``failover.repair``).  This is the attribution layer
+the flat counters of :mod:`repro.obs.metrics` cannot provide: *where*
+did one message's latency go?
+
+Two time domains coexist:
+
+* **wall clock** (``time.perf_counter``) — every span gets it for
+  free; meaningful for the synchronous engine, where real computation
+  (crypto, routing-table walks) is the cost;
+* **simulated time** — spans whose cost is modelled (underlying-hop
+  latency in Figure 6, the discrete-event emulation's clock) carry
+  explicit ``sim_start``/``sim_end`` set via :meth:`Span.set_sim`;
+  exports prefer the simulated domain when present.
+
+Spans additionally carry a ``links`` attribute (physical-link count),
+so simulated-cost attribution works even for wall-clock spans.
+
+Context propagation is explicit: callers pass a parent :class:`Span`
+(or :class:`SpanContext`) across layer boundaries.  Within one layer
+the :meth:`SpanTracer.span` context manager maintains a current-span
+stack, so nested substrates (e.g. ``PastryNetwork.route`` under a
+forwarder hop span) attach to the right parent without threading a
+context through every signature.
+
+Disabled tracing is free: substrates hold ``tracer = None`` by default
+and guard with a truthiness check; :data:`NULL_TRACER` is falsy, so
+passing it instead of ``None`` also short-circuits the guards.
+
+Export is Chrome trace-event JSON (``{"traceEvents": [...]}``) —
+loadable in Perfetto or ``chrome://tracing`` — with each trace on its
+own track and span/parent ids preserved in ``args`` so
+:mod:`repro.obs.critical_path` can rebuild the trees.
+
+**Redaction mode** keeps the exported format honest to TAP's threat
+model: a span record at hop *i* may only name what an observer at that
+hop sees.  Each span is tagged with an ``observer`` attribute
+(``initiator`` / ``hop`` / ``exit``); redacted export strips the
+attribute keys that viewpoint cannot know, so no single record links
+the initiator to the responder (see :func:`redact_attrs`).  Trace ids
+still correlate records of one request — redaction is about what each
+*record* asserts, not about hiding that a request happened.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, NamedTuple
+
+
+class SpanContext(NamedTuple):
+    """The propagatable identity of a span (what crosses boundaries)."""
+
+    trace_id: int
+    span_id: int
+
+
+class Span:
+    """One named, timed node of a trace tree."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name",
+                 "start", "end", "sim_start", "sim_end", "attrs")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start: float,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.sim_start: float | None = None
+        self.sim_end: float | None = None
+        self.attrs: dict = {}
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def set_sim(self, start: float, end: float) -> "Span":
+        """Attach simulated-clock bounds (seconds); export prefers them."""
+        self.sim_start = start
+        self.sim_end = end
+        return self
+
+    @property
+    def wall_duration(self) -> float:
+        if self.end is None:
+            raise ValueError("span not finished")
+        return self.end - self.start
+
+    @property
+    def sim_duration(self) -> float | None:
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration when set, else wall-clock duration."""
+        sim = self.sim_duration
+        return sim if sim is not None else self.wall_duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+class _NullSpan:
+    """Absorbing stand-in: every mutation is a no-op."""
+
+    __slots__ = ()
+    trace_id = span_id = -1
+    parent_id = None
+    name = ""
+    attrs: dict = {}
+
+    def context(self) -> SpanContext:
+        return SpanContext(-1, -1)
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def set_sim(self, start: float, end: float) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+# ----------------------------------------------------------------------
+# redaction (anonymity-aware export)
+# ----------------------------------------------------------------------
+
+#: attribute keys that identify the initiator side of a request
+INITIATOR_KEYS = frozenset({"initiator", "bid", "delivered", "matched_bid"})
+#: attribute keys that identify the responder side
+RESPONDER_KEYS = frozenset({"destination", "responder", "fid"})
+#: attribute keys that identify intermediate infrastructure
+HOP_KEYS = frozenset({"hop_node", "hop_id", "path", "src", "hinted", "dst"})
+
+
+def redact_attrs(observer: str | None, attrs: dict) -> dict:
+    """Strip the attribute keys the span's viewpoint cannot know.
+
+    * ``initiator`` spans keep initiator identity but lose responder
+      and hop identities (the initiator only ever contacts hop 1);
+    * ``exit`` spans keep responder and hop identities but lose the
+      initiator's (the exit cannot see past the tail hop);
+    * ``hop`` spans (and untagged spans, conservatively) keep only
+      their own infrastructure view — and also lose termination
+      markers like ``delivered``, preserving §4's property that a
+      reply's last hop is indistinguishable from a relay.
+
+    No surviving record carries both an initiator and a responder key.
+    """
+    if observer == "initiator":
+        drop = RESPONDER_KEYS | HOP_KEYS
+    elif observer == "exit":
+        drop = INITIATOR_KEYS
+    else:
+        drop = INITIATOR_KEYS | RESPONDER_KEYS
+    return {k: v for k, v in attrs.items() if k not in drop}
+
+
+# ----------------------------------------------------------------------
+# phase taxonomy (shared with repro.obs.critical_path)
+# ----------------------------------------------------------------------
+
+#: canonical latency-attribution phases, in report order
+PHASES = ("crypto", "routing", "hint-probe", "repair", "other")
+
+_PHASE_PREFIXES = (
+    ("onion.", "crypto"),
+    ("crypto.", "crypto"),
+    ("hint.", "hint-probe"),
+    ("dht.", "routing"),
+    ("exit.", "routing"),
+    ("pastry.", "routing"),
+    ("failover.", "repair"),
+    ("past.", "repair"),
+    ("session.reform", "repair"),
+)
+
+
+def phase_of(name: str) -> str:
+    """Map a span name to its latency-attribution phase."""
+    for prefix, phase in _PHASE_PREFIXES:
+        if name.startswith(prefix):
+            return phase
+    return "other"
+
+
+# ----------------------------------------------------------------------
+# the tracer
+# ----------------------------------------------------------------------
+class SpanTracer:
+    """Issues ids, times spans, keeps the finished-span ring.
+
+    Ids are plain counters — deterministic, seed-free, and unique per
+    tracer; anonymity lives in the *export redaction*, not in id
+    unguessability (this is an observability artifact, not a wire
+    protocol).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 20, clock=time.perf_counter):
+        if capacity < 1:
+            raise ValueError("span capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self.finished: deque[Span] = deque(maxlen=capacity)
+        #: total spans ever finished (>= len once the ring wrapped)
+        self.completed = 0
+        self._stack: list[Span] = []
+        self._next_span = 0
+        self._next_trace = 0
+
+    # -- id plumbing ----------------------------------------------------
+    def _new_ids(self, parent: SpanContext | None) -> tuple[int, int, int | None]:
+        span_id = self._next_span
+        self._next_span += 1
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            return trace_id, span_id, None
+        return parent.trace_id, span_id, parent.span_id
+
+    @staticmethod
+    def _resolve(parent) -> SpanContext | None:
+        if parent is None:
+            return None
+        if isinstance(parent, Span):
+            return parent.context()
+        if isinstance(parent, _NullSpan):
+            return None
+        return SpanContext(*parent)
+
+    def current(self) -> Span | None:
+        """Innermost span opened via the :meth:`span` context manager."""
+        return self._stack[-1] if self._stack else None
+
+    # -- span lifecycle -------------------------------------------------
+    def start_trace(self, name: str, **attrs) -> Span:
+        """Open a root span of a brand-new trace (ignores the stack)."""
+        return self._start(name, None, attrs)
+
+    def start_span(self, name: str, parent=None, **attrs) -> Span:
+        """Open a span; ``parent=None`` attaches to the current stack
+        span when one is open, else starts a new trace."""
+        ctx = self._resolve(parent) if parent is not None else (
+            self.current().context() if self._stack else None
+        )
+        return self._start(name, ctx, attrs)
+
+    def _start(self, name: str, ctx: SpanContext | None, attrs: dict) -> Span:
+        trace_id, span_id, parent_id = self._new_ids(ctx)
+        span = Span(trace_id, span_id, parent_id, name, self._clock())
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def finish(self, span: Span, **attrs) -> Span:
+        """Close a span (idempotent end-time) and commit it to the ring."""
+        if attrs:
+            span.attrs.update(attrs)
+        if span.end is None:
+            span.end = self._clock()
+        self.finished.append(span)
+        self.completed += 1
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent=None, **attrs) -> Iterator[Span]:
+        """Open/close a span around a block, maintaining the stack so
+        nested substrates attach to the right parent implicitly."""
+        s = self.start_span(name, parent=parent, **attrs)
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            self._stack.pop()
+            self.finish(s)
+
+    def add_span(
+        self,
+        name: str,
+        parent=None,
+        sim_start: float | None = None,
+        sim_end: float | None = None,
+        **attrs,
+    ) -> Span:
+        """Record an already-elapsed span in one call (used by the
+        simulated-time instrumentation, where bounds are known)."""
+        s = self.start_span(name, parent=parent, **attrs)
+        if sim_start is not None and sim_end is not None:
+            s.set_sim(sim_start, sim_end)
+        s.end = s.start
+        return self.finish(s)
+
+    # -- access ---------------------------------------------------------
+    def __bool__(self) -> bool:
+        # Always truthy — without this, ``__len__`` would make an
+        # *empty* tracer falsy and every ``if tracer:`` guard would
+        # silently skip the first spans.  (NullTracer is the falsy one.)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.finished)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.finished)
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans evicted by the ring bound."""
+        return self.completed - len(self.finished)
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Finished spans grouped by trace id (insertion order kept)."""
+        out: dict[int, list[Span]] = {}
+        for span in self.finished:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self.completed = 0
+        # id counters stay monotone so old exports never collide
+
+    # -- export ---------------------------------------------------------
+    def chrome_events(self, redact: bool = False) -> list[dict]:
+        """Spans as Chrome trace-event dicts (``ph: "X"`` complete events).
+
+        Wall-clock spans are re-based to the earliest wall start so
+        timestamps are small; simulated spans use their own clock.
+        Timestamps/durations are microseconds (floats allowed).
+        """
+        wall_epoch = min(
+            (s.start for s in self.finished if s.sim_start is None),
+            default=0.0,
+        )
+        events: list[dict] = []
+        for s in self.finished:
+            sim = s.sim_start is not None and s.sim_end is not None
+            if sim:
+                ts, dur = s.sim_start, s.sim_end - s.sim_start
+            else:
+                ts = s.start - wall_epoch
+                dur = (s.end - s.start) if s.end is not None else 0.0
+            observer = s.attrs.get("observer")
+            attrs = redact_attrs(observer, s.attrs) if redact else dict(s.attrs)
+            args = {
+                "trace_id": s.trace_id,
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "clock": "sim" if sim else "wall",
+                **attrs,
+            }
+            events.append({
+                "name": s.name,
+                "cat": phase_of(s.name),
+                "ph": "X",
+                "ts": ts * 1e6,
+                "dur": dur * 1e6,
+                "pid": 1,
+                "tid": s.trace_id,
+                "args": args,
+            })
+        return events
+
+    def export_chrome(self, redact: bool = False) -> dict:
+        return {
+            "traceEvents": self.chrome_events(redact=redact),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs.spans",
+                "redacted": redact,
+                "dropped_spans": self.dropped,
+            },
+        }
+
+    def to_json(self, redact: bool = False, indent: int | None = None) -> str:
+        return json.dumps(self.export_chrome(redact=redact), indent=indent)
+
+    def dump(self, path, redact: bool = False) -> int:
+        """Write the Chrome trace JSON to ``path``; returns span count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(redact=redact))
+            fh.write("\n")
+        return len(self.finished)
+
+
+class NullTracer:
+    """Zero-cost tracer for the disabled state.
+
+    Falsy, so ``if tracer:`` guards skip instrumentation entirely; for
+    callers that invoke it anyway, every method is an absorbing no-op.
+    """
+
+    enabled = False
+    capacity = 0
+    completed = 0
+    dropped = 0
+    finished: tuple = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def current(self) -> None:
+        return None
+
+    def start_trace(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def start_span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, parent=None, **attrs) -> Iterator[_NullSpan]:
+        yield NULL_SPAN
+
+    def add_span(self, name: str, parent=None, sim_start=None, sim_end=None,
+                 **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(())
+
+    def traces(self) -> dict:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def chrome_events(self, redact: bool = False) -> list[dict]:
+        return []
+
+    def export_chrome(self, redact: bool = False) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def to_json(self, redact: bool = False, indent: int | None = None) -> str:
+        return json.dumps(self.export_chrome(redact=redact), indent=indent)
+
+    def dump(self, path, redact: bool = False) -> int:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(redact=redact))
+            fh.write("\n")
+        return 0
+
+
+#: shared no-op instance — pass where a tracer is required but tracing is off
+NULL_TRACER = NullTracer()

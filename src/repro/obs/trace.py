@@ -80,4 +80,12 @@ class EventTrace:
         return len(self._events)
 
     def clear(self) -> None:
+        """Empty the ring and reset the eviction accounting.
+
+        ``_seq`` stays monotone (event ids never repeat across clears)
+        but ``recorded`` resets with the buffer, so ``dropped`` counts
+        only events actually evicted by the ring bound — not the ones
+        deliberately discarded here.
+        """
         self._events.clear()
+        self.recorded = 0

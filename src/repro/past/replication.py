@@ -15,6 +15,7 @@ lost: exactly the failure mode TAP's Figure 2 quantifies.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable
 
 from repro.past.storage import Storage, StorageError, StoredObject
@@ -40,6 +41,7 @@ class ReplicatedStore:
         network: PastryNetwork,
         replication_factor: int = 3,
         metrics=None,
+        tracer=None,
     ):
         if replication_factor < 1:
             raise ValueError("replication factor must be >= 1")
@@ -47,6 +49,9 @@ class ReplicatedStore:
         self.k = replication_factor
         #: optional :class:`repro.obs.MetricsRegistry`
         self.metrics = metrics
+        #: optional :class:`repro.obs.SpanTracer`; membership repairs
+        #: become ``failover.repair`` spans
+        self.tracer = tracer
         self.storages: dict[int, Storage] = {
             nid: Storage(nid) for nid in network.nodes
         }
@@ -177,25 +182,34 @@ class ReplicatedStore:
             return
         if self.metrics is not None:
             self.metrics.counter("past.repair.on_fail").inc()
-        for key in storage.keys():
-            holders = self._holders.get(key, set())
-            holders.discard(node_id)
-            live = [h for h in holders if self.network.is_alive(h)]
-            if not live:
-                self._forget_key(key)
-                if self.metrics is not None:
-                    self.metrics.counter("past.objects.lost").inc()
-                continue
-            # Copy from the live holder numerically closest to the key
-            # (ties by id): the same deterministic choice fetch/on_join
-            # make, so re-replication traces are seed-stable regardless
-            # of set-iteration order.
-            source = self.storage_of(
-                min(live, key=lambda h: (ring_distance(h, key), h))
-            ).lookup(key)
-            for target in self.replica_set(key):
-                if target not in holders:
-                    self._place(target, source)
+        tr = self.tracer
+        cm = tr.span("failover.repair", observer="hop", event="fail",
+                     hop_node=node_id) if tr else nullcontext()
+        with cm as span:
+            copied = lost = 0
+            for key in storage.keys():
+                holders = self._holders.get(key, set())
+                holders.discard(node_id)
+                live = [h for h in holders if self.network.is_alive(h)]
+                if not live:
+                    self._forget_key(key)
+                    lost += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("past.objects.lost").inc()
+                    continue
+                # Copy from the live holder numerically closest to the key
+                # (ties by id): the same deterministic choice fetch/on_join
+                # make, so re-replication traces are seed-stable regardless
+                # of set-iteration order.
+                source = self.storage_of(
+                    min(live, key=lambda h: (ring_distance(h, key), h))
+                ).lookup(key)
+                for target in self.replica_set(key):
+                    if target not in holders:
+                        self._place(target, source)
+                        copied += 1
+            if span is not None:
+                span.set(replicas_copied=copied, objects_lost=lost)
         # The dead node keeps its (now unreachable) local copies; if it
         # ever rejoins, on_join/on_revive will reconcile.
 
@@ -209,8 +223,14 @@ class ReplicatedStore:
         """
         if self.metrics is not None:
             self.metrics.counter("past.repair.on_join").inc()
-        self._reconcile_storage(node_id)
-        self._adopt(node_id)
+        tr = self.tracer
+        cm = tr.span("failover.repair", observer="hop", event="join",
+                     hop_node=node_id) if tr else nullcontext()
+        with cm as span:
+            purged = self._reconcile_storage(node_id)
+            self._adopt(node_id)
+            if span is not None:
+                span.set(stale_purged=purged)
 
     def on_revive(self, node_id: int) -> None:
         """Reconcile a node returning from the dead with stale storage.
@@ -231,8 +251,14 @@ class ReplicatedStore:
         """
         if self.metrics is not None:
             self.metrics.counter("past.repair.on_revive").inc()
-        self._reconcile_storage(node_id)
-        self._adopt(node_id)
+        tr = self.tracer
+        cm = tr.span("failover.repair", observer="hop", event="revive",
+                     hop_node=node_id) if tr else nullcontext()
+        with cm as span:
+            purged = self._reconcile_storage(node_id)
+            self._adopt(node_id)
+            if span is not None:
+                span.set(stale_purged=purged)
 
     def _reconcile_storage(self, node_id: int) -> int:
         """Drop local objects the holder index does not attribute to

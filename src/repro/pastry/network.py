@@ -68,6 +68,7 @@ class PastryNetwork:
         leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
         eager_repair: bool = True,
         metrics=None,
+        tracer=None,
     ):
         self.b_bits = b_bits
         self.leaf_set_size = leaf_set_size
@@ -78,6 +79,9 @@ class PastryNetwork:
         self._sorted_alive: list[int] = []
         #: optional :class:`repro.obs.MetricsRegistry`
         self.metrics = metrics
+        #: optional :class:`repro.obs.SpanTracer`; ``route`` is the one
+        #: creator of ``dht.route`` spans (parented via the stack)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # construction
@@ -92,6 +96,7 @@ class PastryNetwork:
         proximity=None,
         proximity_sample: int = 16,
         metrics=None,
+        tracer=None,
     ) -> "PastryNetwork":
         """Omniscient bootstrap: correct state for every node at once.
 
@@ -109,6 +114,7 @@ class PastryNetwork:
             leaf_set_size=leaf_set_size,
             eager_repair=eager_repair,
             metrics=metrics,
+            tracer=tracer,
         )
         ids = sorted(set(node_ids))
         if not ids:
@@ -408,16 +414,33 @@ class PastryNetwork:
         forgets them and retries with the failure excluded, mirroring
         timeout-and-reroute in a deployment.
         """
-        if self.metrics is None:
+        if self.metrics is None and not self.tracer:
             return self._route_impl(src_id, key)
-        result = self._route_impl(src_id, key)
+        tr = self.tracer
+        span = tr.start_span("dht.route", observer="hop",
+                             src=src_id) if tr else None
+        try:
+            result = self._route_impl(src_id, key)
+        except RoutingError as exc:
+            if span is not None:
+                tr.finish(span, success=False, error=str(exc))
+            raise
+        if span is not None:
+            tr.finish(
+                span,
+                success=result.success,
+                links=result.hops,
+                failures=result.failures,
+                dst=result.destination,
+            )
         m = self.metrics
-        m.counter("pastry.route.count").inc()
-        m.histogram("pastry.route.hops").observe(result.hops)
-        if result.failures:
-            m.counter("pastry.route.dead_hops").inc(result.failures)
-        if not result.success:
-            m.counter("pastry.route.failed").inc()
+        if m is not None:
+            m.counter("pastry.route.count").inc()
+            m.histogram("pastry.route.hops").observe(result.hops)
+            if result.failures:
+                m.counter("pastry.route.dead_hops").inc(result.failures)
+            if not result.success:
+                m.counter("pastry.route.failed").inc()
         return result
 
     def _route_impl(self, src_id: int, key: int) -> RouteResult:

@@ -207,6 +207,120 @@ class TestIpHints:
         assert trace.underlying_hops == link_sum + timeouts
 
 
+def _reply_setup(system, alice, length=3):
+    """Form a hinted reply tunnel and register its pending bid."""
+    reply_tunnel = system.form_reply_tunnel(alice, length=length, use_hints=True)
+    fake = make_fake_onion(random.Random(1))
+    first_hop, blob = build_reply_onion(
+        reply_tunnel.onion_layers(), reply_tunnel.bid, fake
+    )
+    alice.register_pending(PendingReply(
+        bid=reply_tunnel.bid,
+        temp_keypair=RsaKeyPair.generate(random.Random(2), 512),
+        reply_hops=reply_tunnel.hop_ids,
+    ))
+    return reply_tunnel, first_hop, blob
+
+
+def _link_sum(trace):
+    return sum(
+        max(0, len(rec.underlying_path) - 1) for rec in trace.records
+    ) + max(0, len(trace.exit_path) - 1)
+
+
+class TestReplyPathHints:
+    """§5 hint accounting must behave identically on reply traversal.
+
+    The reply construction carries hop *i*'s hint inside hop *i-1*'s
+    layer, so the first reply hop is never hinted (the responder gets
+    only ``first_hop_id`` in the clear) and the terminating ``bid``
+    leg carries no hint either.
+    """
+
+    def test_hints_used_when_fresh(self, system, alice):
+        _, first_hop, blob = _reply_setup(system, alice, length=3)
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"a")
+        assert trace.success
+        first = trace.records[0]
+        assert not first.via_hint and not first.hint_failed
+        # hops 2..l arrive via their hints: exactly one physical link
+        for rec in trace.records[1:3]:
+            assert rec.via_hint and not rec.hint_failed
+            assert not rec.hint_timeout
+            assert len(rec.underlying_path) == 2
+        assert trace.underlying_hops == _link_sum(trace)
+
+    def test_dead_hint_charged_exactly_one_timeout_link(self, system, alice):
+        tunnel, first_hop, blob = _reply_setup(system, alice, length=3)
+        victim_root = system.network.closest_alive(tunnel.hops[1].hop_id)
+        system.fail_node(victim_root)
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"a")
+        assert trace.success
+        stale = next(r for r in trace.records if r.hop_id == tunnel.hops[1].hop_id)
+        assert stale.hint_timeout and stale.hint_failed and not stale.via_hint
+        timeouts = sum(1 for rec in trace.records if rec.hint_timeout)
+        assert timeouts == 1
+        assert trace.underlying_hops == _link_sum(trace) + timeouts
+
+    def test_displaced_root_still_serves_via_hint(self, system, alice):
+        tunnel, first_hop, blob = _reply_setup(system, alice, length=3)
+        hop = tunnel.hops[1]
+        old_root = system.network.closest_alive(hop.hop_id)
+        system.join_node(hop.hop_id + 1)
+        assert system.network.closest_alive(hop.hop_id) != old_root
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"a")
+        assert trace.success
+        rec = next(r for r in trace.records if r.hop_id == hop.hop_id)
+        assert rec.via_hint and rec.hop_node == old_root
+
+    def test_alive_but_evicted_hint_not_double_counted(self, system, alice):
+        tunnel, first_hop, blob = _reply_setup(system, alice, length=3)
+        hop = tunnel.hops[1]
+        old_root = system.network.closest_alive(hop.hop_id)
+        for off in range(1, system.store.k + 1):
+            system.join_node(hop.hop_id + off)
+        assert not system.store.storage_of(old_root).contains(hop.hop_id)
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"a")
+        assert trace.success
+        rec = next(r for r in trace.records if r.hop_id == hop.hop_id)
+        assert rec.hint_failed and not rec.hint_timeout and not rec.via_hint
+        # fallback started from the hinted node: its probe link is the
+        # first edge of underlying_path and is charged exactly once
+        assert rec.underlying_path[1] == old_root
+        assert trace.underlying_hops == _link_sum(trace)
+
+    def test_promoted_with_expected_roots(self, system, alice):
+        """With the initiator's formation metadata supplied, fail-over
+        is recorded as ``promoted`` exactly as on the forward path."""
+        tunnel, first_hop, blob = _reply_setup(system, alice, length=3)
+        expected_roots = {
+            h.hop_id: h.meta.get("formed_root") for h in tunnel.hops
+        }
+        victim_root = system.network.closest_alive(tunnel.hops[1].hop_id)
+        system.fail_node(victim_root)
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(
+            responder, first_hop, blob, b"a", expected_roots=expected_roots
+        )
+        assert trace.success
+        rec = next(r for r in trace.records if r.hop_id == tunnel.hops[1].hop_id)
+        assert rec.promoted
+        others = [r for r in trace.records if r.hop_id != tunnel.hops[1].hop_id]
+        assert not any(r.promoted for r in others)
+
+    def test_promoted_stays_false_without_expected_roots(self, system, alice):
+        tunnel, first_hop, blob = _reply_setup(system, alice, length=3)
+        system.fail_node(system.network.closest_alive(tunnel.hops[1].hop_id))
+        responder = _destination(system)
+        trace = system.forwarder.send_reply(responder, first_hop, blob, b"a")
+        assert trace.success
+        assert not any(r.promoted for r in trace.records)
+
+
 class TestReplyTraversal:
     def test_reply_reaches_initiator(self, system, alice):
         reply_tunnel = system.form_reply_tunnel(alice, length=3)

@@ -1,0 +1,159 @@
+"""Tests for critical-path reconstruction (repro.obs.critical_path)."""
+
+import pytest
+
+from repro.obs import SpanTracer
+from repro.obs.critical_path import (
+    SpanRecord,
+    build_trees,
+    critical_path,
+    load_trace_file,
+    phase_breakdown,
+    records_from_events,
+    records_from_tracer,
+    render_critical_path,
+    summarize_trace_file,
+)
+
+
+def _rec(name, ts, dur, span_id, parent_id=None, trace_id=1, **args):
+    return SpanRecord(
+        name=name, cat="", ts=ts, dur=dur, trace_id=trace_id,
+        span_id=span_id, parent_id=parent_id, args=args,
+    )
+
+
+def _sample_tracer() -> SpanTracer:
+    """One trace: root 0-4s, route child 0-3s with nested peel 2-3s,
+    then a probe child 3-4s."""
+    tr = SpanTracer()
+    root = tr.start_trace("tap.forward", observer="initiator").set_sim(0.0, 4.0)
+    route = tr.add_span("dht.route", parent=root, sim_start=0.0, sim_end=3.0,
+                        links=3)
+    tr.add_span("onion.peel", parent=route, sim_start=2.0, sim_end=3.0)
+    tr.add_span("hint.probe", parent=root, sim_start=3.0, sim_end=4.0, links=1)
+    tr.finish(root)
+    return tr
+
+
+class TestRecords:
+    def test_records_from_events_converts_microseconds(self):
+        recs = records_from_events([
+            {"ph": "X", "name": "dht.route", "cat": "routing",
+             "ts": 1_000_000, "dur": 500_000,
+             "args": {"trace_id": 3, "span_id": 7, "parent_id": None}},
+        ])
+        (rec,) = recs
+        assert rec.ts == pytest.approx(1.0)
+        assert rec.dur == pytest.approx(0.5)
+        assert rec.end == pytest.approx(1.5)
+        assert (rec.trace_id, rec.span_id, rec.parent_id) == (3, 7, None)
+
+    def test_non_complete_events_skipped(self):
+        recs = records_from_events([
+            {"ph": "M", "name": "process_name"},
+            {"ph": "X", "name": "x", "ts": 0, "dur": 1,
+             "args": {"trace_id": 1, "span_id": 1}},
+        ])
+        assert len(recs) == 1
+
+    def test_records_from_tracer(self):
+        recs = records_from_tracer(_sample_tracer())
+        assert len(recs) == 4
+        assert {r.name for r in recs} == {
+            "tap.forward", "dht.route", "onion.peel", "hint.probe"
+        }
+
+
+class TestTrees:
+    def test_build_trees_links_children(self):
+        roots = build_trees(records_from_tracer(_sample_tracer()))
+        (root,) = roots
+        assert root.name == "tap.forward"
+        assert [c.name for c in root.children] == ["dht.route", "hint.probe"]
+        assert [c.name for c in root.children[0].children] == ["onion.peel"]
+
+    def test_orphan_becomes_root(self):
+        recs = [_rec("a", 0, 1, span_id=1),
+                _rec("b", 0, 1, span_id=2, parent_id=99)]
+        roots = build_trees(recs)
+        assert {r.name for r in roots} == {"a", "b"}
+
+    def test_same_span_id_in_other_trace_not_linked(self):
+        recs = [_rec("a", 0, 1, span_id=1, trace_id=1),
+                _rec("b", 0, 1, span_id=2, parent_id=1, trace_id=2)]
+        assert len(build_trees(recs)) == 2
+
+    def test_self_time_subtracts_children(self):
+        (root,) = build_trees(records_from_tracer(_sample_tracer()))
+        assert root.dur == pytest.approx(4.0)
+        assert root.self_time == pytest.approx(0.0)  # 4 - (3 + 1)
+        route = root.children[0]
+        assert route.self_time == pytest.approx(2.0)  # 3 - 1 (peel)
+
+    def test_walk_visits_all(self):
+        (root,) = build_trees(records_from_tracer(_sample_tracer()))
+        assert len(list(root.walk())) == 4
+
+
+class TestCriticalPath:
+    def test_descends_latest_ending_child(self):
+        (root,) = build_trees(records_from_tracer(_sample_tracer()))
+        chain = critical_path(root)
+        # the probe ends at 4.0, later than the route's 3.0
+        assert [s.name for s in chain] == ["tap.forward", "hint.probe"]
+
+    def test_tie_broken_by_duration(self):
+        a = _rec("short", 2, 1, span_id=2, parent_id=1)
+        b = _rec("long", 0, 3, span_id=3, parent_id=1)
+        (root,) = build_trees([_rec("root", 0, 3, span_id=1), a, b])
+        assert critical_path(root)[1].name == "long"
+
+    def test_render_contains_chain(self):
+        (root,) = build_trees(records_from_tracer(_sample_tracer()))
+        text = render_critical_path(root)
+        assert "critical path of trace" in text
+        assert "tap.forward" in text and "hint.probe" in text
+
+
+class TestPhaseBreakdown:
+    def test_self_time_sums_to_end_to_end(self):
+        roots = build_trees(records_from_tracer(_sample_tracer()))
+        rows = phase_breakdown(roots)
+        total = sum(r["time_s"] for r in rows)
+        assert total == pytest.approx(sum(r.dur for r in roots))
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+    def test_phase_attribution(self):
+        rows = {r["phase"]: r for r in
+                phase_breakdown(build_trees(records_from_tracer(_sample_tracer())))}
+        assert rows["routing"]["time_s"] == pytest.approx(2.0)
+        assert rows["crypto"]["time_s"] == pytest.approx(1.0)
+        assert rows["hint-probe"]["time_s"] == pytest.approx(1.0)
+        assert rows["other"]["time_s"] == pytest.approx(0.0)
+        assert rows["routing"]["links"] == 3
+        assert rows["hint-probe"]["links"] == 1
+
+    def test_empty_forest(self):
+        rows = phase_breakdown([])
+        assert all(r["time_s"] == 0.0 and r["share"] == 0.0 for r in rows)
+
+
+class TestFileRoundTrip:
+    def test_load_and_summarize(self, tmp_path):
+        path = tmp_path / "t.json"
+        _sample_tracer().dump(path)
+        recs = load_trace_file(path)
+        assert len(recs) == 4
+        summary = summarize_trace_file(path)
+        assert summary["spans"] == 4
+        assert summary["traces"] == 1
+        assert summary["end_to_end_s"] == pytest.approx(4.0)
+        assert summary["slowest"].name == "tap.forward"
+
+    def test_bare_event_array_accepted(self, tmp_path):
+        path = tmp_path / "bare.json"
+        import json
+
+        path.write_text(json.dumps(_sample_tracer().chrome_events()))
+        assert len(load_trace_file(path)) == 4

@@ -62,9 +62,26 @@ class TestExport:
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert [row["i"] for row in rows] == [1, 2]
 
-    def test_clear_keeps_counters(self):
-        trace = EventTrace()
-        trace.record("e")
+    def test_clear_resets_eviction_accounting(self):
+        """Regression: clear() used to leave ``recorded`` untouched, so
+        every pre-clear event was reported as evicted by the ring."""
+        trace = EventTrace(capacity=4)
+        for i in range(6):
+            trace.record("e", i=i)
+        assert trace.dropped == 2
         trace.clear()
         assert len(trace) == 0
+        assert trace.recorded == 0
+        assert trace.dropped == 0
+
+    def test_clear_keeps_seq_monotone(self):
+        trace = EventTrace(capacity=4)
+        for _ in range(3):
+            trace.record("e")
+        trace.clear()
+        event = trace.record("e")
+        # ids never repeat across clears ...
+        assert event.seq == 3
+        # ... and post-clear accounting only reflects post-clear events
         assert trace.recorded == 1
+        assert trace.dropped == 0

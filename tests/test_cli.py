@@ -1,5 +1,7 @@
 """Tests for the tap-repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _ALL_RUNNERS, _EXTENSIONS, _FIGURES, main
@@ -82,3 +84,86 @@ class TestObservabilityFlags:
         target = tmp_path / "metrics.json"
         assert main(["fig3", "--fast", "--metrics-out", str(target)]) == 0
         assert target.read_text().strip() in ("{}",)
+
+
+@pytest.fixture(scope="module")
+def fig6_trace(tmp_path_factory):
+    """One fig6 --fast run with --trace-out, shared by the span tests."""
+    path = tmp_path_factory.mktemp("trace") / "fig6.json"
+    assert main(["fig6", "--fast", "--trace-out", str(path)]) == 0
+    return path
+
+
+class TestSpanTracing:
+    def test_trace_out_writes_valid_chrome_trace(self, fig6_trace):
+        doc = json.loads(fig6_trace.read_text())
+        events = doc["traceEvents"]
+        assert events and all(ev["ph"] == "X" for ev in events)
+        for ev in events:
+            assert {"name", "cat", "ts", "dur", "args"} <= set(ev)
+            assert "span_id" in ev["args"]
+
+    def test_trace_out_writes_event_jsonl_sibling(self, fig6_trace):
+        sibling = fig6_trace.with_suffix(".events.jsonl")
+        lines = sibling.read_text().splitlines()
+        assert lines
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "fig6.transfer" in kinds
+
+    def test_span_trees_sum_to_reported_latency(self, fig6_trace):
+        """Acceptance: every per-request span tree's children sum
+        (within rounding) to the end-to-end latency on its root, and
+        the root matches the transfer time the runner reported."""
+        from repro.obs.critical_path import build_trees, load_trace_file
+
+        roots = build_trees(load_trace_file(fig6_trace))
+        assert roots
+        for root in roots:
+            assert root.name == "tap.request"
+            assert root.children, "request trace with no leg spans"
+            child_sum = sum(c.dur for c in root.children)
+            assert child_sum == pytest.approx(root.dur, rel=1e-9, abs=1e-9)
+            assert root.dur == pytest.approx(
+                root.args["transfer_time_s"], rel=1e-9
+            )
+
+    def test_trace_subcommand_prints_breakdown(self, fig6_trace, capsys):
+        assert main(["trace", str(fig6_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase latency attribution" in out
+        assert "critical path of trace" in out
+        assert "routing" in out and "hint-probe" in out
+
+    def test_trace_subcommand_csv(self, fig6_trace, tmp_path, capsys):
+        target = tmp_path / "breakdown.csv"
+        assert main(["trace", str(fig6_trace), "--csv", str(target)]) == 0
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("phase,")
+
+    def test_trace_redact_strips_linkage(self, tmp_path):
+        from repro.obs.spans import INITIATOR_KEYS, RESPONDER_KEYS
+
+        path = tmp_path / "redacted.json"
+        assert main(
+            ["fig6", "--fast", "--trace-out", str(path), "--trace-redact"]
+        ) == 0
+        for ev in json.loads(path.read_text())["traceEvents"]:
+            keys = set(ev["args"])
+            assert not (keys & INITIATOR_KEYS and keys & RESPONDER_KEYS), ev
+
+    def test_trace_subcommand_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "cannot analyse" in capsys.readouterr().err
+
+    def test_trace_subcommand_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["trace", str(path)]) == 1
+        assert "contains no spans" in capsys.readouterr().err
+
+    def test_trace_flag_ignored_by_nonsupporting_runner(self, tmp_path):
+        # fig3 has no overlay; the tracer threads through harmlessly
+        # and the export is just empty.
+        path = tmp_path / "fig3.json"
+        assert main(["fig3", "--fast", "--trace-out", str(path)]) == 0
+        assert json.loads(path.read_text())["traceEvents"] == []
