@@ -8,7 +8,8 @@ install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 # Static checks: ruff when available, else a stdlib syntax sweep so
-# offline containers still get a gate.
+# offline containers still get a gate.  The RNG check enforces the
+# determinism contract: no ambient randomness in library code.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
@@ -18,6 +19,7 @@ lint:
 		echo "ruff not installed; falling back to compileall syntax check"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
+	$(PYTHON) tools/check_rng.py src/repro
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -7,6 +7,7 @@ Usage::
     tap-repro fig6 [--fast] [--metrics-out metrics.json] [--audit]
     tap-repro fig6 [--fast] [--trace-out trace.json] [--trace-redact]
     tap-repro trace trace.json [--csv breakdown.csv]
+    tap-repro chaos [--plan lossy] [--seed S] [--fast] [--list-plans]
 
 ``--fast`` runs the scaled-down configs (same shapes, ~100x quicker);
 without it the paper-scale parameters are used.
@@ -26,6 +27,12 @@ Chrome trace-event JSON — open it in Perfetto or ``chrome://tracing``
 export.  ``tap-repro trace FILE`` reconstructs the span trees of such
 an export and prints the critical path of the slowest trace plus a
 per-phase latency breakdown (crypto / routing / hint-probe / repair).
+
+``tap-repro chaos`` runs live sessions under a seeded
+:mod:`repro.faults` plan and reports availability / MTTR against a
+no-policy baseline; same seed + same plan replays byte-identically
+(``--assert-deterministic`` proves it, ``--assert-availability`` turns
+the availability bar into an exit code for CI).
 """
 
 from __future__ import annotations
@@ -176,11 +183,127 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _chaos_main(argv: list[str]) -> int:
+    """The ``tap-repro chaos`` subcommand: seeded fault injection.
+
+    Exit codes: 0 ok, 2 availability below ``--assert-availability``,
+    3 determinism violation under ``--assert-deterministic``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="tap-repro chaos",
+        description="Run TAP sessions under a deterministic fault plan "
+                    "and report availability / MTTR.  Same seed + same "
+                    "plan => byte-identical report and event trace.",
+    )
+    parser.add_argument("--plan", default="lossy",
+                        help="named fault plan (see --list-plans)")
+    parser.add_argument("--list-plans", action="store_true",
+                        help="list the shipped fault plans and exit")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the chaos seed (default 2004)")
+    parser.add_argument("--fast", action="store_true",
+                        help="scaled-down run (100 nodes, 12 rounds)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the round count")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="override the overlay size")
+    parser.add_argument("--sessions", type=int, default=None,
+                        help="override the concurrent session count")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the no-policy comparison run")
+    parser.add_argument("--report-out", type=pathlib.Path, default=None,
+                        help="write the canonical report JSON here")
+    parser.add_argument("--events-out", type=pathlib.Path, default=None,
+                        help="write the event trace JSONL here")
+    parser.add_argument("--assert-availability", type=float, default=None,
+                        metavar="X", help="exit 2 if availability < X")
+    parser.add_argument("--assert-deterministic", action="store_true",
+                        help="run twice and exit 3 if the digests differ")
+    args = parser.parse_args(argv)
+
+    from dataclasses import replace
+
+    from repro.faults import (
+        NAMED_PLANS,
+        ChaosConfig,
+        availability_report,
+        canonical_json,
+        named_plan,
+        run_chaos,
+    )
+
+    if args.list_plans:
+        for name in sorted(NAMED_PLANS):
+            plan = NAMED_PLANS[name]
+            print(f"{name:12s} {plan.description}")
+        return 0
+    try:
+        plan = named_plan(args.plan)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+
+    config = ChaosConfig.fast() if args.fast else ChaosConfig()
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.nodes is not None:
+        overrides["num_nodes"] = args.nodes
+    if args.sessions is not None:
+        overrides["sessions"] = args.sessions
+    if overrides:
+        config = replace(config, **overrides)
+
+    report = run_chaos(plan, config)
+    baseline = None
+    if not args.no_baseline:
+        baseline = run_chaos(plan, config, policy=None)
+
+    rows = [dict(r) for r in report["rows"]]
+    print(render_table(rows, title=f"chaos '{plan.name}': per-session health"))
+    print(availability_report(report, baseline=baseline))
+
+    if args.report_out is not None:
+        args.report_out.parent.mkdir(parents=True, exist_ok=True)
+        args.report_out.write_text(canonical_json(report))
+        print(f"wrote {args.report_out}")
+    if args.events_out is not None:
+        args.events_out.parent.mkdir(parents=True, exist_ok=True)
+        args.events_out.write_text(report["events_jsonl"])
+        print(f"wrote {args.events_out}")
+
+    if args.assert_deterministic:
+        replay = run_chaos(plan, config)
+        if replay["digest"] != report["digest"]:
+            print(
+                f"DETERMINISM VIOLATION: replay digest "
+                f"{replay['digest']} != {report['digest']}",
+                file=sys.stderr,
+            )
+            return 3
+        print(f"deterministic replay ok ({report['digest'][:16]}...)")
+    if args.assert_availability is not None:
+        avail = report["summary"]["availability"]
+        if avail < args.assert_availability:
+            print(
+                f"AVAILABILITY BELOW THRESHOLD: {avail:.4f} < "
+                f"{args.assert_availability:.4f}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"availability {avail:.4f} >= {args.assert_availability:.4f} ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tap-repro",
         description="Regenerate the figures of the TAP paper (ICPP 2004).",

@@ -64,6 +64,10 @@ class EmuTrace:
         return self.finished_at - self.started_at
 
     def _finish(self, now: float, delivered: bool, reason: str | None = None) -> None:
+        if self.finished_at is not None:
+            # Already finished (e.g. the deadline fired while a leg was
+            # still in flight): first verdict wins, late events are void.
+            return
         self.finished_at = now
         self.delivered = delivered
         self.failed_reason = reason
@@ -157,9 +161,28 @@ class TapEmulation:
         self.store.on_revive(node_id)
         self.net.attach(node_id, self._handle)
 
+    def install_faults(self, plan, seeds, event_trace=None, metrics=None):
+        """Arm the message fabric with a fault plan's simnet injector.
+
+        Pair lossy plans with ``send_through_tunnel``'s ``deadline_s``
+        so silently dropped messages surface as initiator timeouts.
+        Returns the installed injector.
+        """
+        injector = plan.simnet_injector(
+            seeds, event_trace=event_trace,
+            metrics=metrics if metrics is not None else self.metrics,
+        )
+        self.net.faults = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        self.net.faults = None
+
     def _finish_trace(
         self, trace: EmuTrace, now: float, delivered: bool, reason: str | None = None
     ) -> None:
+        if trace.finished_at is not None:
+            return
         trace._finish(now, delivered, reason)
         if trace.span is not None and self.tracer:
             trace.span.set_sim(trace.started_at, now)
@@ -198,12 +221,18 @@ class TapEmulation:
         payload: bytes,
         size_bits: float | None = None,
         on_done: Callable[[EmuTrace], None] | None = None,
+        deadline_s: float | None = None,
     ) -> EmuTrace:
         """Inject a tunnel transmission; returns its (live) trace.
 
         Run ``emulation.simulator.run()`` to drive it to completion.
         ``size_bits`` models the application payload size (e.g. the
         paper's 2 Mb file) independent of the literal bytes carried.
+        ``deadline_s`` is the initiator's transmission timeout on the
+        simulated clock: if the message has not been delivered by then
+        the trace finishes failed (``deadline exceeded``) — the way an
+        initiator observes a silently dropped message (see
+        :meth:`install_faults`).
         """
         blob = build_onion(tunnel.onion_layers(), destination_id, payload)
         bits = size_bits if size_bits is not None else 8.0 * len(payload)
@@ -222,8 +251,20 @@ class TapEmulation:
             trace=trace,
         )
         first_hint = tunnel.hint_ips[0]
+        if deadline_s is not None:
+            self.simulator.schedule(
+                deadline_s, self._deadline_expired, trace
+            )
         self._dispatch(initiator.node_id, env, hint_ip=first_hint or "")
         return trace
+
+    def _deadline_expired(self, trace: EmuTrace) -> None:
+        if trace.finished_at is None:
+            if self.metrics is not None:
+                self.metrics.counter("emu.deadline_exceeded").inc()
+            self._finish_trace(
+                trace, self.simulator.now, False, "deadline exceeded"
+            )
 
     def inject_cover_traffic(
         self,
@@ -258,6 +299,8 @@ class TapEmulation:
     # ------------------------------------------------------------------
     def _dispatch(self, from_node: int, env: _Envelope, hint_ip: str = "") -> None:
         """Send an envelope one physical step toward its key."""
+        if env.trace.finished_at is not None:
+            return  # trace already concluded (deadline exceeded)
         if hint_ip:
             hinted = self.ip_index.get(hint_ip)
             if hinted is not None and hinted != from_node:
@@ -284,6 +327,8 @@ class TapEmulation:
         env: _Envelope = payload
         for tap in self.taps:
             tap(self.simulator.now, src, dst, env.size_bits)
+        if env.trace.finished_at is not None:
+            return  # trace already concluded (deadline exceeded)
         if env.kind == "cover":
             # Dummy traffic: absorbed at the first recipient (it cannot
             # be distinguished from real traffic by outsiders, but it
@@ -325,6 +370,8 @@ class TapEmulation:
         the sender waited for an ack that never came.
         """
         env: _Envelope = record.payload
+        if env.trace.finished_at is not None:
+            return  # trace already concluded (deadline exceeded)
         env.trace.timeouts += 1
         sender, dead = record.src, record.dst
         if env.via_hint:

@@ -136,6 +136,10 @@ class TunnelForwarder:
         self.event_trace = event_trace
         #: optional :class:`repro.obs.SpanTracer` of causal span trees
         self.tracer = tracer
+        #: optional :class:`repro.faults.SyncFaultInjector` — consulted
+        #: per message/leg/hop when installed (see
+        #: :meth:`repro.core.system.TapSystem.install_faults`)
+        self.faults = None
 
     def _observe_trace(self, kind: str, trace: ForwardTrace) -> None:
         m = self.metrics
@@ -267,6 +271,32 @@ class TunnelForwarder:
                 ) from exc
 
     # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_injected(
+        faults, msg_fault, src: int, hop_node: int, index: int, kind: str
+    ) -> None:
+        """Apply installed fault verdicts to one located hop.
+
+        Raises :class:`TunnelBroken` for partitioned legs, in-transit
+        corruption scheduled for this leg, and Byzantine behaviour of
+        the serving hop node — the same observable outcome (the
+        initiator times out) a deployed system would see.
+        """
+        why = faults.check_leg(src, hop_node)
+        if why:
+            raise TunnelBroken(f"fault injected: {why} {src:#x}->{hop_node:#x}")
+        if msg_fault is not None and msg_fault.corrupt_at == index:
+            faults.note("message.corrupt", kind=kind, leg=index)
+            raise TunnelBroken(
+                f"fault injected: message corrupted on leg {index}"
+            )
+        byz = faults.byzantine_action(hop_node)
+        if byz is not None:
+            raise TunnelBroken(f"byzantine hop {hop_node:#x}: {byz}")
+
+    # ------------------------------------------------------------------
     # forward traversal
     # ------------------------------------------------------------------
     def send(
@@ -277,6 +307,7 @@ class TunnelForwarder:
         payload: bytes,
         deliver: Callable[[int, bytes], None] | None = None,
         parent=None,
+        max_links: int | None = None,
     ) -> ForwardTrace:
         """Send ``payload`` to ``destination_id`` through ``tunnel``.
 
@@ -287,6 +318,9 @@ class TunnelForwarder:
 
         ``parent`` optionally attaches the traversal's span tree under
         a caller-owned span (session round trip, retrieval, ...).
+        ``max_links`` caps the underlying links spent on this attempt
+        — the synchronous engine's per-attempt timeout budget (see
+        :class:`repro.core.resilience.ResiliencePolicy`).
         """
         tr = self.tracer
         cm = tr.span(
@@ -295,7 +329,8 @@ class TunnelForwarder:
         ) if tr else nullcontext()
         with cm as span:
             trace = self._send_impl(
-                initiator, tunnel, destination_id, payload, deliver
+                initiator, tunnel, destination_id, payload, deliver,
+                max_links=max_links,
             )
             if span is not None:
                 span.set(
@@ -315,10 +350,16 @@ class TunnelForwarder:
         destination_id: int,
         payload: bytes,
         deliver: Callable[[int, bytes], None] | None = None,
+        max_links: int | None = None,
     ) -> ForwardTrace:
         blob = build_onion(tunnel.onion_layers(), destination_id, payload)
         trace = ForwardTrace()
         tr = self.tracer
+        faults = self.faults
+        msg_fault = (
+            faults.draw_message("forward", len(tunnel.hops) + 1)
+            if faults is not None else None
+        )
         current = initiator.node_id
         hop_id = tunnel.hops[0].hop_id
         hint_ip = tunnel.hint_ips[0] or ""
@@ -333,12 +374,26 @@ class TunnelForwarder:
             ) if tr else nullcontext()
             with cm as hop_span:
                 try:
+                    if msg_fault is not None and msg_fault.drop_at == index:
+                        faults.note("message.drop", kind="forward", leg=index)
+                        raise TunnelBroken(
+                            f"fault injected: message dropped on leg {index}"
+                        )
                     hop_node = self._locate_hop(current, hop_id, hint_ip, record)
                     record.hop_node = hop_node
+                    if faults is not None:
+                        self._check_injected(
+                            faults, msg_fault, current, hop_node, index, "forward"
+                        )
                     formed_root = expected_roots.get(hop_id)
                     if formed_root is not None and formed_root != hop_node:
                         record.promoted = True
                     peeled = self._peel_at(hop_node, hop_id, blob)
+                    if max_links is not None and trace.underlying_hops > max_links:
+                        raise TunnelBroken(
+                            f"attempt budget exhausted: {trace.underlying_hops} "
+                            f"links > {max_links} (simulated timeout)"
+                        )
                 except TunnelBroken as exc:
                     trace.failure_reason = str(exc)
                     if hop_span is not None:
@@ -368,6 +423,14 @@ class TunnelForwarder:
                             hop_span.set(error=trace.failure_reason)
                         return trace
                     trace.exit_path = exit_route.path
+                    if max_links is not None and trace.underlying_hops > max_links:
+                        trace.failure_reason = (
+                            f"attempt budget exhausted: {trace.underlying_hops} "
+                            f"links > {max_links} (simulated timeout)"
+                        )
+                        if hop_span is not None:
+                            hop_span.set(error=trace.failure_reason)
+                        return trace
                     trace.success = True
                     if hop_span is not None:
                         hop_span.set(
@@ -397,6 +460,7 @@ class TunnelForwarder:
         max_hops: int = 32,
         parent=None,
         expected_roots: dict[int, int] | None = None,
+        max_links: int | None = None,
     ) -> ForwardTrace:
         """Route a reply payload back along a reply tunnel.
 
@@ -420,7 +484,7 @@ class TunnelForwarder:
         with cm as span:
             trace = self._send_reply_impl(
                 responder_id, first_hop_id, reply_blob, payload,
-                max_hops, expected_roots,
+                max_hops, expected_roots, max_links,
             )
             if span is not None:
                 span.set(
@@ -441,9 +505,17 @@ class TunnelForwarder:
         payload: bytes,
         max_hops: int = 32,
         expected_roots: dict[int, int] | None = None,
+        max_links: int | None = None,
     ) -> ForwardTrace:
         trace = ForwardTrace()
         tr = self.tracer
+        faults = self.faults
+        # A reply walk traverses tunnel_length + 1 identifiers (the
+        # hops plus the terminating bid); the responder cannot know the
+        # length, so the drop leg is sampled over the typical walk.
+        msg_fault = (
+            faults.draw_message("reply", 4) if faults is not None else None
+        )
         current = responder_id
         hop_id = first_hop_id
         blob = reply_blob
@@ -456,7 +528,21 @@ class TunnelForwarder:
             ) if tr else nullcontext()
             with cm as hop_span:
                 try:
+                    if msg_fault is not None and msg_fault.drop_at == index:
+                        faults.note("message.drop", kind="reply", leg=index)
+                        raise TunnelBroken(
+                            f"fault injected: reply dropped on leg {index}"
+                        )
                     hop_node = self._locate_hop(current, hop_id, hint_ip, record)
+                    if faults is not None:
+                        self._check_injected(
+                            faults, msg_fault, current, hop_node, index, "reply"
+                        )
+                    if max_links is not None and trace.underlying_hops > max_links:
+                        raise TunnelBroken(
+                            f"attempt budget exhausted: {trace.underlying_hops} "
+                            f"links > {max_links} (simulated timeout)"
+                        )
                 except TunnelBroken as exc:
                     trace.failure_reason = str(exc)
                     if hop_span is not None:

@@ -1,0 +1,172 @@
+"""Initiator-side resilience policies for deployed-world faults.
+
+The paper's fault story (§1, §4.2) is structural: tunnels named by
+hopids survive hop-node failure because routing lands on a promoted
+PAST replica.  A deployed initiator still needs *policy* on top of
+that structure — lossy links, partitions and Byzantine hops produce
+failures that replica fail-over alone cannot mask.  This module is
+that policy layer, shared by :class:`repro.core.session.TapSession`
+and :class:`repro.core.retrieval.AnonymousRetrieval`:
+
+* **bounded retries** with exponential backoff and *deterministic*
+  jitter (drawn from a :mod:`repro.util.rng` stream, so a chaos run
+  replays bit-identically);
+* **per-attempt budgets** — the synchronous engine has no clock, so a
+  timeout is modelled as a cap on underlying links per attempt
+  (``attempt_link_budget``, threaded into
+  :meth:`repro.core.forwarding.TunnelForwarder.send`);
+* a **per-tunnel circuit breaker** that trips after consecutive
+  unattributed failures and routes around them via proactive tunnel
+  reform;
+* **hedged health probes** — on an ambiguous failure both tunnels are
+  probed together rather than blindly reformed in sequence;
+* **graceful degradation** — when every attempt fails, serve the
+  last-known-good reply with an explicit ``degraded`` flag instead of
+  surfacing a hard failure.
+
+Everything here is pure initiator-local state: no global knowledge,
+no wall clock, no hidden randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tunable initiator-side resilience knobs (immutable, hashable).
+
+    The defaults are tuned for the chaos plans shipped in
+    :mod:`repro.faults.plan`: 3 retries absorb ~5% message loss to
+    better than 99% availability while the breaker keeps reform churn
+    bounded under persistent faults.
+    """
+
+    #: bounded retries per request (attempts = 1 + max_retries)
+    max_retries: int = 3
+    #: exponential backoff: base * factor^(attempt-1), capped
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 1.0
+    #: +/- fraction of deterministic jitter applied to each backoff
+    jitter: float = 0.25
+    #: per-attempt budget on underlying links (None = unbounded); the
+    #: synchronous engine's analogue of a per-attempt timeout
+    attempt_link_budget: int | None = None
+    #: consecutive unattributed failures before a breaker trips open
+    breaker_threshold: int = 3
+    #: reform the routed-around tunnel when the breaker trips
+    proactive_reform: bool = True
+    #: probe both tunnels together on ambiguous failure (vs. blindly
+    #: reforming whichever leg reported the error)
+    hedged_probes: bool = True
+    #: serve last-known-good replies (flagged degraded) on exhaustion
+    degraded_ok: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.attempt_link_budget is not None and self.attempt_link_budget < 1:
+            raise ValueError("attempt_link_budget must be >= 1 (or None)")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), with jitter.
+
+        The jitter is drawn from the caller's seeded stream, so two
+        runs with the same seed wait identical (virtual) times.
+        """
+        if attempt < 1:
+            return 0.0
+        base = min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one tunnel.
+
+    ``closed`` (healthy) → ``open`` after ``threshold`` consecutive
+    failures → ``half-open`` once the tunnel has been reformed (the
+    route-around) → back to ``closed`` on the next success.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; True iff the breaker tripped open now."""
+        self.consecutive_failures += 1
+        if self.state != "open" and self.consecutive_failures >= self.threshold:
+            self.state = "open"
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def on_reform(self) -> None:
+        """The guarded tunnel was replaced: probe the new one."""
+        self.state = "half-open"
+        self.consecutive_failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CircuitBreaker(state={self.state}, "
+                f"consecutive={self.consecutive_failures}, trips={self.trips})")
+
+
+@dataclass
+class ResilientReply:
+    """Outcome of one policy-managed session request."""
+
+    value: bytes | None
+    #: the value is a last-known-good fallback, not a fresh round trip
+    degraded: bool = False
+    #: the round trip succeeded but needed at least one retry
+    recovered: bool = False
+    attempts: int = 1
+    #: total (virtual) backoff waited across retries
+    waited_s: float = 0.0
+    #: tunnels reformed while serving this request
+    reformed: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """A genuine, non-degraded response was obtained."""
+        return self.value is not None and not self.degraded
+
+
+def anchors_reachable(network, store, hops) -> bool:
+    """Object-level tunnel health: every hop anchor is served by the
+    node routing currently reaches.
+
+    This is the initiator-local health check used for reply tunnels
+    (which cannot be loop-probed without revealing the ``bid``): the
+    initiator formed the tunnel, so it knows the hop ids and may ask
+    its own overlay view whether each anchor is still reachable.
+    """
+    for tha in hops:
+        root = network.closest_alive(tha.hop_id)
+        if root is None or not store.storage_of(root).contains(tha.hop_id):
+            return False
+    return True

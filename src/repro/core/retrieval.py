@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.forwarding import ForwardTrace, TunnelForwarder
 from repro.core.node import PendingReply, TapNode
+from repro.core.resilience import ResiliencePolicy
 from repro.core.tunnel import ReplyTunnel, Tunnel
 from repro.crypto.asymmetric import RsaError, RsaKeyPair, RsaPublicKey
 from repro.crypto.hashing import random_key, sha1_id
@@ -48,6 +49,9 @@ class RetrievalResult:
     reply_trace: ForwardTrace | None
     fid: int
     failure_reason: str | None = None
+    #: the content is a last-known-good fallback, not a fresh retrieval
+    #: (success=True but every attempt actually failed)
+    degraded: bool = False
     meta: dict = field(default_factory=dict)
 
     @property
@@ -72,6 +76,9 @@ class AnonymousRetrieval:
         self.store = store
         self.rng = rng
         self.temp_key_bits = temp_key_bits
+        #: fid -> last successfully retrieved content (the graceful-
+        #: degradation cache behind :meth:`retrieve_resilient`)
+        self._last_known_good: dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     # publishing (plain PAST)
@@ -157,6 +164,55 @@ class AnonymousRetrieval:
                 span.set(success=result.success)
                 if result.failure_reason:
                     span.set(error=result.failure_reason)
+        return result
+
+    def retrieve_resilient(
+        self,
+        initiator: TapNode,
+        fid: int,
+        forward_tunnel: Tunnel,
+        reply_tunnel: ReplyTunnel,
+        policy: ResiliencePolicy | None = None,
+        reform=None,
+    ) -> RetrievalResult:
+        """Retrieve under a resilience policy: bounded retries with
+        deterministic backoff and a last-known-good fallback.
+
+        ``reform(failure_reason) -> (forward_tunnel, reply_tunnel)``,
+        when given, is invoked between failed attempts so the caller
+        can swap in fresh tunnels (the initiator owns tunnel formation,
+        not this engine).  On exhaustion with ``policy.degraded_ok``,
+        a previously retrieved copy of ``fid`` is served with
+        ``degraded=True`` instead of a hard failure.
+
+        The result's ``meta`` carries the resilience accounting:
+        ``attempts``, ``recovered`` and (virtual) ``waited_s``.
+        """
+        policy = policy or ResiliencePolicy()
+        waited = 0.0
+        result: RetrievalResult | None = None
+        for attempt in range(1 + policy.max_retries):
+            if attempt:
+                waited += policy.backoff_delay(attempt, self.rng)
+            result = self.retrieve(initiator, fid, forward_tunnel, reply_tunnel)
+            if result.success:
+                self._last_known_good[fid] = result.content
+                result.meta.update(
+                    attempts=attempt + 1, recovered=attempt > 0,
+                    waited_s=waited,
+                )
+                return result
+            if reform is not None and attempt < policy.max_retries:
+                forward_tunnel, reply_tunnel = reform(result.failure_reason)
+        fallback = self._last_known_good.get(fid)
+        if policy.degraded_ok and fallback is not None:
+            result = RetrievalResult(
+                True, fallback, result.forward_trace, result.reply_trace,
+                fid, failure_reason=result.failure_reason, degraded=True,
+            )
+        result.meta.update(
+            attempts=1 + policy.max_retries, recovered=False, waited_s=waited,
+        )
         return result
 
     def _retrieve_impl(

@@ -111,6 +111,33 @@ class TapSystem:
             self.store.tracer = tracer
             self.forwarder.tracer = tracer
 
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def install_faults(self, plan, protected=()):
+        """Arm the synchronous engine with a fault plan's injector.
+
+        ``protected`` node ids are exempt from Byzantine assignment
+        (chaos runs keep initiators/servers honest: the faults under
+        test are in the network, not the endpoints).  Returns the
+        installed :class:`repro.faults.injectors.SyncFaultInjector`.
+        """
+        injector = plan.sync_injector(
+            self.seeds.spawn("faults", plan.name),
+            event_trace=self.event_trace, metrics=self.metrics,
+        )
+        if plan.byzantine is not None:
+            exempt = set(protected)
+            injector.assign_byzantine(
+                [i for i in self.network.alive_ids if i not in exempt]
+            )
+        self.forwarder.faults = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        """Disarm fault injection (subsequent sends run clean)."""
+        self.forwarder.faults = None
+
     def enable_auditing(self, strict: bool = True):
         """Run an :class:`repro.obs.InvariantAuditor` after every
         membership event this system performs.
@@ -282,6 +309,43 @@ class TapSystem:
         reply_tunnel: ReplyTunnel,
     ) -> RetrievalResult:
         return self.retrieval.retrieve(initiator, fid, forward_tunnel, reply_tunnel)
+
+    def retrieve_resilient(
+        self,
+        initiator: TapNode,
+        fid: int,
+        forward_tunnel: Tunnel,
+        reply_tunnel: ReplyTunnel,
+        policy=None,
+    ) -> RetrievalResult:
+        """Policy-managed retrieval that reforms the implicated tunnel
+        between attempts (fresh anchors via :meth:`deploy_thas`).
+
+        The final result's ``meta["tunnels"]`` holds the tunnels in use
+        after any reforms, so callers can keep them for later requests.
+        """
+        tunnels = {"forward": forward_tunnel, "reply": reply_tunnel}
+
+        def reform(reason: str | None):
+            which = "forward" if (reason or "").startswith("forward") else "reply"
+            self.deploy_thas(initiator, count=len(tunnels[which].hops))
+            self.retire_tunnel(initiator, tunnels[which])
+            if which == "forward":
+                tunnels["forward"] = self.form_tunnel(
+                    initiator, len(forward_tunnel.hops)
+                )
+            else:
+                tunnels["reply"] = self.form_reply_tunnel(
+                    initiator, len(reply_tunnel.hops)
+                )
+            return tunnels["forward"], tunnels["reply"]
+
+        result = self.retrieval.retrieve_resilient(
+            initiator, fid, forward_tunnel, reply_tunnel,
+            policy=policy, reform=reform,
+        )
+        result.meta["tunnels"] = (tunnels["forward"], tunnels["reply"])
+        return result
 
     # ------------------------------------------------------------------
     # membership events (keep overlay + storage in lock-step)

@@ -1,0 +1,58 @@
+"""``repro.faults`` — deterministic fault injection + chaos harness.
+
+The deployed-world counterpart of :mod:`repro.adversary`: where the
+adversary package reproduces the paper's measured regimes (Figure 2's
+simultaneous failures, Figure 5's churn), this package injects the
+messy faults a production deployment must shrug off — lossy/delayed/
+duplicated/corrupted messages, heal-able partitions, crash-stop and
+crash-recover schedules, Byzantine hops — all sampled on
+:mod:`repro.util.rng` streams so every chaos run replays
+bit-identically.
+
+* :mod:`repro.faults.injectors` — the fault oracles for both engines;
+* :mod:`repro.faults.plan` — composable, named :class:`FaultPlan`\\ s;
+* :mod:`repro.faults.chaos` — the round-based chaos runner behind
+  ``tap-repro chaos`` (availability / MTTR / determinism digest).
+"""
+
+from repro.faults.chaos import (
+    ChaosConfig,
+    availability_report,
+    canonical_json,
+    run_chaos,
+)
+from repro.faults.injectors import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineSpec,
+    MessageFault,
+    MessageFaultSpec,
+    SimNetFaultInjector,
+    SimVerdict,
+    SyncFaultInjector,
+)
+from repro.faults.plan import (
+    NAMED_PLANS,
+    FaultPlan,
+    NodeFaultEvent,
+    PartitionEvent,
+    named_plan,
+)
+
+__all__ = [
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineSpec",
+    "ChaosConfig",
+    "FaultPlan",
+    "MessageFault",
+    "MessageFaultSpec",
+    "NAMED_PLANS",
+    "NodeFaultEvent",
+    "PartitionEvent",
+    "SimNetFaultInjector",
+    "SimVerdict",
+    "SyncFaultInjector",
+    "availability_report",
+    "canonical_json",
+    "named_plan",
+    "run_chaos",
+]

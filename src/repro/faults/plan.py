@@ -1,0 +1,156 @@
+"""Composable, named fault plans.
+
+A :class:`FaultPlan` bundles everything a chaos run injects: a
+message-fault spec, a schedule of crash-stop / crash-recover node
+events, heal-able partitions, and a Byzantine hop population.  Plans
+are frozen data — all sampling happens in the injectors at run time,
+on seeded streams — so the same ``(plan, seed)`` pair replays
+bit-identically.
+
+The named plans cover the deployed-world regimes the paper's Figures
+2/5 do not: ``lossy`` (the acceptance bar: 5% message loss), ``flaky``
+(loss + corruption + delay), ``partition``, ``churn`` (crash-recover
+cycles), ``byzantine`` and ``smoke`` (a small mixed plan for CI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.injectors import (
+    ByzantineSpec,
+    MessageFaultSpec,
+    SimNetFaultInjector,
+    SyncFaultInjector,
+)
+
+
+@dataclass(frozen=True)
+class NodeFaultEvent:
+    """Crash ``count`` nodes at ``round`` (victims sampled at run time
+    from the then-alive, unprotected population).
+
+    ``recover_after`` rounds later the victims are revived
+    (crash-recover); ``None`` means crash-stop.  ``repair`` runs the
+    PAST re-replication path on failure — the deployed-world default;
+    set False for the Figure-2 no-repair regime.
+    """
+
+    round: int
+    count: int = 1
+    recover_after: int | None = None
+    repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.round < 0 or self.count < 1:
+            raise ValueError("round must be >= 0 and count >= 1")
+        if self.recover_after is not None and self.recover_after < 1:
+            raise ValueError("recover_after must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """Isolate a ``fraction`` of nodes at ``round``; heal at
+    ``heal_round`` (``None`` = never heals)."""
+
+    round: int
+    heal_round: int | None = None
+    fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if self.heal_round is not None and self.heal_round <= self.round:
+            raise ValueError("heal_round must be after round")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic chaos scenario."""
+
+    name: str
+    description: str = ""
+    messages: MessageFaultSpec = field(default_factory=MessageFaultSpec)
+    node_events: tuple[NodeFaultEvent, ...] = ()
+    partitions: tuple[PartitionEvent, ...] = ()
+    byzantine: ByzantineSpec | None = None
+    #: natural run length; runners may override
+    rounds_hint: int = 30
+
+    def sync_injector(self, seeds, event_trace=None, metrics=None) -> SyncFaultInjector:
+        """Build the synchronous-engine injector for this plan."""
+        return SyncFaultInjector(
+            self.messages, self.byzantine, seeds,
+            event_trace=event_trace, metrics=metrics,
+        )
+
+    def simnet_injector(self, seeds, event_trace=None, metrics=None) -> SimNetFaultInjector:
+        """Build the discrete-event-fabric injector for this plan."""
+        return SimNetFaultInjector(
+            self.messages, seeds, event_trace=event_trace, metrics=metrics,
+        )
+
+
+#: The shipped scenarios, keyed by CLI name (``tap-repro chaos --plan``).
+NAMED_PLANS: dict[str, FaultPlan] = {
+    plan.name: plan
+    for plan in (
+        FaultPlan(
+            name="lossy",
+            description="5% message loss (the acceptance bar: retries "
+                        "hold availability >= 0.99, no-policy degrades)",
+            messages=MessageFaultSpec(drop=0.05),
+        ),
+        FaultPlan(
+            name="flaky",
+            description="loss + corruption + delay, the messy-network mix",
+            messages=MessageFaultSpec(drop=0.03, corrupt=0.02,
+                                      delay=0.10, delay_s=0.08,
+                                      duplicate=0.02, reorder=0.05),
+        ),
+        FaultPlan(
+            name="partition",
+            description="a quarter of the network splits off mid-run "
+                        "and heals later",
+            partitions=(PartitionEvent(round=8, heal_round=16, fraction=0.25),),
+            rounds_hint=30,
+        ),
+        FaultPlan(
+            name="churn",
+            description="crash-recover cycles: nodes crash in waves and "
+                        "come back cold",
+            node_events=(
+                NodeFaultEvent(round=4, count=6, recover_after=6),
+                NodeFaultEvent(round=10, count=6, recover_after=6),
+                NodeFaultEvent(round=16, count=6, recover_after=6),
+                NodeFaultEvent(round=22, count=4),
+            ),
+            rounds_hint=30,
+        ),
+        FaultPlan(
+            name="byzantine",
+            description="10% of hops misbehave: swallow onions, corrupt "
+                        "layers, serve stale THAs",
+            byzantine=ByzantineSpec(fraction=0.10),
+        ),
+        FaultPlan(
+            name="smoke",
+            description="small mixed plan for CI: light loss plus one "
+                        "crash-recover wave",
+            messages=MessageFaultSpec(drop=0.03),
+            node_events=(NodeFaultEvent(round=3, count=3, recover_after=4),),
+            rounds_hint=12,
+        ),
+    )
+}
+
+
+def named_plan(name: str) -> FaultPlan:
+    """Look up a shipped plan; raises ``KeyError`` with the catalogue."""
+    try:
+        return NAMED_PLANS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_PLANS))
+        raise KeyError(f"unknown fault plan {name!r} (known: {known})") from None

@@ -45,6 +45,10 @@ class SimNetwork:
         self.dropped_count = 0
         self.bits_sent = 0.0
         self.on_drop: Callable[[SimMessage], None] | None = None
+        #: optional :class:`repro.faults.SimNetFaultInjector`; consulted
+        #: per physical send when installed (see
+        #: :meth:`repro.core.emulation.TapEmulation.install_faults`)
+        self.faults = None
 
     # -- membership ----------------------------------------------------
     def attach(self, address: int, handler: Handler) -> None:
@@ -88,8 +92,34 @@ class SimNetwork:
         else:
             link = self.topology.link(src, dst)
             delay = transfer_time(size_bits, link.latency_s, link.bandwidth_bps)
+        if self.faults is not None:
+            verdict = self.faults.on_message(record, delay)
+            if verdict is not None:
+                if verdict.drop:
+                    # Silent UDP-style loss: the message just never
+                    # arrives.  Crucially this does NOT fire ``on_drop``
+                    # (the dead-neighbour discovery path) — transient
+                    # loss must not poison routing tables.
+                    record.meta["fault"] = "drop"
+                    self.simulator.schedule(delay, self._drop_injected, record)
+                    return record
+                delay += verdict.extra_delay_s
+                if verdict.corrupt:
+                    self.faults.corrupt_payload(record)
+                if verdict.duplicate:
+                    dup = SimMessage(
+                        src, dst, record.payload, size_bits,
+                        self.simulator.now, meta={"fault": "duplicate"},
+                    )
+                    self.simulator.schedule(
+                        delay + verdict.duplicate_gap_s, self._deliver, dup
+                    )
         self.simulator.schedule(delay, self._deliver, record)
         return record
+
+    def _drop_injected(self, record: SimMessage) -> None:
+        record.dropped = True
+        self.dropped_count += 1
 
     def _deliver(self, record: SimMessage) -> None:
         handler = self._handlers.get(record.dst)

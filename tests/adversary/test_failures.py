@@ -27,12 +27,50 @@ class TestSampling:
         with pytest.raises(ValueError):
             FailureModel(-0.1)
 
+    def test_positive_fraction_rounding_to_zero_warns(self):
+        # p=0.01 over 10 nodes rounds to 0 victims: the experiment
+        # would silently measure the zero-failure regime
+        model = FailureModel(0.01)
+        with pytest.warns(RuntimeWarning, match="rounds to 0 victims"):
+            assert model.sample(list(range(10)), random.Random(1)) == []
+
+    def test_positive_fraction_rounding_to_zero_strict_raises(self):
+        model = FailureModel(0.01, strict=True)
+        with pytest.raises(ValueError, match="rounds to 0 victims"):
+            model.sample(list(range(10)), random.Random(1))
+
+    def test_zero_fraction_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert FailureModel(0.0).sample(
+                list(range(10)), random.Random(1)
+            ) == []
+
+    def test_empty_population_never_warns(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert FailureModel(0.5).sample([], random.Random(1)) == []
+
 
 class TestApply:
     def test_fails_sampled_nodes(self, tap_system):
         model = FailureModel(0.2)
         before = tap_system.network.size
         victims = model.apply(tap_system, random.Random(2))
+        assert tap_system.network.size == before - len(victims)
+        assert all(not tap_system.network.is_alive(v) for v in victims)
+
+    def test_returns_actual_victims_with_repair(self, tap_system):
+        """``apply`` must report the nodes it really failed in the
+        repair regime too, so accounting can trust the return value."""
+        model = FailureModel(0.1)
+        before = tap_system.network.size
+        victims = model.apply(tap_system, random.Random(4), repair_after=True)
+        assert victims, "expected a non-empty victim set"
         assert tap_system.network.size == before - len(victims)
         assert all(not tap_system.network.is_alive(v) for v in victims)
 

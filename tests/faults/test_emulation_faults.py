@@ -1,0 +1,141 @@
+"""Faults in the discrete-event fabric: silent loss, deadlines,
+duplication/corruption — and the determinism of it all."""
+
+import pytest
+
+from repro.core.emulation import TapEmulation
+from repro.core.system import TapSystem
+from repro.faults import named_plan
+from repro.faults.injectors import MessageFaultSpec, SimNetFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.simnet.topology import Topology
+from repro.util.rng import SeedSequenceFactory
+
+
+@pytest.fixture()
+def setup():
+    system = TapSystem.bootstrap(num_nodes=150, seed=31)
+    alice = system.tap_node(system.random_node_id("alice"))
+    system.deploy_thas(alice, count=10)
+    emu = TapEmulation.from_system(system, topology=Topology(seed=5))
+    return system, alice, emu
+
+
+def _drop_all_plan():
+    return FaultPlan(name="drop-all", messages=MessageFaultSpec(drop=1.0))
+
+
+class TestSilentLoss:
+    def test_dropped_message_times_out_at_deadline(self, setup):
+        system, alice, emu = setup
+        emu.install_faults(_drop_all_plan(), SeedSequenceFactory(1).spawn("f"))
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(
+            alice, tunnel, 42, b"x", deadline_s=5.0
+        )
+        emu.simulator.run()
+        assert not trace.delivered
+        assert trace.failed_reason == "deadline exceeded"
+        assert trace.finished_at == pytest.approx(5.0)
+
+    def test_injected_drop_does_not_trigger_failure_discovery(self, setup):
+        """Injected loss is silent (UDP-style): no dead-neighbour
+        timeout fires, so routing tables stay untouched — transient
+        loss must not be treated as node death."""
+        system, alice, emu = setup
+        emu.install_faults(_drop_all_plan(), SeedSequenceFactory(1).spawn("f"))
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(
+            alice, tunnel, 42, b"x", deadline_s=5.0
+        )
+        emu.simulator.run()
+        assert trace.timeouts == 0  # the on_drop path never ran
+        assert emu.net.dropped_count >= 1
+
+    def test_no_deadline_leaves_trace_unfinished(self, setup):
+        system, alice, emu = setup
+        emu.install_faults(_drop_all_plan(), SeedSequenceFactory(1).spawn("f"))
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(alice, tunnel, 42, b"x")
+        emu.simulator.run()
+        assert trace.finished_at is None  # lost in the void, no timer
+
+    def test_clean_run_beats_its_deadline(self, setup):
+        system, alice, emu = setup
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(
+            alice, tunnel, 42, b"x", deadline_s=1e6
+        )
+        emu.simulator.run()
+        assert trace.delivered
+        assert trace.failed_reason is None
+
+    def test_clear_faults_restores_delivery(self, setup):
+        system, alice, emu = setup
+        emu.install_faults(_drop_all_plan(), SeedSequenceFactory(1).spawn("f"))
+        emu.clear_faults()
+        tunnel = system.form_tunnel(alice, length=3)
+        trace = emu.send_through_tunnel(alice, tunnel, 42, b"x")
+        emu.simulator.run()
+        assert trace.delivered
+
+
+class TestDelayAndDuplication:
+    def test_injected_delay_slows_delivery(self):
+        def run(with_faults):
+            system = TapSystem.bootstrap(num_nodes=150, seed=31)
+            al = system.tap_node(system.random_node_id("alice"))
+            system.deploy_thas(al, count=10)
+            emu = TapEmulation.from_system(system, topology=Topology(seed=5))
+            if with_faults:
+                plan = FaultPlan(
+                    name="slow",
+                    messages=MessageFaultSpec(delay=1.0, delay_s=0.5),
+                )
+                emu.install_faults(plan, SeedSequenceFactory(1).spawn("f"))
+            tunnel = system.form_tunnel(al, length=3)
+            trace = emu.send_through_tunnel(al, tunnel, 42, b"x")
+            emu.simulator.run()
+            assert trace.delivered
+            return trace.latency
+
+        assert run(True) > run(False)
+
+    def test_duplicate_still_delivers_once_per_copy(self, setup):
+        system, alice, emu = setup
+        plan = FaultPlan(
+            name="dup", messages=MessageFaultSpec(duplicate=1.0)
+        )
+        injector = emu.install_faults(plan, SeedSequenceFactory(1).spawn("f"))
+        tunnel = system.form_tunnel(alice, length=2)
+        trace = emu.send_through_tunnel(alice, tunnel, 42, b"x")
+        emu.simulator.run()
+        assert trace.delivered
+        assert injector.counts["message.duplicate"] >= 1
+        # duplicates inflate the delivery count beyond the primary walk
+        assert emu.net.delivered_count > len(trace.path) - 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_pattern(self):
+        def run():
+            system = TapSystem.bootstrap(num_nodes=150, seed=31)
+            al = system.tap_node(system.random_node_id("alice"))
+            system.deploy_thas(al, count=10)
+            emu = TapEmulation.from_system(system, topology=Topology(seed=5))
+            injector = emu.install_faults(
+                named_plan("flaky"), SeedSequenceFactory(9).spawn("f")
+            )
+            tunnel = system.form_tunnel(al, length=3)
+            traces = [
+                emu.send_through_tunnel(al, tunnel, 42, b"x", deadline_s=50.0)
+                for _ in range(5)
+            ]
+            emu.simulator.run()
+            return (
+                [t.delivered for t in traces],
+                [t.finished_at for t in traces],
+                dict(injector.counts),
+            )
+
+        assert run() == run()

@@ -1,0 +1,78 @@
+"""Tests for fault-plan composition and the named catalogue."""
+
+import pytest
+
+from repro.faults.injectors import SimNetFaultInjector, SyncFaultInjector
+from repro.faults.plan import (
+    NAMED_PLANS,
+    FaultPlan,
+    NodeFaultEvent,
+    PartitionEvent,
+    named_plan,
+)
+from repro.util.rng import SeedSequenceFactory
+
+
+class TestEvents:
+    def test_node_event_validation(self):
+        with pytest.raises(ValueError):
+            NodeFaultEvent(round=-1)
+        with pytest.raises(ValueError):
+            NodeFaultEvent(round=0, count=0)
+        with pytest.raises(ValueError):
+            NodeFaultEvent(round=0, recover_after=0)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            PartitionEvent(round=5, heal_round=5)
+        with pytest.raises(ValueError):
+            PartitionEvent(round=0, fraction=0.0)
+
+    def test_crash_stop_vs_crash_recover(self):
+        stop = NodeFaultEvent(round=1)
+        recover = NodeFaultEvent(round=1, recover_after=3)
+        assert stop.recover_after is None
+        assert recover.recover_after == 3
+
+
+class TestCatalogue:
+    def test_named_plan_lookup(self):
+        assert named_plan("lossy").messages.drop == pytest.approx(0.05)
+
+    def test_unknown_plan_lists_catalogue(self):
+        with pytest.raises(KeyError, match="lossy"):
+            named_plan("no-such-plan")
+
+    def test_all_plans_build_both_injectors(self):
+        for name, plan in NAMED_PLANS.items():
+            seeds = SeedSequenceFactory(1).spawn("p", name)
+            assert isinstance(plan.sync_injector(seeds), SyncFaultInjector)
+            assert isinstance(plan.simnet_injector(seeds), SimNetFaultInjector)
+
+    def test_smoke_plan_is_small(self):
+        assert named_plan("smoke").rounds_hint <= 15
+
+    def test_plans_are_frozen(self):
+        plan = named_plan("lossy")
+        with pytest.raises(AttributeError):
+            plan.name = "mutated"
+
+
+class TestCustomPlans:
+    def test_byzantine_plan_builds_assigner(self):
+        plan = named_plan("byzantine")
+        seeds = SeedSequenceFactory(0).spawn("b")
+        injector = plan.sync_injector(seeds)
+        assigned = injector.assign_byzantine(list(range(50)))
+        assert len(assigned) == 5  # 10% of 50
+
+    def test_composite_plan(self):
+        plan = FaultPlan(
+            name="mix",
+            messages=named_plan("lossy").messages,
+            node_events=(NodeFaultEvent(round=2, count=2),),
+            partitions=(PartitionEvent(round=4, heal_round=6),),
+        )
+        assert plan.messages.drop == pytest.approx(0.05)
+        assert plan.node_events[0].round == 2
+        assert plan.partitions[0].heal_round == 6

@@ -167,3 +167,61 @@ class TestSpanTracing:
         path = tmp_path / "fig3.json"
         assert main(["fig3", "--fast", "--trace-out", str(path)]) == 0
         assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestChaosSubcommand:
+    CHAOS = ["chaos", "--fast", "--seed", "7", "--plan", "smoke",
+             "--no-baseline"]
+
+    def test_list_plans(self, capsys):
+        assert main(["chaos", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lossy", "flaky", "partition", "churn",
+                     "byzantine", "smoke"):
+            assert name in out
+
+    def test_unknown_plan(self, capsys):
+        assert main(["chaos", "--plan", "nope"]) == 1
+        assert "unknown fault plan" in capsys.readouterr().err
+
+    def test_run_prints_report(self, capsys):
+        assert main(self.CHAOS) == 0
+        out = capsys.readouterr().out
+        assert "per-session health" in out
+        assert "availability" in out and "digest" in out
+
+    def test_report_and_events_outputs(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        events = tmp_path / "events.jsonl"
+        assert main(self.CHAOS + ["--report-out", str(report),
+                                  "--events-out", str(events)]) == 0
+        parsed = json.loads(report.read_text())
+        assert parsed["plan"] == "smoke"
+        assert parsed["summary"]["requests"] > 0
+        assert "events_jsonl" not in parsed  # canonical form is slim
+        kinds = {json.loads(line)["kind"]
+                 for line in events.read_text().splitlines()}
+        assert "chaos.round" in kinds
+
+    def test_deterministic_replay_byte_identical(self, tmp_path, capsys):
+        r1, r2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        e1, e2 = tmp_path / "e1.jsonl", tmp_path / "e2.jsonl"
+        assert main(self.CHAOS + ["--report-out", str(r1),
+                                  "--events-out", str(e1)]) == 0
+        assert main(self.CHAOS + ["--report-out", str(r2),
+                                  "--events-out", str(e2)]) == 0
+        assert r1.read_bytes() == r2.read_bytes()
+        assert e1.read_bytes() == e2.read_bytes()
+
+    def test_assert_availability_gate(self, capsys):
+        assert main(self.CHAOS + ["--assert-availability", "0.5"]) == 0
+        assert main(self.CHAOS + ["--assert-availability", "1.01"]) == 2
+        assert "BELOW THRESHOLD" in capsys.readouterr().err
+
+    def test_assert_deterministic_gate(self, capsys):
+        assert main(self.CHAOS + ["--assert-deterministic"]) == 0
+        assert "deterministic replay ok" in capsys.readouterr().out
+
+    def test_baseline_comparison_line(self, capsys):
+        assert main(["chaos", "--fast", "--seed", "7", "--plan", "smoke"]) == 0
+        assert "no-policy baseline" in capsys.readouterr().out

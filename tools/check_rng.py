@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Lint: forbid ambient randomness in the reproduction's library code.
+
+Every stochastic draw must come from an explicit ``random.Random``
+instance derived from :class:`repro.util.rng.SeedSequenceFactory` —
+that is what makes experiments and chaos runs replay bit-identically.
+This checker walks the AST of every Python file under the given roots
+and flags:
+
+* calls on the *module-level* ``random`` API (``random.random()``,
+  ``random.choice(...)``, ...) — constructing ``random.Random(seed)``
+  is fine, that's the seeded instance;
+* ``random.seed(...)`` / ``np.random.seed(...)`` — reseeding global
+  state is exactly the hidden coupling we ban;
+* calls on numpy's global generator (``np.random.rand()``, ...) —
+  ``np.random.default_rng(seed)`` with an explicit seed is fine.
+
+Usage::
+
+    python tools/check_rng.py src/repro [more roots...]
+
+Exits 1 if any violation is found, printing ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+#: module-level constructors that *produce* explicit generators —
+#: calling these is the sanctioned way in, not a violation
+ALLOWED_FACTORIES = {"Random", "SystemRandom", "default_rng", "Generator"}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """'random.choice' / 'np.random.rand' for an attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def check_file(path: pathlib.Path) -> list[tuple[int, str]]:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        # random.<fn>(...) on the global module
+        if parts[0] == "random" and len(parts) == 2:
+            fn = parts[1]
+            if fn not in ALLOWED_FACTORIES:
+                violations.append((
+                    node.lineno,
+                    f"module-level random.{fn}() — draw from a seeded "
+                    f"random.Random (repro.util.rng) instead",
+                ))
+        # numpy.random.<fn>(...) via any spelling (np/numpy)
+        elif len(parts) >= 3 and parts[-2] == "random" and parts[0] in (
+            "np", "numpy"
+        ):
+            fn = parts[-1]
+            if fn not in ALLOWED_FACTORIES:
+                violations.append((
+                    node.lineno,
+                    f"numpy global generator {name}() — use "
+                    f"default_rng(seed) instead",
+                ))
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    roots = [pathlib.Path(a) for a in argv] or [pathlib.Path("src/repro")]
+    failed = 0
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            checked += 1
+            for lineno, message in check_file(path):
+                print(f"{path}:{lineno}: {message}")
+                failed += 1
+    if failed:
+        print(f"check_rng: {failed} violation(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_rng: ok ({checked} files, no ambient randomness)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
