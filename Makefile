@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test audit bench bench-paper figures extensions examples all clean
+.PHONY: install lint test audit bench bench-quick bench-pytest bench-paper figures extensions examples all clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -30,7 +30,18 @@ test:
 audit:
 	TAP_AUDIT=1 $(PYTHON) -m pytest tests/
 
+# Pinned micro/macro benchmark suite with regression gate: compares
+# against the baseline stored in BENCH_core.json (exit 1 on regression
+# past the threshold, exit 2 if no baseline exists yet — seed one with
+# `python tools/bench_compare.py --write-baseline`).
 bench:
+	$(PYTHON) tools/bench_compare.py
+
+bench-quick:
+	$(PYTHON) tools/bench_compare.py --quick
+
+# The pytest-benchmark suites (timing detail, per-test history).
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-paper:

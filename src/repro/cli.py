@@ -112,6 +112,7 @@ def _run_one(
     audit: bool = False,
     tracer=None,
     event_trace=None,
+    workers: int | None = None,
 ) -> list[dict]:
     config_cls, runner, _ = _ALL_RUNNERS[name]
     config = config_cls.fast() if fast else config_cls()
@@ -129,6 +130,8 @@ def _run_one(
         kwargs["tracer"] = tracer
     if event_trace is not None and "event_trace" in params:
         kwargs["event_trace"] = event_trace
+    if workers is not None and "workers" in params:
+        kwargs["workers"] = workers
     return runner(config, **kwargs)
 
 
@@ -219,6 +222,12 @@ def _chaos_main(argv: list[str]) -> int:
                         metavar="X", help="exit 2 if availability < X")
     parser.add_argument("--assert-deterministic", action="store_true",
                         help="run twice and exit 3 if the digests differ")
+    parser.add_argument("--workers", "--parallel", dest="workers", type=int,
+                        default=None, metavar="N",
+                        help="worker processes for the policy / baseline / "
+                             "replay runs (negative = all cores); every "
+                             "run is deterministic, so results are "
+                             "identical for any value")
     args = parser.parse_args(argv)
 
     from dataclasses import replace
@@ -229,7 +238,7 @@ def _chaos_main(argv: list[str]) -> int:
         availability_report,
         canonical_json,
         named_plan,
-        run_chaos,
+        run_chaos_jobs,
     )
 
     if args.list_plans:
@@ -256,10 +265,18 @@ def _chaos_main(argv: list[str]) -> int:
     if overrides:
         config = replace(config, **overrides)
 
-    report = run_chaos(plan, config)
-    baseline = None
+    # The policy run, the no-policy baseline, and the determinism
+    # replay are independent deterministic runs — one job list, fanned
+    # out when --workers asks for it.
+    jobs = [(plan, config, True)]
     if not args.no_baseline:
-        baseline = run_chaos(plan, config, policy=None)
+        jobs.append((plan, config, False))
+    if args.assert_deterministic:
+        jobs.append((plan, config, True))
+    results = run_chaos_jobs(jobs, workers=args.workers)
+    report = results[0]
+    baseline = results[1] if not args.no_baseline else None
+    replay = results[-1] if args.assert_deterministic else None
 
     rows = [dict(r) for r in report["rows"]]
     print(render_table(rows, title=f"chaos '{plan.name}': per-session health"))
@@ -275,7 +292,6 @@ def _chaos_main(argv: list[str]) -> int:
         print(f"wrote {args.events_out}")
 
     if args.assert_deterministic:
-        replay = run_chaos(plan, config)
         if replay["digest"] != report["digest"]:
             print(
                 f"DETERMINISM VIOLATION: replay digest "
@@ -300,6 +316,9 @@ def _chaos_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        # 'tap-repro run fig2' is an explicit alias of 'tap-repro fig2'.
+        argv = argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "chaos":
@@ -335,6 +354,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-redact", action="store_true",
                         help="apply anonymity-aware redaction to the span "
                              "export (per-observer attribute stripping)")
+    parser.add_argument("--workers", "--parallel", dest="workers", type=int,
+                        default=None, metavar="N",
+                        help="worker processes for independent trials "
+                             "(negative = all cores); rows are identical "
+                             "for any value — compare the printed digests")
     args = parser.parse_args(argv)
 
     metrics = None
@@ -355,12 +379,16 @@ def main(argv: list[str] | None = None) -> int:
         names = list(_EXTENSIONS)
     else:
         names = [args.figure]
+    from repro.perf import rows_digest
+
     for name in names:
         rows = _run_one(name, args.fast, args.seed,
                         metrics=metrics, audit=args.audit,
-                        tracer=tracer, event_trace=event_trace)
+                        tracer=tracer, event_trace=event_trace,
+                        workers=args.workers)
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
+        print(f"{name} rows digest: {rows_digest(rows)}")
         if args.csv is not None and len(names) == 1:
             args.csv.write_text(rows_to_csv(rows))
             print(f"wrote {args.csv}")

@@ -30,7 +30,7 @@ from repro.util.serialize import (
     SerializationError,
     pack_fields,
     pack_int,
-    unpack_fields,
+    unpack_fields_view,
     unpack_int,
 )
 
@@ -70,16 +70,19 @@ def _encode_layer(tag: bytes, next_id: int, ip_hint: str, inner: bytes) -> bytes
 
 
 def _decode_layer(plaintext: bytes) -> PeeledLayer:
+    # Fields are memoryview slices of the just-decrypted plaintext —
+    # only the surviving pieces (hint string, inner blob) are
+    # materialised, so a peel never copies the residual onion twice.
     try:
-        tag, id_bytes, hint_bytes, inner = unpack_fields(plaintext, count=4)
+        tag, id_bytes, hint_bytes, inner = unpack_fields_view(plaintext, count=4)
         next_id = unpack_int(id_bytes)
     except SerializationError as exc:
         raise CipherError(f"malformed onion layer: {exc}") from exc
     if tag == TAG_RELAY:
-        return PeeledLayer(False, next_id, hint_bytes.decode(), inner)
+        return PeeledLayer(False, next_id, bytes(hint_bytes).decode(), bytes(inner))
     if tag == TAG_EXIT:
-        return PeeledLayer(True, next_id, hint_bytes.decode(), inner)
-    raise CipherError(f"unknown onion layer tag {tag!r}")
+        return PeeledLayer(True, next_id, bytes(hint_bytes).decode(), bytes(inner))
+    raise CipherError(f"unknown onion layer tag {bytes(tag)!r}")
 
 
 def build_onion(layers: list[OnionLayer], destination_id: int, payload: bytes) -> bytes:

@@ -8,6 +8,21 @@ reproduction builds its substrates from primitives.
 Each TAP tunnel hop performs exactly one ``seal`` or ``open`` per
 message, matching the paper's "single symmetric key operation per
 message" cost claim (§4).
+
+Hot-path engineering (the wire format is pinned by
+``tests/crypto/test_vectors.py`` and unchanged):
+
+* the RFC 2104 inner/outer padded key blocks are absorbed into
+  pre-primed SHA-256 states once per :class:`SymmetricKey`; each
+  ``seal``/``open`` only ``copy()``s them instead of re-padding and
+  re-hashing 64-byte blocks per call;
+* the keystream prefix ``SHA256(key || nonce || …)`` is likewise
+  primed per key and extended per call, so each 32-byte block costs
+  one 8-byte counter absorption;
+* the XOR is one whole-buffer big-int operation
+  (``int.from_bytes`` / ``to_bytes``) instead of a per-byte generator,
+  and ``open`` slices the sealed buffer through :class:`memoryview`
+  so nonce/ciphertext/tag extraction copies nothing.
 """
 
 from __future__ import annotations
@@ -17,10 +32,18 @@ import hashlib
 _BLOCK = 64  # SHA-256 block size in bytes (HMAC padding width)
 _TAG_BYTES = 32
 _NONCE_BYTES = 8
+#: the deterministic nonce counter wraps modulo this (see ``_next_nonce``)
+_NONCE_MODULUS = 1 << (8 * _NONCE_BYTES)
 
 
 class CipherError(ValueError):
     """Raised when decryption fails authentication or framing."""
+
+
+#: big-endian 8-byte encodings of the first 256 keystream block
+#: counters, precomputed so messages up to 8 KiB skip the per-block
+#: ``to_bytes`` on the seal/open hot path
+_ENCODED_COUNTERS = tuple(i.to_bytes(8, "big") for i in range(256))
 
 
 def _hmac_sha256(key: bytes, message: bytes) -> bytes:
@@ -36,15 +59,16 @@ def _hmac_sha256(key: bytes, message: bytes) -> bytes:
 
 def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
     """SHA-256 counter-mode keystream: ``SHA256(key || nonce || ctr)``."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        block = hashlib.sha256(
-            key + nonce + counter.to_bytes(8, "big")
-        ).digest()
-        out.extend(block)
-        counter += 1
-    return bytes(out[:length])
+    if length <= 0:
+        return b""
+    prefix = hashlib.sha256(key)
+    prefix.update(nonce)
+    blocks = []
+    for counter in range((length + 31) // 32):
+        h = prefix.copy()
+        h.update(counter.to_bytes(8, "big"))
+        blocks.append(h.digest())
+    return b"".join(blocks)[:length]
 
 
 class SymmetricKey:
@@ -53,10 +77,12 @@ class SymmetricKey:
     ``seal`` produces ``nonce || ciphertext || tag``; ``open`` verifies
     the tag before returning the plaintext.  The nonce is drawn from a
     per-key deterministic counter unless the caller supplies one, which
-    keeps simulations reproducible while never reusing a keystream.
+    keeps simulations reproducible while never reusing a keystream
+    within the first 2**64 seals (see ``_next_nonce``).
     """
 
-    __slots__ = ("key_bytes", "_enc_key", "_mac_key", "_nonce_counter")
+    __slots__ = ("key_bytes", "_enc_key", "_mac_key", "_nonce_counter",
+                 "_mac_inner", "_mac_outer", "_ks_prefix")
 
     def __init__(self, key_bytes: bytes):
         if not isinstance(key_bytes, (bytes, bytearray)) or len(key_bytes) < 8:
@@ -66,10 +92,62 @@ class SymmetricKey:
         self._enc_key = hashlib.sha256(b"enc" + self.key_bytes).digest()
         self._mac_key = hashlib.sha256(b"mac" + self.key_bytes).digest()
         self._nonce_counter = 0
+        # RFC 2104 pad blocks, absorbed once per key: _mac_key is 32
+        # bytes (< block), so it is zero-padded, never pre-hashed.
+        padded = self._mac_key.ljust(_BLOCK, b"\x00")
+        self._mac_inner = hashlib.sha256(bytes(b ^ 0x36 for b in padded))
+        self._mac_outer = hashlib.sha256(bytes(b ^ 0x5C for b in padded))
+        # Keystream prefix state: SHA256(enc_key || …), extended with
+        # nonce + counter per block.
+        self._ks_prefix = hashlib.sha256(self._enc_key)
 
     def _next_nonce(self) -> bytes:
-        self._nonce_counter += 1
+        """Advance the deterministic counter and encode it as the nonce.
+
+        The counter wraps modulo ``2**64`` so sealing can never raise
+        ``OverflowError`` encoding the nonce.  A wrap reuses keystream
+        only after 2**64 seals on one key — far beyond any simulation's
+        horizon, and TAP rotates tunnel keys on every reform long
+        before that.  ``open`` is counter-free (the nonce travels on
+        the wire), so wrapped sealers interoperate with any opener.
+        """
+        self._nonce_counter = (self._nonce_counter + 1) % _NONCE_MODULUS
         return self._nonce_counter.to_bytes(_NONCE_BYTES, "big")
+
+    def _tag(self, message) -> bytes:
+        """HMAC-SHA256 via the pre-primed RFC 2104 pad states."""
+        inner = self._mac_inner.copy()
+        inner.update(message)
+        outer = self._mac_outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+    def _stream_xor(self, nonce, data) -> bytes:
+        """XOR ``data`` with the per-(key, nonce) keystream, vectorised
+        as one whole-buffer big-int operation."""
+        length = len(data)
+        if not length:
+            return b""
+        prefix = self._ks_prefix.copy()
+        prefix.update(nonce)
+        n_blocks = (length + 31) // 32
+        counters = (
+            _ENCODED_COUNTERS[:n_blocks]
+            if n_blocks <= len(_ENCODED_COUNTERS)
+            else [i.to_bytes(8, "big") for i in range(n_blocks)]
+        )
+        copy = prefix.copy
+        blocks = []
+        append = blocks.append
+        for counter in counters:
+            h = copy()
+            h.update(counter)
+            append(h.digest())
+        stream = b"".join(blocks)
+        return (
+            int.from_bytes(data, "big")
+            ^ int.from_bytes(memoryview(stream)[:length], "big")
+        ).to_bytes(length, "big")
 
     def seal(self, plaintext: bytes, nonce: bytes | None = None) -> bytes:
         """Encrypt-then-MAC: returns ``nonce || ct || tag``."""
@@ -77,23 +155,25 @@ class SymmetricKey:
             nonce = self._next_nonce()
         if len(nonce) != _NONCE_BYTES:
             raise ValueError(f"nonce must be {_NONCE_BYTES} bytes")
-        stream = _keystream(self._enc_key, nonce, len(plaintext))
-        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
-        tag = _hmac_sha256(self._mac_key, nonce + ciphertext)
+        ciphertext = self._stream_xor(nonce, plaintext)
+        tag = self._tag(nonce + ciphertext)
         return nonce + ciphertext + tag
 
-    def open(self, sealed: bytes) -> bytes:
-        """Verify and decrypt a ``seal`` output."""
+    def open(self, sealed) -> bytes:
+        """Verify and decrypt a ``seal`` output (bytes or memoryview)."""
         if len(sealed) < _NONCE_BYTES + _TAG_BYTES:
             raise CipherError("sealed message too short")
-        nonce = sealed[:_NONCE_BYTES]
-        ciphertext = sealed[_NONCE_BYTES:-_TAG_BYTES]
-        tag = sealed[-_TAG_BYTES:]
-        expected = _hmac_sha256(self._mac_key, nonce + ciphertext)
-        if not _constant_time_eq(tag, expected):
+        view = memoryview(sealed)
+        nonce = view[:_NONCE_BYTES]
+        ciphertext = view[_NONCE_BYTES:-_TAG_BYTES]
+        tag = view[-_TAG_BYTES:]
+        body = self._mac_inner.copy()
+        body.update(view[:-_TAG_BYTES])
+        outer = self._mac_outer.copy()
+        outer.update(body.digest())
+        if not _constant_time_eq(tag, outer.digest()):
             raise CipherError("authentication tag mismatch")
-        stream = _keystream(self._enc_key, nonce, len(ciphertext))
-        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+        return self._stream_xor(nonce, ciphertext)
 
     @staticmethod
     def overhead() -> int:
@@ -106,15 +186,26 @@ class SymmetricKey:
     def __hash__(self) -> int:
         return hash(self.key_bytes)
 
+    def __getstate__(self) -> bytes:
+        # sha256 states are not picklable; rebuild them on unpickle so
+        # keys cross process boundaries (the parallel trial executor).
+        return self.key_bytes + self._nonce_counter.to_bytes(9, "big")
+
+    def __setstate__(self, state: bytes) -> None:
+        self.__init__(state[:-9])
+        self._nonce_counter = int.from_bytes(state[-9:], "big")
+
     def __repr__(self) -> str:
         return f"SymmetricKey({self.key_bytes[:4].hex()}…)"
 
 
-def _constant_time_eq(a: bytes, b: bytes) -> bool:
-    """Timing-safe comparison (length leak acceptable: tags are fixed-size)."""
+def _constant_time_eq(a, b) -> bool:
+    """Timing-safe comparison (length leak acceptable: tags are fixed-size).
+
+    The whole-buffer big-int XOR examines every byte before the zero
+    test, replacing the per-byte accumulator loop on the ``open`` hot
+    path.
+    """
     if len(a) != len(b):
         return False
-    diff = 0
-    for x, y in zip(a, b):
-        diff |= x ^ y
-    return diff == 0
+    return not int.from_bytes(a, "big") ^ int.from_bytes(b, "big")

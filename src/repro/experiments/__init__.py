@@ -8,6 +8,7 @@ rendered into the paper's series by :mod:`repro.experiments.runner`.
 """
 
 from repro.experiments.config import (
+    ExperimentConfig,
     Fig2Config,
     Fig3Config,
     Fig4Config,
@@ -53,6 +54,7 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "ExperimentConfig",
     "Fig2Config",
     "Fig3Config",
     "Fig4Config",

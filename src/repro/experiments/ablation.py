@@ -21,11 +21,13 @@ import numpy as np
 
 from repro.analysis.idspace import IdSpaceModel, replica_table
 from repro.analysis.theory import tunnel_corruption_prob, tunnel_failure_prob_tap
+from repro.experiments.config import ExperimentConfig
+from repro.perf import capture_obs, effective_workers, local_obs, merge_obs, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
 @dataclass(frozen=True)
-class TradeoffConfig:
+class TradeoffConfig(ExperimentConfig):
     num_nodes: int = 10_000
     num_tunnels: int = 2_000
     failure_fraction: float = 0.3
@@ -40,8 +42,14 @@ class TradeoffConfig:
                    replication_factors=(1, 3, 5), tunnel_lengths=(3, 5))
 
 
-def run_tradeoff(config: TradeoffConfig = TradeoffConfig()) -> list[dict]:
-    """Sweep (k, l); report failure and corruption rates side by side."""
+def _tradeoff_trial(config: TradeoffConfig, length: int) -> list[dict]:
+    """One tunnel-length column of the (k, l) plane.
+
+    The population and failure mask replay the shared ``"tradeoff"``
+    stream (identical in every trial); the hop anchors come from a
+    per-length labelled stream, which is what makes the columns
+    independent units of fan-out.
+    """
     seeds = SeedSequenceFactory(config.seed)
     rng = seeds.numpy("tradeoff")
     model = IdSpaceModel.random(config.num_nodes, rng, config.malicious_fraction)
@@ -50,36 +58,47 @@ def run_tradeoff(config: TradeoffConfig = TradeoffConfig()) -> list[dict]:
     failed_mask = np.zeros(config.num_nodes, dtype=bool)
     failed_mask[rng.choice(config.num_nodes, size=n_failed, replace=False)] = True
 
+    hop_rng = seeds.numpy("tradeoff-hops", length)
+    hop_keys = IdSpaceModel.draw_unique_ids(config.num_tunnels * length, hop_rng)
+
     rows: list[dict] = []
-    for length in config.tunnel_lengths:
-        hop_keys = IdSpaceModel.draw_unique_ids(
-            config.num_tunnels * length, rng
+    for k in config.replication_factors:
+        survivors = model.any_survivor(hop_keys, k, failed_mask)
+        functional = survivors.reshape(config.num_tunnels, length).all(axis=1)
+        disclosed = model.any_malicious_holder(hop_keys, k)
+        corrupted = disclosed.reshape(config.num_tunnels, length).all(axis=1)
+        rows.append(
+            {
+                "figure": "ablation-tradeoff",
+                "replication_factor": k,
+                "tunnel_length": length,
+                "failed_tunnels": float(1.0 - functional.mean()),
+                "corrupted_tunnels": float(corrupted.mean()),
+                "expected_failed": tunnel_failure_prob_tap(
+                    config.failure_fraction, length, k, config.num_nodes
+                ),
+                "expected_corrupted": tunnel_corruption_prob(
+                    config.malicious_fraction, length, k, config.num_nodes
+                ),
+            }
         )
-        for k in config.replication_factors:
-            survivors = model.any_survivor(hop_keys, k, failed_mask)
-            functional = survivors.reshape(config.num_tunnels, length).all(axis=1)
-            disclosed = model.any_malicious_holder(hop_keys, k)
-            corrupted = disclosed.reshape(config.num_tunnels, length).all(axis=1)
-            rows.append(
-                {
-                    "figure": "ablation-tradeoff",
-                    "replication_factor": k,
-                    "tunnel_length": length,
-                    "failed_tunnels": float(1.0 - functional.mean()),
-                    "corrupted_tunnels": float(corrupted.mean()),
-                    "expected_failed": tunnel_failure_prob_tap(
-                        config.failure_fraction, length, k, config.num_nodes
-                    ),
-                    "expected_corrupted": tunnel_corruption_prob(
-                        config.malicious_fraction, length, k, config.num_nodes
-                    ),
-                }
-            )
     return rows
 
 
+def run_tradeoff(
+    config: TradeoffConfig = TradeoffConfig(), workers: int | None = None
+) -> list[dict]:
+    """Sweep (k, l); report failure and corruption rates side by side."""
+    columns = run_trials(
+        _tradeoff_trial,
+        [(config, length) for length in config.tunnel_lengths],
+        effective_workers(workers, config),
+    )
+    return [row for column in columns for row in column]
+
+
 @dataclass(frozen=True)
-class HintStalenessConfig:
+class HintStalenessConfig(ExperimentConfig):
     num_nodes: int = 300
     tunnels: int = 12
     tunnel_length: int = 3
@@ -91,12 +110,85 @@ class HintStalenessConfig:
         return cls(num_nodes=150, tunnels=6, churn_steps=(0, 5, 15))
 
 
+def _hint_staleness_level(
+    config: HintStalenessConfig,
+    churn: int,
+    metrics,
+    audit: bool,
+    tracer,
+    event_trace,
+) -> dict:
+    """One churn level: fresh system, hinted tunnels, churn, probe."""
+    from repro.core.system import TapSystem
+
+    system = TapSystem.bootstrap(
+        num_nodes=config.num_nodes, seed=config.seed + churn,
+        metrics=metrics, event_trace=event_trace, tracer=tracer,
+    )
+    if audit:
+        system.enable_auditing(strict=True)
+    rng = system.seeds.pyrandom("hint-churn")
+    tunnels = []
+    for i in range(config.tunnels):
+        owner = system.tap_node(system.random_node_id(("owner", i)))
+        system.deploy_thas(owner, count=config.tunnel_length * 2)
+        tunnels.append(
+            (owner, system.form_tunnel(owner, config.tunnel_length, use_hints=True))
+        )
+    owners = {owner.node_id for owner, _ in tunnels}
+    for _ in range(churn):
+        victim = rng.choice([
+            nid for nid in system.network.alive_ids if nid not in owners
+        ])
+        system.fail_node(victim)
+        new_id = rng.getrandbits(128)
+        while new_id in system.network.nodes:
+            new_id = rng.getrandbits(128)
+        system.join_node(new_id)
+
+    hop_records = []
+    successes = 0
+    for owner, tunnel in tunnels:
+        trace = system.send(owner, tunnel, 42, b"probe")
+        if trace.success:
+            successes += 1
+        hop_records.extend(trace.records)
+    total_hops = len(hop_records)
+    return {
+        "figure": "ablation-hints",
+        "churn_events": churn,
+        "hint_failure_rate": sum(r.hint_failed for r in hop_records) / total_hops,
+        # timed-out probes (dead/unknown hint) are the only ones
+        # charged an extra physical link in underlying_hops
+        "hint_timeout_rate": sum(r.hint_timeout for r in hop_records) / total_hops,
+        "via_hint_rate": sum(r.via_hint for r in hop_records) / total_hops,
+        "mean_underlying_per_hop": float(
+            np.mean([max(0, len(r.underlying_path) - 1) for r in hop_records])
+        ),
+        "tunnel_success_rate": successes / len(tunnels),
+    }
+
+
+def _hint_staleness_trial(
+    config: HintStalenessConfig,
+    churn: int,
+    want_metrics: bool,
+    audit: bool,
+    want_tracer: bool,
+    want_events: bool,
+):
+    metrics, tracer, event_trace = local_obs(want_metrics, want_tracer, want_events)
+    row = _hint_staleness_level(config, churn, metrics, audit, tracer, event_trace)
+    return row, capture_obs(metrics, tracer, event_trace)
+
+
 def run_hint_staleness(
     config: HintStalenessConfig = HintStalenessConfig(),
     metrics=None,
     audit: bool = False,
     tracer=None,
     event_trace=None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Object-level: form hinted tunnels, churn, measure hint failures.
 
@@ -106,65 +198,28 @@ def run_hint_staleness(
     hint failed, and mean underlying hops (the latency driver).
     ``metrics``/``audit``/``tracer``/``event_trace`` thread a
     :mod:`repro.obs` registry, post-event invariant audits, and span /
-    event tracing through every system built.
+    event tracing through every system built.  ``workers`` fans the
+    (independent) churn levels out over processes; rows and obs are
+    identical for any worker count.
     """
-    from repro.core.system import TapSystem
-
-    rows: list[dict] = []
-    for churn in config.churn_steps:
-        system = TapSystem.bootstrap(
-            num_nodes=config.num_nodes, seed=config.seed + churn,
-            metrics=metrics, event_trace=event_trace, tracer=tracer,
-        )
-        if audit:
-            system.enable_auditing(strict=True)
-        rng = system.seeds.pyrandom("hint-churn")
-        tunnels = []
-        for i in range(config.tunnels):
-            owner = system.tap_node(system.random_node_id(("owner", i)))
-            system.deploy_thas(owner, count=config.tunnel_length * 2)
-            tunnels.append(
-                (owner, system.form_tunnel(owner, config.tunnel_length, use_hints=True))
-            )
-        owners = {owner.node_id for owner, _ in tunnels}
-        for _ in range(churn):
-            victim = rng.choice([
-                nid for nid in system.network.alive_ids if nid not in owners
-            ])
-            system.fail_node(victim)
-            new_id = rng.getrandbits(128)
-            while new_id in system.network.nodes:
-                new_id = rng.getrandbits(128)
-            system.join_node(new_id)
-
-        hop_records = []
-        successes = 0
-        for owner, tunnel in tunnels:
-            trace = system.send(owner, tunnel, 42, b"probe")
-            if trace.success:
-                successes += 1
-            hop_records.extend(trace.records)
-        total_hops = len(hop_records)
-        rows.append(
-            {
-                "figure": "ablation-hints",
-                "churn_events": churn,
-                "hint_failure_rate": sum(r.hint_failed for r in hop_records) / total_hops,
-                # timed-out probes (dead/unknown hint) are the only ones
-                # charged an extra physical link in underlying_hops
-                "hint_timeout_rate": sum(r.hint_timeout for r in hop_records) / total_hops,
-                "via_hint_rate": sum(r.via_hint for r in hop_records) / total_hops,
-                "mean_underlying_per_hop": float(
-                    np.mean([max(0, len(r.underlying_path) - 1) for r in hop_records])
-                ),
-                "tunnel_success_rate": successes / len(tunnels),
-            }
-        )
-    return rows
+    results = run_trials(
+        _hint_staleness_trial,
+        [
+            (config, churn, metrics is not None, audit,
+             tracer is not None, event_trace is not None)
+            for churn in config.churn_steps
+        ],
+        effective_workers(workers, config),
+    )
+    merge_obs(
+        [payload for _, payload in results],
+        metrics=metrics, tracer=tracer, event_trace=event_trace,
+    )
+    return [row for row, _ in results]
 
 
 @dataclass(frozen=True)
-class ScatterConfig:
+class ScatterConfig(ExperimentConfig):
     num_nodes: int = 500
     num_tunnels: int = 3_000
     tunnel_length: int = 5

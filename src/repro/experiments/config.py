@@ -7,7 +7,7 @@ shape (who wins, monotonicity, knees) at ~100× less work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 
 def _frange(start: float, stop: float, step: float) -> tuple[float, ...]:
@@ -20,7 +20,21 @@ def _frange(start: float, stop: float, step: float) -> tuple[float, ...]:
 
 
 @dataclass(frozen=True)
-class Fig2Config:
+class ExperimentConfig:
+    """Execution knobs shared by every experiment config.
+
+    ``workers`` is the process count for independent trials (Monte-
+    Carlo repetitions, sweep points): 1 runs serially, N fans out over
+    N processes, negative means "all cores".  Results are *identical*
+    for any value — see :mod:`repro.perf` — so it is an execution
+    detail, kept keyword-only to stay out of the science parameters.
+    """
+
+    workers: int = field(default=1, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Fig2Config(ExperimentConfig):
     """Tunnel failure rate vs simultaneous node failure fraction."""
 
     num_nodes: int = 10_000
@@ -38,7 +52,7 @@ class Fig2Config:
 
 
 @dataclass(frozen=True)
-class Fig3Config:
+class Fig3Config(ExperimentConfig):
     """Corrupted tunnel rate vs malicious node fraction (k = 3)."""
 
     num_nodes: int = 10_000
@@ -56,7 +70,7 @@ class Fig3Config:
 
 
 @dataclass(frozen=True)
-class Fig4Config:
+class Fig4Config(ExperimentConfig):
     """Corruption vs replication factor (a) and tunnel length (b), p = 0.1."""
 
     num_nodes: int = 10_000
@@ -76,7 +90,7 @@ class Fig4Config:
 
 
 @dataclass(frozen=True)
-class Fig5Config:
+class Fig5Config(ExperimentConfig):
     """Corruption over time under benign churn, refreshed vs not (k = 3)."""
 
     num_nodes: int = 10_000
@@ -96,7 +110,7 @@ class Fig5Config:
 
 
 @dataclass(frozen=True)
-class Fig6Config:
+class Fig6Config(ExperimentConfig):
     """Transfer latency vs network size: overt vs TAP basic/optimised."""
 
     network_sizes: tuple[int, ...] = (100, 500, 1_000, 2_000, 5_000, 10_000)

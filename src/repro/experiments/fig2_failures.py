@@ -21,6 +21,7 @@ from repro.analysis.theory import (
     tunnel_failure_prob_tap,
 )
 from repro.experiments.config import Fig2Config
+from repro.perf import effective_workers, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
@@ -40,39 +41,54 @@ def _distinct_relay_matrix(
     raise RuntimeError("could not draw distinct relays (length too close to N?)")
 
 
-def run_fig2(config: Fig2Config = Fig2Config()) -> list[dict]:
+def _fig2_trial(config: Fig2Config, rep: int) -> list[tuple[tuple[float, str], float]]:
+    """One Monte-Carlo repetition; the unit of parallel fan-out.
+
+    Draws only from the rep's own labelled stream, so the values are
+    identical whether this runs inline or in any worker process.
+    """
+    rng = SeedSequenceFactory(config.seed).numpy("fig2", rep)
+    model = IdSpaceModel.random(config.num_nodes, rng)
+    total_hops = config.num_tunnels * config.tunnel_length
+    hop_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
+    relays = _distinct_relay_matrix(
+        config.num_nodes, config.num_tunnels, config.tunnel_length, rng
+    )
+
+    out: list[tuple[tuple[float, str], float]] = []
+    for p in config.failure_fractions:
+        n_failed = round(p * config.num_nodes)
+        failed_mask = np.zeros(config.num_nodes, dtype=bool)
+        if n_failed:
+            failed_mask[
+                rng.choice(config.num_nodes, size=n_failed, replace=False)
+            ] = True
+
+        cur_failed = failed_mask[relays].any(axis=1).mean()
+        out.append(((p, "current"), float(cur_failed)))
+
+        for k in config.replication_factors:
+            hop_ok = model.any_survivor(hop_keys, k, failed_mask)
+            tunnels_ok = hop_ok.reshape(
+                config.num_tunnels, config.tunnel_length
+            ).all(axis=1)
+            out.append(((p, f"tap-k{k}"), float(1.0 - tunnels_ok.mean())))
+    return out
+
+
+def run_fig2(
+    config: Fig2Config = Fig2Config(), workers: int | None = None
+) -> list[dict]:
     """Monte-Carlo rows for every (failure fraction, scheme) point."""
-    seeds = SeedSequenceFactory(config.seed)
+    partials = run_trials(
+        _fig2_trial,
+        [(config, rep) for rep in range(config.num_seeds)],
+        effective_workers(workers, config),
+    )
     acc: dict[tuple[float, str], list[float]] = {}
-
-    for rep in range(config.num_seeds):
-        rng = seeds.numpy("fig2", rep)
-        model = IdSpaceModel.random(config.num_nodes, rng)
-        total_hops = config.num_tunnels * config.tunnel_length
-        hop_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
-        relays = _distinct_relay_matrix(
-            config.num_nodes, config.num_tunnels, config.tunnel_length, rng
-        )
-
-        for p in config.failure_fractions:
-            n_failed = round(p * config.num_nodes)
-            failed_mask = np.zeros(config.num_nodes, dtype=bool)
-            if n_failed:
-                failed_mask[
-                    rng.choice(config.num_nodes, size=n_failed, replace=False)
-                ] = True
-
-            cur_failed = failed_mask[relays].any(axis=1).mean()
-            acc.setdefault((p, "current"), []).append(float(cur_failed))
-
-            for k in config.replication_factors:
-                hop_ok = model.any_survivor(hop_keys, k, failed_mask)
-                tunnels_ok = hop_ok.reshape(
-                    config.num_tunnels, config.tunnel_length
-                ).all(axis=1)
-                acc.setdefault((p, f"tap-k{k}"), []).append(
-                    float(1.0 - tunnels_ok.mean())
-                )
+    for partial in partials:
+        for key, value in partial:
+            acc.setdefault(key, []).append(value)
 
     rows: list[dict] = []
     for (p, scheme), values in sorted(acc.items()):

@@ -13,6 +13,7 @@ import numpy as np
 from repro.analysis.idspace import IdSpaceModel
 from repro.analysis.theory import tunnel_corruption_prob
 from repro.experiments.config import Fig3Config
+from repro.perf import effective_workers, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
@@ -29,31 +30,47 @@ def corruption_fraction(
     return float(corrupted.mean())
 
 
-def run_fig3(config: Fig3Config = Fig3Config()) -> list[dict]:
-    seeds = SeedSequenceFactory(config.seed)
-    acc: dict[float, list[float]] = {}
-
-    for rep in range(config.num_seeds):
-        rng = seeds.numpy("fig3", rep)
-        ids = IdSpaceModel.draw_unique_ids(config.num_nodes, rng)
-        hop_keys = IdSpaceModel.draw_unique_ids(
-            config.num_tunnels * config.tunnel_length, rng
-        )
-        for p in config.malicious_fractions:
-            malicious = np.zeros(config.num_nodes, dtype=bool)
-            m = round(p * config.num_nodes)
-            if m:
-                malicious[rng.choice(config.num_nodes, size=m, replace=False)] = True
-            model = IdSpaceModel(ids, malicious)
-            acc.setdefault(p, []).append(
+def _fig3_trial(config: Fig3Config, rep: int) -> list[tuple[float, float]]:
+    """One repetition: ``(malicious fraction, corruption)`` pairs."""
+    rng = SeedSequenceFactory(config.seed).numpy("fig3", rep)
+    ids = IdSpaceModel.draw_unique_ids(config.num_nodes, rng)
+    hop_keys = IdSpaceModel.draw_unique_ids(
+        config.num_tunnels * config.tunnel_length, rng
+    )
+    out: list[tuple[float, float]] = []
+    for p in config.malicious_fractions:
+        malicious = np.zeros(config.num_nodes, dtype=bool)
+        m = round(p * config.num_nodes)
+        if m:
+            malicious[rng.choice(config.num_nodes, size=m, replace=False)] = True
+        model = IdSpaceModel(ids, malicious)
+        out.append(
+            (
+                p,
                 corruption_fraction(
                     model,
                     hop_keys,
                     config.num_tunnels,
                     config.tunnel_length,
                     config.replication_factor,
-                )
+                ),
             )
+        )
+    return out
+
+
+def run_fig3(
+    config: Fig3Config = Fig3Config(), workers: int | None = None
+) -> list[dict]:
+    partials = run_trials(
+        _fig3_trial,
+        [(config, rep) for rep in range(config.num_seeds)],
+        effective_workers(workers, config),
+    )
+    acc: dict[float, list[float]] = {}
+    for partial in partials:
+        for p, value in partial:
+            acc.setdefault(p, []).append(value)
 
     rows: list[dict] = []
     for p, values in sorted(acc.items()):

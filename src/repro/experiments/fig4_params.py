@@ -17,28 +17,71 @@ from repro.analysis.idspace import IdSpaceModel
 from repro.analysis.theory import tunnel_corruption_prob
 from repro.experiments.config import Fig4Config
 from repro.experiments.fig3_collusion import corruption_fraction
+from repro.perf import effective_workers, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
-def run_fig4a(config: Fig4Config = Fig4Config()) -> list[dict]:
-    """Sweep the replication factor k at fixed l."""
-    seeds = SeedSequenceFactory(config.seed)
-    acc: dict[int, list[float]] = {}
+def _fig4a_trial(config: Fig4Config, rep: int) -> list[tuple[int, float]]:
+    """One repetition of the k-sweep: ``(k, corruption)`` pairs."""
+    rng = SeedSequenceFactory(config.seed).numpy("fig4a", rep)
+    model = IdSpaceModel.random(
+        config.num_nodes, rng, config.malicious_fraction
+    )
+    hop_keys = IdSpaceModel.draw_unique_ids(
+        config.num_tunnels * config.tunnel_length, rng
+    )
+    return [
+        (
+            k,
+            corruption_fraction(
+                model, hop_keys, config.num_tunnels, config.tunnel_length, k
+            ),
+        )
+        for k in config.replication_factors
+    ]
 
-    for rep in range(config.num_seeds):
-        rng = seeds.numpy("fig4a", rep)
-        model = IdSpaceModel.random(
-            config.num_nodes, rng, config.malicious_fraction
-        )
+
+def _fig4b_trial(config: Fig4Config, rep: int) -> list[tuple[int, float]]:
+    """One repetition of the l-sweep: ``(length, corruption)`` pairs."""
+    rng = SeedSequenceFactory(config.seed).numpy("fig4b", rep)
+    model = IdSpaceModel.random(
+        config.num_nodes, rng, config.malicious_fraction
+    )
+    out: list[tuple[int, float]] = []
+    for length in config.tunnel_lengths:
         hop_keys = IdSpaceModel.draw_unique_ids(
-            config.num_tunnels * config.tunnel_length, rng
+            config.num_tunnels * length, rng
         )
-        for k in config.replication_factors:
-            acc.setdefault(k, []).append(
+        out.append(
+            (
+                length,
                 corruption_fraction(
-                    model, hop_keys, config.num_tunnels, config.tunnel_length, k
-                )
+                    model, hop_keys, config.num_tunnels, length,
+                    config.replication_factor,
+                ),
             )
+        )
+    return out
+
+
+def _gather(trial, config: Fig4Config, workers: int | None) -> dict[int, list[float]]:
+    partials = run_trials(
+        trial,
+        [(config, rep) for rep in range(config.num_seeds)],
+        effective_workers(workers, config),
+    )
+    acc: dict[int, list[float]] = {}
+    for partial in partials:
+        for key, value in partial:
+            acc.setdefault(key, []).append(value)
+    return acc
+
+
+def run_fig4a(
+    config: Fig4Config = Fig4Config(), workers: int | None = None
+) -> list[dict]:
+    """Sweep the replication factor k at fixed l."""
+    acc = _gather(_fig4a_trial, config, workers)
 
     return [
         {
@@ -58,26 +101,11 @@ def run_fig4a(config: Fig4Config = Fig4Config()) -> list[dict]:
     ]
 
 
-def run_fig4b(config: Fig4Config = Fig4Config()) -> list[dict]:
+def run_fig4b(
+    config: Fig4Config = Fig4Config(), workers: int | None = None
+) -> list[dict]:
     """Sweep the tunnel length l at fixed k."""
-    seeds = SeedSequenceFactory(config.seed)
-    acc: dict[int, list[float]] = {}
-
-    for rep in range(config.num_seeds):
-        rng = seeds.numpy("fig4b", rep)
-        model = IdSpaceModel.random(
-            config.num_nodes, rng, config.malicious_fraction
-        )
-        for length in config.tunnel_lengths:
-            hop_keys = IdSpaceModel.draw_unique_ids(
-                config.num_tunnels * length, rng
-            )
-            acc.setdefault(length, []).append(
-                corruption_fraction(
-                    model, hop_keys, config.num_tunnels, length,
-                    config.replication_factor,
-                )
-            )
+    acc = _gather(_fig4b_trial, config, workers)
 
     return [
         {

@@ -27,6 +27,7 @@ import numpy as np
 from repro.analysis.idspace import IdSpaceModel
 from repro.analysis.theory import tunnel_corruption_prob
 from repro.experiments.config import Fig5Config
+from repro.perf import effective_workers, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
@@ -34,55 +35,66 @@ def _corrupted_fraction(known_hops: np.ndarray, num_tunnels: int, length: int) -
     return float(known_hops.reshape(num_tunnels, length).all(axis=1).mean())
 
 
-def run_fig5(config: Fig5Config = Fig5Config()) -> list[dict]:
-    seeds = SeedSequenceFactory(config.seed)
-    per_time: dict[tuple[int, str], list[float]] = {}
-
+def _fig5_trial(config: Fig5Config, rep: int) -> list[tuple[tuple[int, str], float]]:
+    """One churn timeline: ``((time, scheme), corruption)`` points."""
     total_hops = config.num_tunnels * config.tunnel_length
+    rng = SeedSequenceFactory(config.seed).numpy("fig5", rep)
+    model = IdSpaceModel.random(
+        config.num_nodes, rng, config.malicious_fraction
+    )
+    static_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
+    known = model.any_malicious_holder(static_keys, config.replication_factor)
 
-    for rep in range(config.num_seeds):
-        rng = seeds.numpy("fig5", rep)
-        model = IdSpaceModel.random(
-            config.num_nodes, rng, config.malicious_fraction
+    out: list[tuple[tuple[int, str], float]] = []
+    start = _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
+    out.append(((0, "unrefreshed"), start))
+    out.append(((0, "refreshed"), start))
+
+    for t in range(1, config.time_units + 1):
+        # Benign leave ...
+        benign = model.benign_indices()
+        departing = rng.choice(
+            benign, size=min(config.churn_per_unit, len(benign)), replace=False
         )
-        static_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
-        known = model.any_malicious_holder(static_keys, config.replication_factor)
-
-        per_time.setdefault((0, "unrefreshed"), []).append(
-            _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
-        )
-        per_time.setdefault((0, "refreshed"), []).append(
-            _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
+        model.remove_nodes(departing)
+        # ... then benign join (p restored each unit).
+        model.add_nodes(
+            IdSpaceModel.draw_unique_ids(config.churn_per_unit, rng)
         )
 
-        for t in range(1, config.time_units + 1):
-            # Benign leave ...
-            benign = model.benign_indices()
-            departing = rng.choice(
-                benign, size=min(config.churn_per_unit, len(benign)), replace=False
-            )
-            model.remove_nodes(departing)
-            # ... then benign join (p restored each unit).
-            model.add_nodes(
-                IdSpaceModel.draw_unique_ids(config.churn_per_unit, rng)
-            )
+        # Unrefreshed: knowledge accumulates monotonically.
+        known |= model.any_malicious_holder(
+            static_keys, config.replication_factor
+        )
+        out.append((
+            (t, "unrefreshed"),
+            _corrupted_fraction(known, config.num_tunnels, config.tunnel_length),
+        ))
 
-            # Unrefreshed: knowledge accumulates monotonically.
-            known |= model.any_malicious_holder(
-                static_keys, config.replication_factor
-            )
-            per_time.setdefault((t, "unrefreshed"), []).append(
-                _corrupted_fraction(known, config.num_tunnels, config.tunnel_length)
-            )
+        # Refreshed: brand-new anchors; only the current state counts.
+        fresh_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
+        fresh_known = model.any_malicious_holder(
+            fresh_keys, config.replication_factor
+        )
+        out.append((
+            (t, "refreshed"),
+            _corrupted_fraction(fresh_known, config.num_tunnels, config.tunnel_length),
+        ))
+    return out
 
-            # Refreshed: brand-new anchors; only the current state counts.
-            fresh_keys = IdSpaceModel.draw_unique_ids(total_hops, rng)
-            fresh_known = model.any_malicious_holder(
-                fresh_keys, config.replication_factor
-            )
-            per_time.setdefault((t, "refreshed"), []).append(
-                _corrupted_fraction(fresh_known, config.num_tunnels, config.tunnel_length)
-            )
+
+def run_fig5(
+    config: Fig5Config = Fig5Config(), workers: int | None = None
+) -> list[dict]:
+    partials = run_trials(
+        _fig5_trial,
+        [(config, rep) for rep in range(config.num_seeds)],
+        effective_workers(workers, config),
+    )
+    per_time: dict[tuple[int, str], list[float]] = {}
+    for partial in partials:
+        for key, value in partial:
+            per_time.setdefault(key, []).append(value)
 
     static_expectation = tunnel_corruption_prob(
         config.malicious_fraction,

@@ -27,6 +27,7 @@ import numpy as np
 from repro.analysis.theory import expected_route_hops
 from repro.experiments.config import Fig6Config
 from repro.pastry.network import PastryNetwork
+from repro.perf import capture_obs, effective_workers, local_obs, merge_obs, run_trials
 from repro.simnet.topology import Topology
 from repro.simnet.transport import TransferModel, path_transfer_time
 from repro.util.ids import random_id
@@ -83,12 +84,141 @@ def _tunnel_paths(
     return basic, optimised, basic_legs, opt_legs
 
 
+def _fig6_leg(
+    config: Fig6Config,
+    rep: int,
+    n_nodes: int,
+    metrics,
+    audit: bool,
+    tracer,
+    event_trace,
+) -> list[tuple[tuple[int, str], float]]:
+    """All transfers of one (repetition, network size) cell.
+
+    The rng streams are labelled by ``(rep, n_nodes)``, so each cell
+    is a self-contained trial — the unit the parallel executor fans
+    out.  Observability objects are whatever the caller hands in (the
+    parent's in a serial run, worker-local ones under fan-out).
+    """
+    seeds = SeedSequenceFactory(config.seed)
+    acc: list[tuple[tuple[int, str], float]] = []
+
+    rng = seeds.pyrandom("fig6", rep, n_nodes)
+    ids = set()
+    while len(ids) < n_nodes:
+        ids.add(random_id(rng))
+    topology = Topology(
+        seed=seeds.child("fig6-topo", rep, n_nodes),
+        min_latency_s=config.min_latency_s,
+        max_latency_s=config.max_latency_s,
+        bandwidth_bps=config.bandwidth_bps,
+    )
+    network = PastryNetwork.build(
+        ids,
+        b_bits=config.b_bits,
+        proximity=topology.latency if config.pns else None,
+        metrics=metrics,
+    )
+    if audit:
+        from repro.obs.audit import InvariantAuditor
+
+        InvariantAuditor(network, metrics=metrics).assert_clean(
+            f"fig6 build n={n_nodes} rep={rep}"
+        )
+    alive = network.alive_ids
+
+    def record(
+        scheme: str,
+        path: list[int],
+        legs: list[tuple[str, list[int]]] | None = None,
+    ) -> None:
+        t = path_transfer_time(
+            topology, path, config.file_bits,
+            TransferModel.STORE_AND_FORWARD,
+        )
+        acc.append(((n_nodes, scheme), t))
+        if tracer:
+            root = tracer.start_trace(
+                "tap.request", observer="initiator",
+                scheme=scheme, num_nodes=n_nodes,
+                initiator=path[0] if path else None,
+            )
+            cursor = 0.0
+            for name, leg_path in (legs or [("dht.route", path)]):
+                dt = path_transfer_time(
+                    topology, leg_path, config.file_bits,
+                    TransferModel.STORE_AND_FORWARD,
+                )
+                tracer.add_span(
+                    name, parent=root,
+                    sim_start=cursor, sim_end=cursor + dt,
+                    observer="hop",
+                    src=leg_path[0], dst=leg_path[-1],
+                    links=max(0, len(leg_path) - 1),
+                )
+                cursor += dt
+            # children partition the path's links, so their
+            # durations sum exactly to the end-to-end time
+            root.set_sim(0.0, cursor)
+            tracer.finish(
+                root,
+                links=max(0, len(path) - 1),
+                transfer_time_s=t,
+            )
+        if event_trace is not None:
+            event_trace.record(
+                "fig6.transfer", scheme=scheme, num_nodes=n_nodes,
+                transfer_time_s=t, links=max(0, len(path) - 1),
+            )
+        if metrics is not None:
+            metrics.histogram(f"fig6.transfer_time_s.{scheme}").observe(t)
+            hops = metrics.histogram(f"fig6.underlying_hops.{scheme}")
+            hops.observe(max(0, len(path) - 1))
+            link = metrics.histogram("fig6.link_latency_s")
+            for a, b in zip(path, path[1:]):
+                link.observe(topology.latency(a, b))
+
+    for _ in range(config.transfers_per_size):
+        initiator = alive[rng.randrange(len(alive))]
+        fid = random_id(rng)
+
+        overt = network.route(initiator, fid)
+        assert overt.success
+        record("overt", overt.path)
+
+        for length in config.tunnel_lengths:
+            hop_keys = [random_id(rng) for _ in range(length)]
+            basic, optimised, basic_legs, opt_legs = _tunnel_paths(
+                network, initiator, fid, hop_keys
+            )
+            record(f"tap-basic-l{length}", basic, basic_legs)
+            record(f"tap-opt-l{length}", optimised, opt_legs)
+
+    return acc
+
+
+def _fig6_trial(
+    config: Fig6Config,
+    rep: int,
+    n_nodes: int,
+    want_metrics: bool,
+    audit: bool,
+    want_tracer: bool,
+    want_events: bool,
+):
+    """Worker entry point: run one cell against local obs, ship both back."""
+    metrics, tracer, event_trace = local_obs(want_metrics, want_tracer, want_events)
+    acc = _fig6_leg(config, rep, n_nodes, metrics, audit, tracer, event_trace)
+    return acc, capture_obs(metrics, tracer, event_trace)
+
+
 def run_fig6(
     config: Fig6Config = Fig6Config(),
     metrics=None,
     audit: bool = False,
     tracer=None,
     event_trace=None,
+    workers: int | None = None,
 ) -> list[dict]:
     """Generate the Figure-6 rows.
 
@@ -104,102 +234,35 @@ def run_fig6(
     and sum exactly to the root's end-to-end duration.  ``event_trace``
     (an :class:`repro.obs.EventTrace`) records one ``fig6.transfer``
     event per trace.
+
+    ``workers`` fans the (repetition, network size) cells out over
+    processes; rows, metrics, spans, and events are identical for any
+    worker count (worker-local obs are merged back in cell order).
     """
-    seeds = SeedSequenceFactory(config.seed)
+    # Every cell instruments against cell-local obs which are merged
+    # back in cell order — for workers == 1 too, so even float
+    # accumulation grouping (histogram totals) is bit-identical across
+    # worker counts, not just the exported rows.
+    results = run_trials(
+        _fig6_trial,
+        [
+            (config, rep, n_nodes, metrics is not None, audit,
+             tracer is not None, event_trace is not None)
+            for rep in range(config.num_seeds)
+            for n_nodes in config.network_sizes
+        ],
+        effective_workers(workers, config),
+    )
+    partials = [items for items, _ in results]
+    merge_obs(
+        [payload for _, payload in results],
+        metrics=metrics, tracer=tracer, event_trace=event_trace,
+    )
+
     acc: dict[tuple[int, str], list[float]] = {}
-
-    for rep in range(config.num_seeds):
-        for n_nodes in config.network_sizes:
-            rng = seeds.pyrandom("fig6", rep, n_nodes)
-            ids = set()
-            while len(ids) < n_nodes:
-                ids.add(random_id(rng))
-            topology = Topology(
-                seed=seeds.child("fig6-topo", rep, n_nodes),
-                min_latency_s=config.min_latency_s,
-                max_latency_s=config.max_latency_s,
-                bandwidth_bps=config.bandwidth_bps,
-            )
-            network = PastryNetwork.build(
-                ids,
-                b_bits=config.b_bits,
-                proximity=topology.latency if config.pns else None,
-                metrics=metrics,
-            )
-            if audit:
-                from repro.obs.audit import InvariantAuditor
-
-                InvariantAuditor(network, metrics=metrics).assert_clean(
-                    f"fig6 build n={n_nodes} rep={rep}"
-                )
-            alive = network.alive_ids
-
-            def record(
-                scheme: str,
-                path: list[int],
-                legs: list[tuple[str, list[int]]] | None = None,
-            ) -> None:
-                t = path_transfer_time(
-                    topology, path, config.file_bits,
-                    TransferModel.STORE_AND_FORWARD,
-                )
-                acc.setdefault((n_nodes, scheme), []).append(t)
-                if tracer:
-                    root = tracer.start_trace(
-                        "tap.request", observer="initiator",
-                        scheme=scheme, num_nodes=n_nodes,
-                        initiator=path[0] if path else None,
-                    )
-                    cursor = 0.0
-                    for name, leg_path in (legs or [("dht.route", path)]):
-                        dt = path_transfer_time(
-                            topology, leg_path, config.file_bits,
-                            TransferModel.STORE_AND_FORWARD,
-                        )
-                        tracer.add_span(
-                            name, parent=root,
-                            sim_start=cursor, sim_end=cursor + dt,
-                            observer="hop",
-                            src=leg_path[0], dst=leg_path[-1],
-                            links=max(0, len(leg_path) - 1),
-                        )
-                        cursor += dt
-                    # children partition the path's links, so their
-                    # durations sum exactly to the end-to-end time
-                    root.set_sim(0.0, cursor)
-                    tracer.finish(
-                        root,
-                        links=max(0, len(path) - 1),
-                        transfer_time_s=t,
-                    )
-                if event_trace is not None:
-                    event_trace.record(
-                        "fig6.transfer", scheme=scheme, num_nodes=n_nodes,
-                        transfer_time_s=t, links=max(0, len(path) - 1),
-                    )
-                if metrics is not None:
-                    metrics.histogram(f"fig6.transfer_time_s.{scheme}").observe(t)
-                    hops = metrics.histogram(f"fig6.underlying_hops.{scheme}")
-                    hops.observe(max(0, len(path) - 1))
-                    link = metrics.histogram("fig6.link_latency_s")
-                    for a, b in zip(path, path[1:]):
-                        link.observe(topology.latency(a, b))
-
-            for _ in range(config.transfers_per_size):
-                initiator = alive[rng.randrange(len(alive))]
-                fid = random_id(rng)
-
-                overt = network.route(initiator, fid)
-                assert overt.success
-                record("overt", overt.path)
-
-                for length in config.tunnel_lengths:
-                    hop_keys = [random_id(rng) for _ in range(length)]
-                    basic, optimised, basic_legs, opt_legs = _tunnel_paths(
-                        network, initiator, fid, hop_keys
-                    )
-                    record(f"tap-basic-l{length}", basic, basic_legs)
-                    record(f"tap-opt-l{length}", optimised, opt_legs)
+    for partial in partials:
+        for key, value in partial:
+            acc.setdefault(key, []).append(value)
 
     rows: list[dict] = []
     for (n_nodes, scheme), values in sorted(acc.items()):

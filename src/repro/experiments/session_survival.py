@@ -23,11 +23,13 @@ from dataclasses import dataclass
 from repro.baselines.fixed_tunnel import form_fixed_tunnel
 from repro.core.session import SessionServer, TapSession
 from repro.core.system import TapSystem
+from repro.experiments.config import ExperimentConfig
+from repro.perf import capture_obs, effective_workers, local_obs, merge_obs, run_trials
 from repro.util.rng import SeedSequenceFactory
 
 
 @dataclass(frozen=True)
-class SessionSurvivalConfig:
+class SessionSurvivalConfig(ExperimentConfig):
     num_nodes: int = 300
     sessions: int = 6
     requests_per_session: int = 12
@@ -75,86 +77,121 @@ class _FixedSession:
         self.lifetimes.append(self._current_life)
 
 
+def _survival_level(
+    config: SessionSurvivalConfig,
+    churn: int,
+    metrics,
+    audit: bool,
+    tracer,
+    event_trace,
+) -> dict:
+    """One churn level on its own overlay and labelled rng streams."""
+    seeds = SeedSequenceFactory(config.seed)
+    system = TapSystem.bootstrap(
+        config.num_nodes, seed=config.seed + churn,
+        metrics=metrics, event_trace=event_trace, tracer=tracer,
+    )
+    if audit:
+        system.enable_auditing(strict=True)
+    rng = seeds.pyrandom("session-churn", churn)
+
+    # Set up TAP sessions and fixed baseline sessions on the same
+    # overlay, then churn it under both simultaneously.
+    tap_sessions: list[TapSession] = []
+    protected: set[int] = set()
+    for i in range(config.sessions):
+        initiator = system.tap_node(system.random_node_id(("sess-init", churn, i)))
+        server = SessionServer(
+            system.random_node_id(("sess-server", churn, i)),
+            handler=lambda req: b"ok:" + req,
+        )
+        protected.update({initiator.node_id, server.node_id})
+        system.deploy_thas(initiator, count=config.tunnel_length * 3)
+        tap_sessions.append(
+            TapSession(system, initiator, server, config.tunnel_length)
+        )
+    fixed_sessions = [
+        _FixedSession(system, protected, config.tunnel_length, rng)
+        for _ in range(config.sessions)
+    ]
+
+    tap_ok = fixed_ok = total = 0
+    for r in range(config.requests_per_session):
+        # Churn between requests: kill random unprotected nodes.
+        for _ in range(churn):
+            candidates = [
+                n for n in system.network.alive_ids if n not in protected
+            ]
+            if len(candidates) <= config.num_nodes // 2:
+                break
+            system.fail_node(candidates[rng.randrange(len(candidates))])
+
+        for session in tap_sessions:
+            total += 1
+            if session.request(f"r{r}".encode()) is not None:
+                tap_ok += 1
+        for fixed in fixed_sessions:
+            if fixed.request():
+                fixed_ok += 1
+    for fixed in fixed_sessions:
+        fixed.finish()
+
+    tap_reforms = sum(s.stats.tunnel_reforms for s in tap_sessions)
+    fixed_reforms = sum(f.reforms for f in fixed_sessions)
+    fixed_lifetimes = [x for f in fixed_sessions for x in f.lifetimes]
+    return {
+        "figure": "ext-sessions",
+        "failures_per_request": churn,
+        "tap_availability": tap_ok / total,
+        "fixed_availability": fixed_ok / total,
+        "tap_reforms": tap_reforms / config.sessions,
+        "fixed_reforms": fixed_reforms / config.sessions,
+        "fixed_mean_tunnel_life": (
+            sum(fixed_lifetimes) / len(fixed_lifetimes)
+            if fixed_lifetimes else float(config.requests_per_session)
+        ),
+    }
+
+
+def _survival_trial(
+    config: SessionSurvivalConfig,
+    churn: int,
+    want_metrics: bool,
+    audit: bool,
+    want_tracer: bool,
+    want_events: bool,
+):
+    metrics, tracer, event_trace = local_obs(want_metrics, want_tracer, want_events)
+    row = _survival_level(config, churn, metrics, audit, tracer, event_trace)
+    return row, capture_obs(metrics, tracer, event_trace)
+
+
 def run_session_survival(
     config: SessionSurvivalConfig = SessionSurvivalConfig(),
     metrics=None,
     audit: bool = False,
     tracer=None,
     event_trace=None,
+    workers: int | None = None,
 ) -> list[dict]:
     """The churn runner.  ``metrics``/``audit``/``tracer``/
     ``event_trace`` thread :mod:`repro.obs` instrumentation through
     every system built — with a tracer, each session request becomes a
     ``session.request`` span tree covering its tunnel traversals and
-    any ``session.reform`` repairs."""
-    seeds = SeedSequenceFactory(config.seed)
-    rows: list[dict] = []
-
-    for churn in config.failures_per_request:
-        system = TapSystem.bootstrap(
-            config.num_nodes, seed=config.seed + churn,
-            metrics=metrics, event_trace=event_trace, tracer=tracer,
-        )
-        if audit:
-            system.enable_auditing(strict=True)
-        rng = seeds.pyrandom("session-churn", churn)
-
-        # Set up TAP sessions and fixed baseline sessions on the same
-        # overlay, then churn it under both simultaneously.
-        tap_sessions: list[TapSession] = []
-        protected: set[int] = set()
-        for i in range(config.sessions):
-            initiator = system.tap_node(system.random_node_id(("sess-init", churn, i)))
-            server = SessionServer(
-                system.random_node_id(("sess-server", churn, i)),
-                handler=lambda req: b"ok:" + req,
-            )
-            protected.update({initiator.node_id, server.node_id})
-            system.deploy_thas(initiator, count=config.tunnel_length * 3)
-            tap_sessions.append(
-                TapSession(system, initiator, server, config.tunnel_length)
-            )
-        fixed_sessions = [
-            _FixedSession(system, protected, config.tunnel_length, rng)
-            for _ in range(config.sessions)
-        ]
-
-        tap_ok = fixed_ok = total = 0
-        for r in range(config.requests_per_session):
-            # Churn between requests: kill random unprotected nodes.
-            for _ in range(churn):
-                candidates = [
-                    n for n in system.network.alive_ids if n not in protected
-                ]
-                if len(candidates) <= config.num_nodes // 2:
-                    break
-                system.fail_node(candidates[rng.randrange(len(candidates))])
-
-            for session in tap_sessions:
-                total += 1
-                if session.request(f"r{r}".encode()) is not None:
-                    tap_ok += 1
-            for fixed in fixed_sessions:
-                if fixed.request():
-                    fixed_ok += 1
-        for fixed in fixed_sessions:
-            fixed.finish()
-
-        tap_reforms = sum(s.stats.tunnel_reforms for s in tap_sessions)
-        fixed_reforms = sum(f.reforms for f in fixed_sessions)
-        fixed_lifetimes = [x for f in fixed_sessions for x in f.lifetimes]
-        rows.append(
-            {
-                "figure": "ext-sessions",
-                "failures_per_request": churn,
-                "tap_availability": tap_ok / total,
-                "fixed_availability": fixed_ok / total,
-                "tap_reforms": tap_reforms / config.sessions,
-                "fixed_reforms": fixed_reforms / config.sessions,
-                "fixed_mean_tunnel_life": (
-                    sum(fixed_lifetimes) / len(fixed_lifetimes)
-                    if fixed_lifetimes else float(config.requests_per_session)
-                ),
-            }
-        )
-    return rows
+    any ``session.reform`` repairs.  Each churn level is independent
+    (its own overlay and labelled rng streams), so ``workers`` fans the
+    levels out over processes with identical rows and obs."""
+    results = run_trials(
+        _survival_trial,
+        [
+            (config, churn, metrics is not None, audit,
+             tracer is not None, event_trace is not None)
+            for churn in config.failures_per_request
+        ],
+        effective_workers(workers, config),
+    )
+    merge_obs(
+        [payload for _, payload in results],
+        metrics=metrics, tracer=tracer, event_trace=event_trace,
+    )
+    return [row for row, _ in results]

@@ -19,7 +19,9 @@ from repro.faults.chaos import (
     ChaosConfig,
     availability_report,
     canonical_json,
+    chaos_job,
     run_chaos,
+    run_chaos_jobs,
 )
 from repro.faults.injectors import (
     BYZANTINE_BEHAVIORS,
@@ -53,6 +55,8 @@ __all__ = [
     "SyncFaultInjector",
     "availability_report",
     "canonical_json",
+    "chaos_job",
     "named_plan",
     "run_chaos",
+    "run_chaos_jobs",
 ]

@@ -26,13 +26,14 @@ from dataclasses import dataclass
 from repro.core.resilience import ResiliencePolicy
 from repro.core.session import SessionServer, TapSession
 from repro.core.system import TapSystem
+from repro.experiments.config import ExperimentConfig
 from repro.faults.plan import FaultPlan
 from repro.obs import EventTrace
 from repro.util.rng import SeedSequenceFactory
 
 
 @dataclass(frozen=True)
-class ChaosConfig:
+class ChaosConfig(ExperimentConfig):
     """Shape of one chaos run (the fault content lives in the plan)."""
 
     num_nodes: int = 150
@@ -242,6 +243,32 @@ def run_chaos(
     report["digest"] = digest
     report["events_jsonl"] = events_jsonl
     return report
+
+
+def chaos_job(plan: FaultPlan, config: ChaosConfig, with_policy: bool) -> dict:
+    """Top-level (picklable) chaos job: one full :func:`run_chaos`.
+
+    ``with_policy`` selects the default :class:`ResiliencePolicy` or
+    the no-resilience baseline — the two arms the CLI compares.
+    """
+    return run_chaos(
+        plan, config, policy=ResiliencePolicy() if with_policy else None
+    )
+
+
+def run_chaos_jobs(
+    jobs: list[tuple[FaultPlan, ChaosConfig, bool]],
+    workers: int | None = None,
+) -> list[dict]:
+    """Run independent chaos jobs, optionally fanned over processes.
+
+    Each job is a self-contained deterministic run (its report embeds
+    its own digest), so parallel execution cannot change any result —
+    only the wall clock.  Results come back in job order.
+    """
+    from repro.perf import run_trials
+
+    return run_trials(chaos_job, jobs, workers)
 
 
 def canonical_json(report: dict) -> str:

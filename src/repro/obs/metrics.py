@@ -119,6 +119,29 @@ class Histogram:
             return ordered[lo]
         return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        count/sum/min/max stay exact; the retained samples are
+        concatenated in (self, other) order and re-decimated under the
+        bound, so a merge of worker-side histograms is deterministic
+        given the merge order (the parallel trial executor merges in
+        trial order).
+        """
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self._samples.extend(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
     def snapshot(self) -> dict:
         if not self.count:
             return {"type": "histogram", "count": 0}
@@ -202,6 +225,20 @@ class MetricsRegistry:
                     row[key] = value
             rows.append(row)
         return rows
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters and histograms accumulate; gauges adopt the incoming
+        value (last-write-wins, matching their "last observed level"
+        semantics when merging worker registries in trial order).
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
 
     def reset(self) -> None:
         self._counters.clear()

@@ -54,7 +54,7 @@ import json
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Iterator, NamedTuple
+from typing import Iterable, Iterator, NamedTuple
 
 
 class SpanContext(NamedTuple):
@@ -346,6 +346,43 @@ class SpanTracer:
         self.finished.clear()
         self.completed = 0
         # id counters stay monotone so old exports never collide
+
+    def absorb(self, spans: Iterable[Span]) -> int:
+        """Adopt finished spans from another tracer (a parallel worker).
+
+        Worker tracers allocate trace/span ids from their own counters,
+        so the incoming ids are remapped by this tracer's current
+        counters — parent links survive, and absorbing workers in trial
+        order yields the same id assignment on every run.  Returns the
+        number of spans absorbed.
+        """
+        span_base = self._next_span
+        trace_base = self._next_trace
+        max_span = -1
+        max_trace = -1
+        absorbed = 0
+        for s in spans:
+            remapped = Span(
+                s.trace_id + trace_base,
+                s.span_id + span_base,
+                None if s.parent_id is None else s.parent_id + span_base,
+                s.name,
+                s.start,
+            )
+            remapped.end = s.end
+            remapped.sim_start = s.sim_start
+            remapped.sim_end = s.sim_end
+            remapped.attrs = dict(s.attrs)
+            self.finished.append(remapped)
+            self.completed += 1
+            absorbed += 1
+            if s.span_id > max_span:
+                max_span = s.span_id
+            if s.trace_id > max_trace:
+                max_trace = s.trace_id
+        self._next_span = span_base + max_span + 1
+        self._next_trace = trace_base + max_trace + 1
+        return absorbed
 
     # -- export ---------------------------------------------------------
     def chrome_events(self, redact: bool = False) -> list[dict]:

@@ -79,6 +79,20 @@ class EventTrace:
             fh.write(self.to_jsonl())
         return len(self._events)
 
+    def absorb(self, events: Iterator[TraceEvent] | list[TraceEvent]) -> int:
+        """Re-record events captured by another trace (a parallel worker).
+
+        The events are re-sequenced under this trace's monotone ``seq``
+        counter, so absorbing worker traces in trial order reproduces
+        the numbering a serial run would have produced.  Returns the
+        number of events absorbed.
+        """
+        absorbed = 0
+        for event in events:
+            self.record(event.kind, **event.fields)
+            absorbed += 1
+        return absorbed
+
     def clear(self) -> None:
         """Empty the ring and reset the eviction accounting.
 

@@ -61,6 +61,31 @@ class ReplicatedStore:
         #: observers notified as (event, key, node_id) when a replica is
         #: placed; the collusion adversary subscribes here.
         self.on_replica_placed: list[Callable[[int, int], None]] = []
+        # replica_set/root memoisation, valid for one membership epoch:
+        # the repair loops recompute the same k-closest sets for the
+        # same keys many times between membership changes.
+        self._cache_epoch = -1
+        self._replica_set_cache: dict[int, tuple[list[int], frozenset[int]]] = {}
+        self._root_cache: dict[int, int] = {}
+
+    def _fresh_caches(self) -> None:
+        epoch = self.network.membership_epoch
+        if epoch != self._cache_epoch:
+            self._replica_set_cache.clear()
+            self._root_cache.clear()
+            self._cache_epoch = epoch
+
+    def _replica_set_entry(self, key: int) -> tuple[list[int], frozenset[int]]:
+        self._fresh_caches()
+        entry = self._replica_set_cache.get(key)
+        if entry is None:
+            members = self.network.replica_candidates(key, self.k)
+            entry = self._replica_set_cache[key] = (members, frozenset(members))
+            if self.metrics is not None:
+                self.metrics.counter("past.replica_set.misses").inc()
+        elif self.metrics is not None:
+            self.metrics.counter("past.replica_set.hits").inc()
+        return entry
 
     # ------------------------------------------------------------------
     # helpers
@@ -72,16 +97,32 @@ class ReplicatedStore:
         return store
 
     def replica_set(self, key: int) -> list[int]:
-        """The *intended* replica set right now (k closest alive)."""
-        return self.network.replica_candidates(key, self.k)
+        """The *intended* replica set right now (k closest alive).
+
+        Memoised per membership epoch — callers get a fresh copy, so
+        mutating the return value never corrupts the cache.
+        """
+        return list(self._replica_set_entry(key)[0])
+
+    def replica_membership(self, key: int) -> frozenset[int]:
+        """The intended replica set as a frozenset, for membership
+        tests (same epoch-scoped cache as :meth:`replica_set`)."""
+        return self._replica_set_entry(key)[1]
 
     def holders(self, key: int) -> set[int]:
         """Nodes currently holding a replica (may lag the intended set)."""
         return set(self._holders.get(key, ()))
 
     def root(self, key: int) -> int:
-        """The replica root — TAP's tunnel hop node for this key."""
-        return self.network.closest_alive(key)
+        """The replica root — TAP's tunnel hop node for this key.
+
+        Memoised per membership epoch alongside :meth:`replica_set`.
+        """
+        self._fresh_caches()
+        root = self._root_cache.get(key)
+        if root is None:
+            root = self._root_cache[key] = self.network.closest_alive(key)
+        return root
 
     def _place(self, node_id: int, obj: StoredObject) -> None:
         self.storage_of(node_id).insert(obj, overwrite=True)
@@ -140,7 +181,7 @@ class ReplicatedStore:
         live = [h for h in holders if self.network.is_alive(h)]
         if not live:
             raise StorageError(f"all replicas of {key:#x} are dead")
-        if requester_id is not None and requester_id not in self.replica_set(key):
+        if requester_id is not None and requester_id not in self.replica_membership(key):
             raise ReplicationError(
                 f"node {requester_id:#x} is outside the replica set of {key:#x}"
             )
@@ -284,7 +325,7 @@ class ReplicatedStore:
             live = [h for h in holders if self.network.is_alive(h)]
             if not live:
                 continue
-            intended = set(self.replica_set(key))
+            intended = self.replica_membership(key)
             if node_id not in intended:
                 continue
             source = self.storage_of(
@@ -332,7 +373,7 @@ class ReplicatedStore:
         problems: list[str] = []
         for key, holders in self._holders.items():
             live = {h for h in holders if self.network.is_alive(h)}
-            intended = set(self.replica_set(key))
+            intended = set(self.replica_membership(key))
             if live != intended:
                 problems.append(
                     f"key {key:#x}: holders {sorted(live)} != intended {sorted(intended)}"

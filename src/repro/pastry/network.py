@@ -77,6 +77,10 @@ class PastryNetwork:
         self.eager_repair = eager_repair
         self.nodes: dict[int, PastryNode] = {}
         self._sorted_alive: list[int] = []
+        #: bumped on every alive-set change; lets derived views (e.g.
+        #: :class:`repro.past.ReplicatedStore` replica-set caches) test
+        #: staleness with one integer compare instead of subscribing
+        self.membership_epoch = 0
         #: optional :class:`repro.obs.MetricsRegistry`
         self.metrics = metrics
         #: optional :class:`repro.obs.SpanTracer`; ``route`` is the one
@@ -219,11 +223,13 @@ class PastryNetwork:
         pos = bisect_left(self._sorted_alive, node_id)
         if pos >= len(self._sorted_alive) or self._sorted_alive[pos] != node_id:
             insort(self._sorted_alive, node_id)
+            self.membership_epoch += 1
 
     def _mark_dead(self, node_id: int) -> None:
         pos = bisect_left(self._sorted_alive, node_id)
         if pos < len(self._sorted_alive) and self._sorted_alive[pos] == node_id:
             del self._sorted_alive[pos]
+            self.membership_epoch += 1
 
     def join(self, node_id: int, bootstrap_id: int | None = None) -> PastryNode:
         """Incremental Pastry join protocol.

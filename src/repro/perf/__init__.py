@@ -1,0 +1,44 @@
+"""Performance engineering: parallel deterministic trial execution.
+
+``repro.perf`` is the execution layer under every experiment runner:
+
+* :func:`run_trials` fans independent trials (Monte-Carlo repetitions,
+  sweep points, chaos jobs) out over a ``ProcessPoolExecutor`` and
+  returns their results **in submission order**, so any fold over them
+  is order-deterministic;
+* :func:`derive_trial_seed` derives the per-trial seed stream
+  (:func:`repro.util.rng.derive_seed` under a fixed ``"trial"``
+  label), so trial *i* draws the same randomness whether it runs
+  serially, in any worker, or alone;
+* :class:`TrialObs` + :func:`merge_obs` carry worker-side
+  :mod:`repro.obs` state (metrics registries, span buffers, event
+  traces) back to the parent process and fold it in trial order;
+* :func:`canonical_json` / :func:`rows_digest` give every runner a
+  stable result fingerprint — the parallelism safety gate is that the
+  digest is identical for ``--workers 1`` and ``--workers N``.
+
+The combination makes "parallel" an execution detail rather than a
+semantic one: experiment rows are a pure function of the config.
+"""
+
+from repro.perf.digest import canonical_json, rows_digest
+from repro.perf.merge import TrialObs, capture_obs, local_obs, merge_obs
+from repro.perf.parallel import (
+    derive_trial_seed,
+    effective_workers,
+    resolve_workers,
+    run_trials,
+)
+
+__all__ = [
+    "canonical_json",
+    "rows_digest",
+    "TrialObs",
+    "capture_obs",
+    "local_obs",
+    "merge_obs",
+    "derive_trial_seed",
+    "effective_workers",
+    "resolve_workers",
+    "run_trials",
+]

@@ -1,0 +1,43 @@
+"""Canonical result fingerprints.
+
+The parallel executor's safety gate is byte-equality: a figure run
+with ``--workers 4`` must produce *exactly* the rows a serial run
+produces.  "Exactly" needs a canonical encoding — dict ordering,
+float repr, and numpy scalar types must not leak into the comparison.
+
+:func:`canonical_json` pins all three: keys sorted, separators fixed,
+numpy scalars coerced to their Python equivalents (``repr`` of a
+``np.float64`` round-trips identically to the ``float`` it wraps, so
+coercion never changes the digested value — it only makes the encoder
+accept it).  :func:`rows_digest` is the SHA-256 of that encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def _coerce(obj):
+    """JSON fallback for numpy scalars/arrays without importing numpy.
+
+    Both ``np.generic`` scalars and ``np.ndarray`` expose ``tolist()``,
+    which returns the exact Python-native equivalent (scalar or nested
+    list), so one hook covers every numpy type a row can carry.
+    """
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    raise TypeError(f"not canonically serialisable: {type(obj).__name__}")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace, numpy-safe."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_coerce
+    )
+
+
+def rows_digest(rows) -> str:
+    """SHA-256 hexdigest of the canonical encoding of ``rows``."""
+    return hashlib.sha256(canonical_json(rows).encode("utf-8")).hexdigest()

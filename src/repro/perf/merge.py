@@ -1,0 +1,85 @@
+"""Worker-side observability capture and parent-side merge.
+
+A parallel trial cannot write into the parent's
+:class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.SpanTracer` /
+:class:`~repro.obs.EventTrace` — it runs in another process.  Instead,
+each trial builds *local* instances (:func:`local_obs`), instruments
+against them exactly as the serial path would, and ships them back as
+a :class:`TrialObs` payload (:func:`capture_obs`).  The parent folds
+payloads in trial order (:func:`merge_obs`):
+
+* metrics merge via :meth:`MetricsRegistry.merge_from` (counters and
+  histograms accumulate, gauges last-write-win);
+* spans are adopted via :meth:`SpanTracer.absorb`, which remaps the
+  workers' locally-allocated trace/span ids onto the parent's counters
+  while preserving parent links;
+* events re-sequence under the parent trace's monotone counter via
+  :meth:`EventTrace.absorb`.
+
+Because the merge consumes trials in submission order, the merged
+registries/buffers are identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TrialObs:
+    """Picklable observability payload of one trial."""
+
+    metrics: object | None = None
+    spans: list | None = None
+    events: list | None = None
+
+
+def local_obs(want_metrics: bool, want_tracer: bool, want_events: bool):
+    """Worker-side obs instances mirroring what the parent asked for.
+
+    Returns ``(metrics, tracer, event_trace)`` with ``None`` for the
+    dimensions the parent did not request, so disabled instrumentation
+    stays free inside workers too.
+    """
+    metrics = tracer = event_trace = None
+    if want_metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if want_tracer:
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+    if want_events:
+        from repro.obs import EventTrace
+
+        event_trace = EventTrace()
+    return metrics, tracer, event_trace
+
+
+def capture_obs(metrics, tracer, event_trace) -> TrialObs | None:
+    """Package a trial's local obs state for the return trip."""
+    if metrics is None and tracer is None and event_trace is None:
+        return None
+    return TrialObs(
+        metrics=metrics,
+        spans=list(tracer.finished) if tracer is not None else None,
+        events=list(event_trace) if event_trace is not None else None,
+    )
+
+
+def merge_obs(payloads, metrics=None, tracer=None, event_trace=None) -> None:
+    """Fold :class:`TrialObs` payloads into parent obs objects.
+
+    ``payloads`` must be in trial order (what :func:`repro.perf.run_trials`
+    returns); the fold is then deterministic for any worker count.
+    """
+    for payload in payloads:
+        if payload is None:
+            continue
+        if metrics is not None and payload.metrics is not None:
+            metrics.merge_from(payload.metrics)
+        if tracer is not None and payload.spans:
+            tracer.absorb(payload.spans)
+        if event_trace is not None and payload.events:
+            event_trace.absorb(payload.events)

@@ -24,6 +24,7 @@ from repro.util.serialize import (
     pack_bytes,
     pack_fields,
     unpack_fields,
+    unpack_fields_view,
     pack_int,
     unpack_int,
     SerializationError,
@@ -48,6 +49,7 @@ __all__ = [
     "pack_bytes",
     "pack_fields",
     "unpack_fields",
+    "unpack_fields_view",
     "pack_int",
     "unpack_int",
     "SerializationError",

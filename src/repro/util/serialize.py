@@ -31,12 +31,47 @@ def pack_fields(*fields: bytes) -> bytes:
     return b"".join(pack_bytes(f) for f in fields)
 
 
-def unpack_fields(buffer: bytes, count: int | None = None) -> list[bytes]:
-    """Decode consecutive length-prefixed fields.
+def unpack_fields_view(buffer, count: int | None = None) -> list[memoryview]:
+    """Decode consecutive length-prefixed fields without copying.
+
+    Returns :class:`memoryview` slices into ``buffer`` (bytes,
+    bytearray, or another memoryview) — the hot-path variant used by
+    the onion peel, where copying every field at every layer would be
+    quadratic in tunnel depth.  The views keep ``buffer`` alive; call
+    :func:`unpack_fields` instead when the fields must outlive it as
+    independent byte strings.
 
     With ``count=None`` decodes until the buffer is exhausted; with an
     explicit count, raises :class:`SerializationError` if the buffer
     holds a different number of fields or has trailing garbage.
+    """
+    view = memoryview(buffer)
+    fields: list[memoryview] = []
+    offset = 0
+    total = len(view)
+    while offset < total:
+        if offset + _LEN_BYTES > total:
+            raise SerializationError("truncated length prefix")
+        length = int.from_bytes(view[offset : offset + _LEN_BYTES], "big")
+        offset += _LEN_BYTES
+        if offset + length > total:
+            raise SerializationError("field overruns buffer")
+        fields.append(view[offset : offset + length])
+        offset += length
+        if count is not None and len(fields) > count:
+            raise SerializationError(f"more than {count} fields present")
+    if count is not None and len(fields) != count:
+        raise SerializationError(f"expected {count} fields, found {len(fields)}")
+    return fields
+
+
+def unpack_fields(buffer: bytes, count: int | None = None) -> list[bytes]:
+    """Decode consecutive length-prefixed fields as independent bytes.
+
+    Same framing and error behaviour as :func:`unpack_fields_view`,
+    but each field is an independent byte string (and the loop slices
+    ``buffer`` directly — for small fields that is faster than going
+    through intermediate memoryviews).
     """
     fields: list[bytes] = []
     offset = 0

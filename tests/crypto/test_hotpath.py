@@ -1,0 +1,101 @@
+"""Regression tests for the optimised crypto hot path.
+
+The seal/open fast path (pre-primed HMAC pads, primed keystream
+prefix, whole-buffer XOR, memoryview slicing) must stay byte-identical
+to the reference construction at every size class the block-oriented
+keystream distinguishes, survive the 8-byte nonce-counter boundary,
+and round-trip through pickling (workers carry keys across process
+boundaries).
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import (
+    _NONCE_MODULUS,
+    CipherError,
+    SymmetricKey,
+    _keystream,
+)
+
+KEY = b"k" * 32
+
+#: the size classes the 32-byte-block keystream distinguishes: empty,
+#: sub-block, block-1, exact block, block+1, and many blocks
+SIZE_CLASSES = (0, 1, 31, 32, 33, 4096)
+
+
+class TestSizeClasses:
+    @pytest.mark.parametrize("size", SIZE_CLASSES)
+    def test_roundtrip(self, size):
+        key = SymmetricKey(KEY)
+        plaintext = bytes(range(256)) * (size // 256 + 1)
+        plaintext = plaintext[:size]
+        opened = SymmetricKey(KEY).open(key.seal(plaintext))
+        assert opened == plaintext
+        assert isinstance(opened, bytes)
+
+    @pytest.mark.parametrize("size", SIZE_CLASSES)
+    def test_stream_matches_reference_keystream(self, size):
+        """The vectorised XOR must equal byte-by-byte XOR with the
+        (unchanged) counter-mode keystream definition."""
+        key = SymmetricKey(KEY)
+        nonce = (5).to_bytes(8, "big")
+        plaintext = b"\xa5" * size
+        sealed = key.seal(plaintext, nonce=nonce)
+        ct = sealed[8:-32]
+        stream = _keystream(key._enc_key, nonce, size)
+        assert ct == bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    @given(plaintext=st.binary(max_size=2048))
+    def test_roundtrip_fuzz(self, plaintext):
+        key = SymmetricKey(KEY)
+        assert SymmetricKey(KEY).open(key.seal(plaintext)) == plaintext
+
+
+class TestNonceCounterBoundary:
+    def test_seal_past_the_8_byte_boundary(self):
+        """The counter must wrap modulo 2**64 instead of raising
+        OverflowError when encoding the nonce (regression: the counter
+        used to grow unbounded and explode at 2**64)."""
+        key = SymmetricKey(KEY)
+        key._nonce_counter = _NONCE_MODULUS - 1
+        sealed_wrap = key.seal(b"at the edge")  # counter -> 0
+        sealed_next = key.seal(b"after the edge")  # counter -> 1
+        assert sealed_wrap[:8] == (0).to_bytes(8, "big")
+        assert sealed_next[:8] == (1).to_bytes(8, "big")
+        opener = SymmetricKey(KEY)
+        assert opener.open(sealed_wrap) == b"at the edge"
+        assert opener.open(sealed_next) == b"after the edge"
+
+    def test_wrap_reuses_the_counter_zero_stream(self):
+        """Documented consequence of wrapping: the nonce sequence
+        repeats, so seal #2**64+1 equals seal #1 for equal plaintext."""
+        fresh = SymmetricKey(KEY)
+        first = fresh.seal(b"m")
+        wrapped = SymmetricKey(KEY)
+        wrapped._nonce_counter = _NONCE_MODULUS
+        assert wrapped.seal(b"m") == first
+
+
+class TestPickling:
+    def test_key_round_trips_with_counter(self):
+        key = SymmetricKey(KEY)
+        key.seal(b"one")
+        key.seal(b"two")
+        clone = pickle.loads(pickle.dumps(key))
+        assert clone == key
+        assert clone._nonce_counter == key._nonce_counter
+        # The clone continues the nonce sequence, not restarts it.
+        assert clone.seal(b"x")[:8] == (3).to_bytes(8, "big")
+        assert SymmetricKey(KEY).open(clone.seal(b"payload")) == b"payload"
+
+    def test_unpickled_key_rejects_tampering(self):
+        clone = pickle.loads(pickle.dumps(SymmetricKey(KEY)))
+        sealed = bytearray(clone.seal(b"payload"))
+        sealed[10] ^= 0x01
+        with pytest.raises(CipherError):
+            clone.open(bytes(sealed))

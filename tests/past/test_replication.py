@@ -299,3 +299,71 @@ class TestReviveReconciliation:
         assert store.storage_of(victim).lookup(key).value == b"v"
         assert store.holders(key) == set(store.replica_set(key))
         assert store.verify_invariants() == []
+
+
+class TestEpochMemoisation:
+    """replica_set/root are cached per membership epoch (perf path);
+    any alive-set change must invalidate them."""
+
+    def test_cached_replica_set_matches_network(self, store):
+        key = random_id(random.Random(31))
+        first = store.replica_set(key)
+        assert first == store.network.replica_candidates(key, store.k)
+        assert store.replica_set(key) == first
+        assert store.replica_membership(key) == frozenset(first)
+
+    def test_cached_copy_is_not_aliased(self, store):
+        key = random_id(random.Random(31))
+        stolen = store.replica_set(key)
+        stolen.clear()
+        assert store.replica_set(key) == store.network.replica_candidates(
+            key, store.k
+        )
+
+    def test_fail_invalidates_cache(self, store):
+        key = random_id(random.Random(31))
+        store.insert(key, b"v")
+        before = store.replica_set(key)
+        root_before = store.root(key)
+        victim = before[0]
+        store.network.fail(victim)
+        store.on_fail(victim)
+        after = store.replica_set(key)
+        assert victim not in after
+        assert after == store.network.replica_candidates(key, store.k)
+        assert store.root(key) == store.network.closest_alive(key)
+        if victim == root_before:
+            assert store.root(key) != root_before
+
+    def test_join_invalidates_cache(self, store):
+        key = random_id(random.Random(33))
+        store.insert(key, b"v")
+        assert store.replica_set(key)  # populate the cache
+        new_id = key + 1
+        while new_id in store.network.nodes:
+            new_id += 1
+        store.network.join(new_id)
+        store.on_join(new_id)
+        assert store.replica_set(key) == store.network.replica_candidates(
+            key, store.k
+        )
+        assert new_id in store.replica_set(key)
+
+    def test_fetch_access_rule_tracks_epoch(self, store):
+        """fetch()'s membership test uses the cached frozenset; after
+        churn it must reflect the *current* replica set."""
+        key = random_id(random.Random(35))
+        store.insert(key, b"v")
+        members = store.replica_set(key)
+        assert store.fetch(key, requester_id=members[0]).value == b"v"
+        outsider = next(
+            nid for nid in store.network.alive_ids if nid not in members
+        )
+        with pytest.raises(ReplicationError):
+            store.fetch(key, requester_id=outsider)
+        # Promote the outsider into the set by killing enough members.
+        while outsider not in store.replica_set(key):
+            victim = store.replica_set(key)[-1]
+            store.network.fail(victim)
+            store.on_fail(victim)
+        assert store.fetch(key, requester_id=outsider).value == b"v"

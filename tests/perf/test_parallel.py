@@ -1,0 +1,237 @@
+"""Tests for repro.perf: the parallel executor, obs merge, and digests.
+
+The load-bearing property is the digest gate: a runner fanned over N
+worker processes must produce byte-identical canonical-JSON rows to a
+serial run.  These tests pin it for fig2 (the acceptance example) and
+the chaos harness across three worker counts, and unit-test the merge
+primitives the gate relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Fig2Config
+from repro.experiments.fig2_failures import run_fig2
+from repro.obs import EventTrace, MetricsRegistry, SpanTracer
+from repro.perf import (
+    canonical_json,
+    derive_trial_seed,
+    effective_workers,
+    merge_obs,
+    resolve_workers,
+    rows_digest,
+    run_trials,
+)
+from repro.perf.merge import TrialObs
+from repro.util.rng import derive_seed
+
+WORKER_COUNTS = (1, 2, 3)
+
+TINY_FIG2 = Fig2Config(
+    num_nodes=200, num_tunnels=50, num_seeds=3,
+    failure_fractions=(0.1, 0.3),
+)
+
+
+def _tiny_chaos():
+    from repro.faults import ChaosConfig, named_plan
+
+    return named_plan("lossy"), ChaosConfig(num_nodes=60, sessions=2, rounds=6)
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+def _square(x):  # must be top-level: workers pickle it
+    return x * x
+
+
+def _explode(x):
+    raise ZeroDivisionError(x)
+
+
+class TestRunTrials:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_results_in_submission_order(self, workers):
+        args = [(i,) for i in range(7)]
+        assert run_trials(_square, args, workers) == [i * i for i in range(7)]
+
+    def test_serial_runs_inline(self):
+        # Unpicklable closures are fine at workers=1 (no executor).
+        calls = []
+        assert run_trials(lambda x: calls.append(x) or x, [(1,), (2,)], 1) == [1, 2]
+        assert calls == [1, 2]
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_trial_exception_propagates(self, workers):
+        with pytest.raises(ZeroDivisionError):
+            run_trials(_explode, [(1,), (2,)], workers)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(0, 10) == 1
+        assert resolve_workers(1, 10) == 1
+        assert resolve_workers(4, 2) == 2  # clamped to the work
+        assert resolve_workers(4, 10) == 4
+        assert resolve_workers(-1, 100) >= 1  # all cores
+
+    def test_effective_workers_prefers_explicit(self):
+        cfg = Fig2Config(workers=4)
+        assert effective_workers(None, cfg) == 4
+        assert effective_workers(2, cfg) == 2
+        assert effective_workers(None, object()) == 1
+
+    def test_trial_seeds_are_labelled_streams(self):
+        assert derive_trial_seed(7, 0) == derive_seed(7, "trial", 0)
+        seeds = {derive_trial_seed(7, rep) for rep in range(64)}
+        assert len(seeds) == 64
+
+
+# ----------------------------------------------------------------------
+# digests
+# ----------------------------------------------------------------------
+class TestDigest:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_numpy_scalars_coerce_to_native(self):
+        np = pytest.importorskip("numpy")
+        native = canonical_json({"x": 1.5, "n": 3, "v": [1, 2]})
+        coerced = canonical_json(
+            {"x": np.float64(1.5), "n": np.int64(3), "v": np.array([1, 2])}
+        )
+        assert native == coerced
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_rows_digest_is_stable_sha256(self):
+        rows = [{"a": 1}, {"b": 2.5}]
+        assert rows_digest(rows) == rows_digest(list(rows))
+        assert len(rows_digest(rows)) == 64
+        assert rows_digest(rows) != rows_digest(rows[:1])
+
+
+# ----------------------------------------------------------------------
+# obs merge primitives
+# ----------------------------------------------------------------------
+class TestObsMerge:
+    def test_histogram_merge_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 5.0, 2.0):
+            a.histogram("h").observe(v)
+        for v in (0.5, 9.0):
+            b.histogram("h").observe(v)
+        a.merge_from(b)
+        h = a.histogram("h")
+        assert h.count == 5
+        assert h.total == pytest.approx(17.5)
+        assert h.min == 0.5 and h.max == 9.0
+
+    def test_counter_and_gauge_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.gauge("g").set(7)
+        a.merge_from(b)
+        assert a.counter("c").value == 5
+        assert a.gauge("g").value == 7
+
+    def test_span_absorb_remaps_ids_and_parents(self):
+        parent, worker = SpanTracer(), SpanTracer()
+        pre = parent.start_trace("existing")
+        parent.finish(pre)
+
+        root = worker.start_trace("tap.request")
+        worker.add_span("leg", parent=root, sim_start=0.0, sim_end=1.0)
+        worker.finish(root)
+
+        absorbed = parent.absorb(list(worker.finished))
+        assert absorbed == 2
+        spans = {s.name: s for s in parent.finished}
+        assert spans["leg"].parent_id == spans["tap.request"].span_id
+        assert spans["leg"].trace_id == spans["tap.request"].trace_id
+        # remapped ids continue the parent's numbering (no collisions)
+        ids = [s.span_id for s in parent.finished]
+        assert len(ids) == len(set(ids))
+        assert spans["tap.request"].span_id > pre.span_id
+
+    def test_event_absorb_resequences(self):
+        parent, worker = EventTrace(), EventTrace()
+        parent.record("first")
+        worker.record("second", x=1)
+        worker.record("third")
+        assert parent.absorb(list(worker)) == 2
+        seqs = [e.seq for e in parent]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+        assert [e.kind for e in parent] == ["first", "second", "third"]
+        assert list(parent.events("second"))[0].fields == {"x": 1}
+
+    def test_merge_obs_skips_none_payloads(self):
+        registry = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("c").inc()
+        merge_obs(
+            [None, TrialObs(metrics=worker)],
+            metrics=registry,
+        )
+        assert registry.counter("c").value == 1
+
+
+# ----------------------------------------------------------------------
+# the digest gate: serial == parallel, byte for byte
+# ----------------------------------------------------------------------
+class TestDigestGate:
+    def test_fig2_digest_identical_across_worker_counts(self):
+        digests = {
+            rows_digest(run_fig2(TINY_FIG2, workers=w)) for w in WORKER_COUNTS
+        }
+        assert len(digests) == 1
+
+    def test_fig2_config_workers_field_equivalent_to_argument(self):
+        from dataclasses import replace
+
+        by_arg = run_fig2(TINY_FIG2, workers=2)
+        by_cfg = run_fig2(replace(TINY_FIG2, workers=2))
+        assert rows_digest(by_arg) == rows_digest(by_cfg)
+
+    def test_chaos_digest_identical_across_worker_counts(self):
+        from repro.faults import run_chaos_jobs
+
+        plan, config = _tiny_chaos()
+        digests = set()
+        for w in WORKER_COUNTS:
+            reports = run_chaos_jobs([(plan, config, True)], workers=w)
+            digests.add(reports[0]["digest"])
+        assert len(digests) == 1
+
+    def test_chaos_jobs_return_in_job_order(self):
+        from repro.faults import run_chaos_jobs
+
+        plan, config = _tiny_chaos()
+        with_policy, baseline = run_chaos_jobs(
+            [(plan, config, True), (plan, config, False)], workers=2
+        )
+        assert with_policy["policy"] == "resilient"
+        assert baseline["policy"] == "baseline"
+
+    def test_fig6_obs_identical_across_worker_counts(self):
+        from repro.experiments.config import Fig6Config
+        from repro.experiments.fig6_latency import run_fig6
+
+        cfg = Fig6Config(network_sizes=(100,), transfers_per_size=3, num_seeds=2)
+
+        def run(workers):
+            m, t, e = MetricsRegistry(), SpanTracer(), EventTrace()
+            rows = run_fig6(cfg, metrics=m, tracer=t, event_trace=e, workers=workers)
+            spans = [
+                (s.trace_id, s.span_id, s.parent_id, s.name, s.sim_start, s.sim_end)
+                for s in t.finished
+            ]
+            events = [(ev.seq, ev.kind, sorted(ev.fields.items())) for ev in e]
+            return rows_digest(rows), spans, events
+
+        runs = [run(w) for w in WORKER_COUNTS]
+        assert runs[0] == runs[1] == runs[2]

@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Benchmark baseline harness: pinned micro/macro suite + regression gate.
+
+Runs a fixed suite of micro benchmarks (seal/open throughput, HMAC,
+onion build+peel, serialization) and macro benchmarks (a Figure-6 leg,
+an N-node overlay build, one Figure-2 Monte-Carlo rep), then records
+``{git sha, timestamp, median ns/op, ops/s}`` per benchmark in
+``BENCH_core.json`` and compares against the baseline stored in the
+same file.
+
+The committed ``BENCH_core.json`` is the repo's performance
+trajectory: ``baseline`` pins the numbers a change is judged against,
+``current`` holds the latest run, and ``speedup`` is
+``baseline.median_ns / current.median_ns`` per benchmark (>1 means
+faster than the baseline).
+
+Usage::
+
+    python tools/bench_compare.py                  # run, compare, update 'current'
+    python tools/bench_compare.py --quick          # micro suite only, loose 2x gate
+    python tools/bench_compare.py --write-baseline # (re)pin the baseline to this run
+    python tools/bench_compare.py --check-only     # compare without rewriting the file
+
+Exit codes: 0 ok, 1 regression beyond ``--threshold``, 2 baseline
+missing (CI treats that as a failure so the trajectory cannot silently
+disappear).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_core.json"
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+def time_op(fn, *, min_time_s: float = 0.15, repeats: int = 5) -> float:
+    """Median ns/op over ``repeats`` calibrated batches of ``fn``."""
+    # Calibrate the batch size so one batch takes >= min_time_s / repeats.
+    n = 1
+    while True:
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_time_s / repeats or n >= 1 << 20:
+            break
+        n = max(n * 2, int(n * (min_time_s / repeats) / max(elapsed, 1e-9)))
+    samples = [elapsed / n]
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        samples.append((time.perf_counter() - start) / n)
+    return statistics.median(samples) * 1e9
+
+
+# ----------------------------------------------------------------------
+# the pinned suite
+# ----------------------------------------------------------------------
+def bench_crypto_seal_1k():
+    from repro.crypto.symmetric import SymmetricKey
+
+    key = SymmetricKey(b"bench-key-0123456789abcdef")
+    payload = bytes(range(256)) * 4  # 1024 B
+    nonce = b"\x07" * 8
+    return lambda: key.seal(payload, nonce=nonce)
+
+
+def bench_crypto_open_1k():
+    from repro.crypto.symmetric import SymmetricKey
+
+    key = SymmetricKey(b"bench-key-0123456789abcdef")
+    sealed = key.seal(bytes(range(256)) * 4, nonce=b"\x07" * 8)
+    return lambda: key.open(sealed)
+
+
+def bench_crypto_seal_64():
+    from repro.crypto.symmetric import SymmetricKey
+
+    key = SymmetricKey(b"bench-key-0123456789abcdef")
+    payload = b"m" * 64
+    nonce = b"\x07" * 8
+    return lambda: key.seal(payload, nonce=nonce)
+
+
+def bench_crypto_hmac_1k():
+    from repro.crypto.symmetric import _hmac_sha256
+
+    msg = b"h" * 1024
+    return lambda: _hmac_sha256(b"bench-mac-key", msg)
+
+
+def bench_onion_build_l5():
+    from repro.crypto.onion import OnionLayer, build_onion
+    from repro.crypto.symmetric import SymmetricKey
+
+    layers = [
+        OnionLayer(1000 + i, SymmetricKey(bytes([i + 1]) * 16))
+        for i in range(5)
+    ]
+    payload = b"p" * 256
+    return lambda: build_onion(layers, 77, payload)
+
+
+def bench_onion_peel_l5():
+    from repro.crypto.onion import OnionLayer, build_onion, peel_layer
+    from repro.crypto.symmetric import SymmetricKey
+
+    keys = [SymmetricKey(bytes([i + 1]) * 16) for i in range(5)]
+    layers = [OnionLayer(1000 + i, keys[i]) for i in range(5)]
+    blob = build_onion(layers, 77, b"p" * 256)
+
+    def peel_all():
+        b = blob
+        for k in keys:
+            b = peel_layer(k, b).inner
+        return b
+
+    return peel_all
+
+
+def bench_serialize_roundtrip():
+    from repro.util.serialize import pack_fields, unpack_fields
+
+    fields = [b"R", b"\x01" * 16, b"10.0.0.1", b"inner" * 64]
+    blob = pack_fields(*fields)
+    return lambda: unpack_fields(blob, count=4)
+
+
+def bench_fig6_leg():
+    from repro.experiments.config import Fig6Config
+    from repro.experiments.fig6_latency import run_fig6
+
+    config = Fig6Config(
+        network_sizes=(100,), tunnel_lengths=(3,),
+        transfers_per_size=5, num_seeds=1,
+    )
+    return lambda: run_fig6(config)
+
+
+def bench_pastry_join_200():
+    from repro.pastry.network import PastryNetwork
+    from repro.util.ids import random_id
+    from repro.util.rng import make_pyrandom
+
+    rng = make_pyrandom(2004, "bench-join")
+    ids = set()
+    while len(ids) < 200:
+        ids.add(random_id(rng))
+    return lambda: PastryNetwork.build(ids)
+
+
+def bench_fig2_rep():
+    from repro.experiments.config import Fig2Config
+    from repro.experiments.fig2_failures import run_fig2
+
+    config = Fig2Config(
+        num_nodes=1_000, num_tunnels=500, num_seeds=1,
+        failure_fractions=(0.1, 0.3, 0.5),
+    )
+    return lambda: run_fig2(config)
+
+
+MICRO = {
+    "crypto.seal_1k": bench_crypto_seal_1k,
+    "crypto.open_1k": bench_crypto_open_1k,
+    "crypto.seal_64": bench_crypto_seal_64,
+    "crypto.hmac_1k": bench_crypto_hmac_1k,
+    "onion.build_l5": bench_onion_build_l5,
+    "onion.peel_l5": bench_onion_peel_l5,
+    "serialize.unpack4": bench_serialize_roundtrip,
+}
+
+MACRO = {
+    "fig6.leg": bench_fig6_leg,
+    "pastry.join_200": bench_pastry_join_200,
+    "fig2.rep": bench_fig2_rep,
+}
+
+
+def run_suite(quick: bool) -> dict[str, dict]:
+    suite = dict(MICRO) if quick else {**MICRO, **MACRO}
+    results: dict[str, dict] = {}
+    for name, setup in suite.items():
+        fn = setup()
+        fn()  # warm caches / JIT-less sanity check
+        median_ns = time_op(fn)
+        results[name] = {
+            "median_ns": round(median_ns, 1),
+            "ops_per_s": round(1e9 / median_ns, 2),
+        }
+        print(f"  {name:24s} {median_ns:14,.0f} ns/op "
+              f"({results[name]['ops_per_s']:12,.1f} ops/s)")
+    if not quick:
+        results.update(wallclock_suite())
+    return results
+
+
+def wallclock_suite() -> dict[str, dict]:
+    """Serial vs parallel wall-clock of one experiment (informational).
+
+    Recorded as seconds (``median_ns`` is the whole-run time) so the
+    parallel-executor payoff is part of the tracked trajectory.  Skipped
+    silently on code that predates the ``workers`` parameter.
+    """
+    import inspect
+
+    from repro.experiments.config import Fig6Config
+    from repro.experiments.fig6_latency import run_fig6
+
+    if "workers" not in inspect.signature(run_fig6).parameters:
+        return {}
+    config = Fig6Config(
+        network_sizes=(100, 200), tunnel_lengths=(3,),
+        transfers_per_size=10, num_seeds=4,
+    )
+    out: dict[str, dict] = {}
+    for label, workers in (("fig6.wall_serial", 1), ("fig6.wall_workers4", 4)):
+        start = time.perf_counter()
+        run_fig6(config, workers=workers)
+        elapsed = time.perf_counter() - start
+        out[label] = {
+            "median_ns": round(elapsed * 1e9, 1),
+            "ops_per_s": round(1.0 / elapsed, 4),
+        }
+        print(f"  {label:24s} {elapsed:14.3f} s/run (workers={workers})")
+    return out
+
+
+# ----------------------------------------------------------------------
+# baseline file plumbing
+# ----------------------------------------------------------------------
+def git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def stamp(results: dict, label: str) -> dict:
+    return {
+        "label": label,
+        "git_sha": git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        # Wall-clock entries for --workers N only mean something when N
+        # cores exist; record how many this run actually had.
+        "cpus": os.cpu_count(),
+        "results": results,
+    }
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> tuple[dict, list[str]]:
+    """Per-benchmark speedups plus the list of gate failures."""
+    speedup: dict[str, float] = {}
+    failures: list[str] = []
+    base_results = baseline["results"]
+    for name, cur in current["results"].items():
+        base = base_results.get(name)
+        if base is None:
+            continue
+        ratio = base["median_ns"] / cur["median_ns"]
+        speedup[name] = round(ratio, 3)
+        if cur["median_ns"] > base["median_ns"] * threshold:
+            failures.append(
+                f"{name}: {cur['median_ns']:,.0f} ns/op vs baseline "
+                f"{base['median_ns']:,.0f} ns/op "
+                f"(x{1 / ratio:.2f} slower, threshold x{threshold:.2f})"
+            )
+    return speedup, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="benchmark record file (default BENCH_core.json)")
+    parser.add_argument("--quick", action="store_true",
+                        help="micro suite only (CI smoke; default gate x2)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail if median ns/op exceeds baseline*X "
+                             "(default 1.5, or 2.0 with --quick)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="pin this run as the new baseline")
+    parser.add_argument("--check-only", action="store_true",
+                        help="compare but leave the record file untouched")
+    parser.add_argument("--label", default="current",
+                        help="label stored with this run")
+    args = parser.parse_args(argv)
+
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 2.0 if args.quick else 1.5
+
+    print(f"bench_compare: running {'micro' if args.quick else 'full'} suite "
+          f"at {git_sha()}")
+    results = run_suite(args.quick)
+    current = stamp(results, args.label)
+
+    record: dict = {}
+    if args.out.exists():
+        record = json.loads(args.out.read_text())
+
+    if args.write_baseline:
+        record = {
+            "schema": 1,
+            "baseline": stamp(results, args.label or "baseline"),
+            "current": current,
+            "speedup": {name: 1.0 for name in results},
+        }
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"pinned new baseline ({len(results)} benchmarks) -> {args.out}")
+        return 0
+
+    baseline = record.get("baseline")
+    if baseline is None:
+        print(f"error: no baseline recorded in {args.out}; "
+              f"run with --write-baseline first", file=sys.stderr)
+        return 2
+
+    speedup, failures = compare(baseline, current, threshold)
+    print(f"\nvs baseline '{baseline['label']}' @ {baseline['git_sha']}:")
+    for name in sorted(speedup):
+        print(f"  {name:24s} x{speedup[name]:.2f} "
+              f"{'faster' if speedup[name] >= 1 else 'slower'}")
+
+    if not args.check_only:
+        record.update({
+            "schema": 1,
+            "current": current,
+            "speedup": speedup,
+        })
+        record.setdefault("baseline", baseline)
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"updated {args.out}")
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate ok (threshold x{threshold:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
