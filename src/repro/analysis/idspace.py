@@ -74,6 +74,9 @@ class IdSpaceModel:
     primitive of Figure 5.
     """
 
+    #: bound on the replica-set memo (distinct (keys, k) queries kept)
+    _MEMO_LIMIT = 8
+
     def __init__(self, node_ids, malicious=None):
         ids = _as_ring_array(node_ids)
         order = np.argsort(ids, kind="stable")
@@ -86,6 +89,15 @@ class IdSpaceModel:
         if malicious.shape != ids.shape:
             raise ValueError("malicious flags must align with ids")
         self.malicious = malicious[order]
+        #: the constructor's input→sorted permutation; sweeps that vary
+        #: only the flags reuse one model by assigning
+        #: ``model.malicious = flags[model.sort_order]``
+        self.sort_order = order
+        # replica_indices memo: the figure sweeps re-query identical
+        # (keys, k) pairs once per sweep level over an unchanged
+        # population.  Keyed by content (bytes hash), bumped on churn.
+        self._rev = 0
+        self._replica_memo: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -126,8 +138,23 @@ class IdSpaceModel:
         return len(self.ids)
 
     def replica_indices(self, keys, k: int) -> np.ndarray:
-        """(M, k) indices of each key's replica set, closest first."""
-        return replica_table(self.ids, keys, k)
+        """(M, k) indices of each key's replica set, closest first.
+
+        Memoised on ``(keys, k)`` content until the next membership
+        change — a pure cache, so results are byte-identical with and
+        without it.  The returned array is shared and marked
+        read-only; copy before mutating.
+        """
+        keys_arr = _as_ring_array(keys)
+        token = (int(k), self._rev, len(keys_arr), hash(keys_arr.tobytes()))
+        table = self._replica_memo.get(token)
+        if table is None:
+            if len(self._replica_memo) >= self._MEMO_LIMIT:
+                self._replica_memo.clear()
+            table = replica_table(self.ids, keys_arr, k)
+            table.setflags(write=False)
+            self._replica_memo[token] = table
+        return table
 
     def replica_ids(self, keys, k: int) -> np.ndarray:
         return self.ids[self.replica_indices(keys, k)]
@@ -157,6 +184,8 @@ class IdSpaceModel:
         keep[np.asarray(indices, dtype=np.intp)] = False
         self.ids = self.ids[keep]
         self.malicious = self.malicious[keep]
+        self._rev += 1
+        self._replica_memo.clear()
 
     def add_nodes(self, new_ids, malicious=None) -> None:
         new_ids = _as_ring_array(new_ids)
@@ -170,6 +199,8 @@ class IdSpaceModel:
         self.malicious = flags[order]
         if len(np.unique(self.ids)) != len(self.ids):
             raise ValueError("duplicate node ids after add")
+        self._rev += 1
+        self._replica_memo.clear()
 
     def benign_indices(self) -> np.ndarray:
         return np.flatnonzero(~self.malicious)

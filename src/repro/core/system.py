@@ -16,6 +16,7 @@ from repro.core.retrieval import AnonymousRetrieval, RetrievalResult
 from repro.core.tunnel import ReplyTunnel, Tunnel, TunnelFormationError, select_scattered
 from repro.past.replication import ReplicatedStore
 from repro.pastry.network import PastryNetwork
+from repro.pastry.node import ip_for_id
 from repro.util.ids import random_id
 from repro.util.rng import SeedSequenceFactory
 
@@ -40,8 +41,11 @@ class TapSystem:
         self.store = store
         self.seeds = seeds
         self.tap_nodes: dict[int, TapNode] = {}
+        # ip_for_id is the single source of node IPs, so the hint index
+        # is derivable from the ids alone — iterating keys (not nodes)
+        # keeps copy-on-write forks from materialising every node here.
         self.ip_index: dict[str, int] = {
-            node.ip: nid for nid, node in network.nodes.items()
+            ip_for_id(nid): nid for nid in network.nodes
         }
         self.forwarder = TunnelForwarder(network, store, self.tap_nodes, self.ip_index)
         self.deployer = ThaDeployer(network, store, seeds.pyrandom("deployer"))
@@ -70,13 +74,22 @@ class TapSystem:
         replication_factor: int = 3,
         b_bits: int = 4,
         leaf_set_size: int = 16,
+        overlay_seed: int | None = None,
         metrics=None,
         event_trace=None,
         tracer=None,
     ) -> "TapSystem":
-        """Random overlay of ``num_nodes`` with correct initial state."""
+        """Random overlay of ``num_nodes`` with correct initial state.
+
+        ``overlay_seed`` draws the node ids from a *different* root
+        seed than the system's behavioural streams: ``bootstrap(n,
+        seed=rep, overlay_seed=base)`` is the fresh-build reference
+        that :meth:`fork` of a ``seed=base`` system must match byte
+        for byte (the fork-equivalence contract).
+        """
         seeds = SeedSequenceFactory(seed)
-        id_rng = seeds.pyrandom("node-ids")
+        id_seeds = seeds if overlay_seed is None else SeedSequenceFactory(overlay_seed)
+        id_rng = id_seeds.pyrandom("node-ids")
         ids = set()
         while len(ids) < num_nodes:
             ids.add(random_id(id_rng))
@@ -85,6 +98,27 @@ class TapSystem:
         return cls(
             network, store, seeds,
             metrics=metrics, event_trace=event_trace, tracer=tracer,
+        )
+
+    def snapshot(self):
+        """Immutable, picklable capture of the overlay + storage state.
+
+        Returns a :class:`repro.perf.snapshot.SystemSnapshot`; call its
+        :meth:`~repro.perf.snapshot.SystemSnapshot.fork` per repetition
+        instead of re-bootstrapping.  Must be taken before any TAP
+        state (anchors, tunnels) exists.
+        """
+        from repro.perf.snapshot import SystemSnapshot
+
+        return SystemSnapshot.capture(self)
+
+    def fork(
+        self, seed: int, metrics=None, event_trace=None, tracer=None
+    ) -> "TapSystem":
+        """An independent system on a copy-on-write fork of this one's
+        substrates, with fresh seed streams rooted at ``seed``."""
+        return self.snapshot().fork(
+            seed, metrics=metrics, event_trace=event_trace, tracer=tracer
         )
 
     # ------------------------------------------------------------------

@@ -22,7 +22,15 @@ import numpy as np
 from repro.analysis.idspace import IdSpaceModel, replica_table
 from repro.analysis.theory import tunnel_corruption_prob, tunnel_failure_prob_tap
 from repro.experiments.config import ExperimentConfig
-from repro.perf import capture_obs, effective_workers, local_obs, merge_obs, run_trials
+from repro.perf import (
+    base_snapshot,
+    capture_obs,
+    effective_workers,
+    local_obs,
+    merge_obs,
+    run_trials,
+)
+from repro.perf.parallel import shared_payload
 from repro.util.rng import SeedSequenceFactory
 
 
@@ -110,6 +118,16 @@ class HintStalenessConfig(ExperimentConfig):
         return cls(num_nodes=150, tunnels=6, churn_steps=(0, 5, 15))
 
 
+def _hints_base_token(config: HintStalenessConfig) -> tuple:
+    return ("hints-base", config.seed, config.num_nodes)
+
+
+def _hints_base_build(config: HintStalenessConfig):
+    from repro.core.system import TapSystem
+
+    return TapSystem.bootstrap(config.num_nodes, seed=config.seed).snapshot()
+
+
 def _hint_staleness_level(
     config: HintStalenessConfig,
     churn: int,
@@ -118,11 +136,14 @@ def _hint_staleness_level(
     tracer,
     event_trace,
 ) -> dict:
-    """One churn level: fresh system, hinted tunnels, churn, probe."""
-    from repro.core.system import TapSystem
-
-    system = TapSystem.bootstrap(
-        num_nodes=config.num_nodes, seed=config.seed + churn,
+    """One churn level: forked system, hinted tunnels, churn, probe."""
+    token = _hints_base_token(config)
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        snap = base_snapshot(token, lambda: _hints_base_build(config))
+    system = snap.fork(
+        config.seed + churn,
         metrics=metrics, event_trace=event_trace, tracer=tracer,
     )
     if audit:
@@ -202,6 +223,8 @@ def run_hint_staleness(
     (independent) churn levels out over processes; rows and obs are
     identical for any worker count.
     """
+    token = _hints_base_token(config)
+    bases = {token: base_snapshot(token, lambda: _hints_base_build(config))}
     results = run_trials(
         _hint_staleness_trial,
         [
@@ -210,6 +233,7 @@ def run_hint_staleness(
             for churn in config.churn_steps
         ],
         effective_workers(workers, config),
+        shared=bases,
     )
     merge_obs(
         [payload for _, payload in results],

@@ -38,12 +38,17 @@ def _fig3_trial(config: Fig3Config, rep: int) -> list[tuple[float, float]]:
         config.num_tunnels * config.tunnel_length, rng
     )
     out: list[tuple[float, float]] = []
+    # One model per repetition: only the malicious flags vary across
+    # the sweep, so the sorted population (and the replica_indices
+    # memo keyed on it) is shared by every p — reassigning the flags
+    # through sort_order is exactly what re-constructing would compute.
+    model = IdSpaceModel(ids)
     for p in config.malicious_fractions:
         malicious = np.zeros(config.num_nodes, dtype=bool)
         m = round(p * config.num_nodes)
         if m:
             malicious[rng.choice(config.num_nodes, size=m, replace=False)] = True
-        model = IdSpaceModel(ids, malicious)
+        model.malicious = malicious[model.sort_order]
         out.append(
             (
                 p,

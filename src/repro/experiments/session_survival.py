@@ -24,8 +24,24 @@ from repro.baselines.fixed_tunnel import form_fixed_tunnel
 from repro.core.session import SessionServer, TapSession
 from repro.core.system import TapSystem
 from repro.experiments.config import ExperimentConfig
-from repro.perf import capture_obs, effective_workers, local_obs, merge_obs, run_trials
+from repro.perf import (
+    base_snapshot,
+    capture_obs,
+    effective_workers,
+    local_obs,
+    merge_obs,
+    run_trials,
+)
+from repro.perf.parallel import shared_payload
 from repro.util.rng import SeedSequenceFactory
+
+
+def _base_token(config: SessionSurvivalConfig) -> tuple:
+    return ("sessions-base", config.seed, config.num_nodes)
+
+
+def _base_build(config: SessionSurvivalConfig):
+    return TapSystem.bootstrap(config.num_nodes, seed=config.seed).snapshot()
 
 
 @dataclass(frozen=True)
@@ -85,10 +101,16 @@ def _survival_level(
     tracer,
     event_trace,
 ) -> dict:
-    """One churn level on its own overlay and labelled rng streams."""
+    """One churn level on a fork of the shared base overlay, with its
+    own labelled rng streams (seed ``config.seed + churn``)."""
     seeds = SeedSequenceFactory(config.seed)
-    system = TapSystem.bootstrap(
-        config.num_nodes, seed=config.seed + churn,
+    token = _base_token(config)
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        snap = base_snapshot(token, lambda: _base_build(config))
+    system = snap.fork(
+        config.seed + churn,
         metrics=metrics, event_trace=event_trace, tracer=tracer,
     )
     if audit:
@@ -181,6 +203,8 @@ def run_session_survival(
     any ``session.reform`` repairs.  Each churn level is independent
     (its own overlay and labelled rng streams), so ``workers`` fans the
     levels out over processes with identical rows and obs."""
+    token = _base_token(config)
+    bases = {token: base_snapshot(token, lambda: _base_build(config))}
     results = run_trials(
         _survival_trial,
         [
@@ -189,6 +213,7 @@ def run_session_survival(
             for churn in config.failures_per_request
         ],
         effective_workers(workers, config),
+        shared=bases,
     )
     merge_obs(
         [payload for _, payload in results],

@@ -29,7 +29,16 @@ from repro.core.system import TapSystem
 from repro.experiments.config import ExperimentConfig
 from repro.faults.plan import FaultPlan
 from repro.obs import EventTrace
+from repro.perf.parallel import shared_payload
 from repro.util.rng import SeedSequenceFactory
+
+
+def _chaos_base_token(config: ChaosConfig) -> tuple:
+    return ("chaos-base", config.seed, config.num_nodes)
+
+
+def _chaos_base_build(config: ChaosConfig):
+    return TapSystem.bootstrap(config.num_nodes, seed=config.seed).snapshot()
 
 
 @dataclass(frozen=True)
@@ -92,10 +101,23 @@ def run_chaos(
 
     ``policy=None`` is the no-resilience baseline: sessions get zero
     retries and only the structural replica fail-over of the paper.
+
+    The system is a fork of the base snapshot for ``config.seed`` —
+    forking with the same seed the base was bootstrapped with yields a
+    system byte-identical to a fresh bootstrap, so report digests are
+    unchanged while repeated runs (the policy/baseline pair, replay
+    verification, job fan-out) skip the N-node construction.
     """
     event_trace = EventTrace()
-    system = TapSystem.bootstrap(
-        config.num_nodes, seed=config.seed,
+    from repro.perf import base_snapshot
+
+    token = _chaos_base_token(config)
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        snap = base_snapshot(token, lambda: _chaos_base_build(config))
+    system = snap.fork(
+        config.seed,
         metrics=metrics, event_trace=event_trace, tracer=tracer,
     )
     seeds = SeedSequenceFactory(config.seed).spawn("chaos", plan.name)
@@ -264,11 +286,20 @@ def run_chaos_jobs(
 
     Each job is a self-contained deterministic run (its report embeds
     its own digest), so parallel execution cannot change any result —
-    only the wall clock.  Results come back in job order.
+    only the wall clock.  Results come back in job order.  One base
+    overlay per distinct ``(seed, num_nodes)`` is bootstrapped here
+    and shipped to the workers; every job forks it.
     """
-    from repro.perf import run_trials
+    from repro.perf import base_snapshot, run_trials
 
-    return run_trials(chaos_job, jobs, workers)
+    bases = {}
+    for _, config, _ in jobs:
+        token = _chaos_base_token(config)
+        if token not in bases:
+            bases[token] = base_snapshot(
+                token, lambda c=config: _chaos_base_build(c)
+            )
+    return run_trials(chaos_job, jobs, workers, shared=bases)
 
 
 def canonical_json(report: dict) -> str:

@@ -52,9 +52,10 @@ class ReplicatedStore:
         #: optional :class:`repro.obs.SpanTracer`; membership repairs
         #: become ``failover.repair`` spans
         self.tracer = tracer
-        self.storages: dict[int, Storage] = {
-            nid: Storage(nid) for nid in network.nodes
-        }
+        #: per-node replica storage, created lazily by
+        #: :meth:`storage_of` — forked systems (repro.perf.snapshot)
+        #: only ever pay for the nodes that actually hold objects
+        self.storages: dict[int, Storage] = {}
         #: global index key -> set of node ids currently holding it
         self._holders: dict[int, set[int]] = {}
         self._sorted_keys: list[int] = []

@@ -25,6 +25,10 @@ class LeafSet:
         self.owner_id = owner_id
         self.capacity = capacity
         self._members: set[int] = set()
+        #: optional ``(owner_id, added_id)`` callback observed by the
+        #: network's referrer index; fired per *candidate* (superset
+        #: semantics — eviction by :meth:`_trim` is not reported)
+        self.on_add = None
 
     # -- membership ----------------------------------------------------
     @property
@@ -55,13 +59,27 @@ class LeafSet:
             return False
         self._members.add(node_id)
         self._trim()
+        if self.on_add is not None:
+            self.on_add(self.owner_id, node_id)
         return node_id in self._members
 
     def add_all(self, node_ids) -> None:
+        added = []
         for node_id in node_ids:
             if node_id != self.owner_id:
                 self._members.add(node_id)
+                added.append(node_id)
         self._trim()
+        if self.on_add is not None:
+            for node_id in added:
+                self.on_add(self.owner_id, node_id)
+
+    def bulk_load(self, node_ids) -> None:
+        """Trusted direct load used by the bulk ring constructor and the
+        snapshot-restore path: the caller guarantees the ids are exactly
+        a valid (trimmed) leaf set for the owner, so the per-add
+        ranking sorts of :meth:`_trim` are skipped entirely."""
+        self._members = {m for m in node_ids if m != self.owner_id}
 
     def remove(self, node_id: int) -> None:
         self._members.discard(node_id)

@@ -81,6 +81,17 @@ class PastryNetwork:
         #: :class:`repro.past.ReplicatedStore` replica-set caches) test
         #: staleness with one integer compare instead of subscribing
         self.membership_epoch = 0
+        #: reverse reference index ``entry -> {owner ids}``, built
+        #: lazily on the first departure repair and maintained by the
+        #: ``on_add`` hooks of every leaf set / routing table.  Superset
+        #: semantics: owners that have since evicted the entry are
+        #: pruned by a membership check at repair time.
+        self._referrers: dict[int, set[int]] | None = None
+        # Route-decision caches, valid for one membership epoch (same
+        # invalidation contract as the store's replica_set memoisation).
+        self._route_cache: dict[tuple[int, int], RouteResult] = {}
+        self._closest_cache: dict[int, int] = {}
+        self._route_cache_epoch = -1
         #: optional :class:`repro.obs.MetricsRegistry`
         self.metrics = metrics
         #: optional :class:`repro.obs.SpanTracer`; ``route`` is the one
@@ -127,13 +138,18 @@ class PastryNetwork:
         for nid in ids:
             net.nodes[nid] = PastryNode(nid, b_bits, leaf_set_size)
 
+        # Leaf sets in one pass: the half closest ids in each ring
+        # direction are exactly the index neighbours in sorted order,
+        # so the trimmed leaf set can be assigned directly instead of
+        # re-ranking after every insertion.
         n = len(ids)
-        half = leaf_set_size // 2
+        reach = min(leaf_set_size // 2, n - 1)
         for idx, nid in enumerate(ids):
-            node = net.nodes[nid]
-            for off in range(1, min(half, n - 1) + 1):
-                node.leaf_set.add(ids[(idx + off) % n])
-                node.leaf_set.add(ids[(idx - off) % n])
+            net.nodes[nid].leaf_set.bulk_load(
+                ids[(idx + off) % n]
+                for off in range(-reach, reach + 1)
+                if off
+            )
 
         # Routing tables from prefix buckets: bucket (row, prefix, digit)
         # keeps the smallest qualifying id for determinism.  Nodes that
@@ -184,8 +200,12 @@ class PastryNetwork:
                     return None
                 return min(pool, key=lambda cand: (proximity(owner, cand), cand))
 
+        # A bucket (row, prefix, digit) entry shares exactly ``row``
+        # digits with every owner of that prefix and differs at digit
+        # ``row``, so its cell is (row, digit) by construction — the
+        # table is filled directly, skipping per-add prefix arithmetic.
         for idx, nid in enumerate(ids):
-            node = net.nodes[nid]
+            table = net.nodes[nid].routing_table
             for row in range(min(rows, max_shared[idx] + 1)):
                 prefix = nid >> (ID_BITS - b_bits * row) if row else 0
                 own_digit = id_digit(nid, row, b_bits)
@@ -194,8 +214,30 @@ class PastryNetwork:
                         continue
                     entry = cell_entry(nid, (row, prefix, digit))
                     if entry is not None:
-                        node.routing_table.add(entry)
+                        table.install_cell(row, digit, entry)
         return net
+
+    # ------------------------------------------------------------------
+    # snapshot / fork (repro.perf.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Immutable, picklable copy of the whole overlay state.
+
+        Returns a :class:`repro.perf.snapshot.NetworkSnapshot`; restore
+        any number of independent networks from it with
+        :meth:`~repro.perf.snapshot.NetworkSnapshot.restore`.
+        """
+        from repro.perf.snapshot import NetworkSnapshot
+
+        return NetworkSnapshot.capture(self)
+
+    def fork(self, metrics=None, tracer=None) -> "PastryNetwork":
+        """An independent copy-on-write copy of this overlay.
+
+        Node state is materialised lazily on first access, so forking
+        is O(1) in the network size; mutations never touch the parent.
+        """
+        return self.snapshot().restore(metrics=metrics, tracer=tracer)
 
     # ------------------------------------------------------------------
     # membership
@@ -244,6 +286,7 @@ class PastryNetwork:
             raise ValueError(f"node {node_id:#x} already in the overlay")
         newcomer = PastryNode(node_id, self.b_bits, self.leaf_set_size)
         self.nodes[node_id] = newcomer
+        self._attach_ref_hooks(newcomer)
 
         if not self._sorted_alive:  # first node: trivially joined
             self._mark_alive(node_id)
@@ -342,6 +385,34 @@ class PastryNetwork:
                 node.routing_table.add(neighbour_id)
                 self.nodes[neighbour_id].learn([node_id])
 
+    # ------------------------------------------------------------------
+    # the referrer index (who references whom)
+    # ------------------------------------------------------------------
+    def _note_reference(self, owner_id: int, target_id: int) -> None:
+        """``on_add`` hook installed on every leaf set / routing table:
+        record that ``owner_id`` may now reference ``target_id``."""
+        refs = self._referrers
+        if refs is not None:
+            refs.setdefault(target_id, set()).add(owner_id)
+
+    def _attach_ref_hooks(self, node: PastryNode) -> None:
+        node.leaf_set.on_add = self._note_reference
+        node.routing_table.on_add = self._note_reference
+
+    def _build_referrer_index(self) -> dict[int, set[int]]:
+        """One full scan building ``entry -> {owners}``; every node is
+        hooked so subsequent additions keep the index a superset of the
+        true reference relation (evictions are pruned lazily)."""
+        refs: dict[int, set[int]] = {}
+        self._referrers = refs
+        for nid, node in self.nodes.items():
+            for target in node.leaf_set.members:
+                refs.setdefault(target, set()).add(nid)
+            for target in node.routing_table.entries:
+                refs.setdefault(target, set()).add(nid)
+            self._attach_ref_hooks(node)
+        return refs
+
     def _repair_after_departure(self, dead_id: int) -> None:
         """Refill leaf sets and routing cells that referenced the dead node.
 
@@ -350,12 +421,25 @@ class PastryNetwork:
         routing-table repair asks row neighbours for a replacement
         entry.  We refill from the global sorted list — the state those
         protocols provably converge to.
+
+        Referrers come from the lazily-built reverse index rather than
+        a full-ring scan, so one departure costs O(referrers · |L|),
+        not O(N) — the index is a superset, pruned here by the same
+        membership checks the scan performed.
         """
         if not self._sorted_alive:
             return
+        refs = self._referrers
+        if refs is None:
+            refs = self._build_referrer_index()
+        owners = refs.pop(dead_id, None)
+        if not owners:
+            return
         want = min(self.leaf_set_size + 2, len(self._sorted_alive))
-        for nid in list(self._sorted_alive):
-            node = self.nodes[nid]
+        for nid in sorted(owners):
+            node = self.nodes.get(nid)
+            if node is None or not node.alive:
+                continue
             if dead_id not in node.leaf_set and dead_id not in node.routing_table:
                 continue
             had_leaf = dead_id in node.leaf_set
@@ -401,11 +485,31 @@ class PastryNetwork:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    #: Route-cache size valve; cleared wholesale when exceeded.
+    ROUTE_CACHE_LIMIT = 65536
+
+    def _fresh_route_caches(self) -> None:
+        if self._route_cache_epoch != self.membership_epoch:
+            self._route_cache.clear()
+            self._closest_cache.clear()
+            self._route_cache_epoch = self.membership_epoch
+
     def closest_alive(self, key: int) -> int:
-        """Id of the alive node numerically closest to ``key`` (oracle)."""
+        """Id of the alive node numerically closest to ``key`` (oracle).
+
+        Memoised per membership epoch — a pure function of the alive
+        set, recomputed only after membership changes.
+        """
         if not self._sorted_alive:
             raise RoutingError("no alive nodes")
-        return closest_in_sorted(self._sorted_alive, key, 1)[0]
+        self._fresh_route_caches()
+        root = self._closest_cache.get(key)
+        if root is None:
+            root = closest_in_sorted(self._sorted_alive, key, 1)[0]
+            if len(self._closest_cache) >= self.ROUTE_CACHE_LIMIT:
+                self._closest_cache.clear()
+            self._closest_cache[key] = root
+        return root
 
     def replica_candidates(self, key: int, k: int) -> list[int]:
         """The k alive nodes numerically closest to ``key`` (oracle)."""
@@ -454,6 +558,20 @@ class PastryNetwork:
         if src is None or not src.alive:
             raise RoutingError(f"source {src_id:#x} is not alive")
 
+        # Clean routes are a pure function of the overlay state, which
+        # under eager repair is immutable between membership epochs
+        # (dead references — the one in-route mutation trigger — cannot
+        # exist), so they are cached per (src, key) until the epoch
+        # turns.  Routes that discovered failures are never cached.
+        cacheable = self.eager_repair
+        if cacheable:
+            self._fresh_route_caches()
+            hit = self._route_cache.get((src_id, key))
+            if hit is not None:
+                if self.metrics is not None:
+                    self.metrics.counter("pastry.route.cache_hits").inc()
+                return RouteResult(key, list(hit.path), True, 0)
+
         path = [src_id]
         failures = 0
         current = src
@@ -464,6 +582,12 @@ class PastryNetwork:
                 if nxt is None:
                     return RouteResult(key, path, False, failures)
                 if nxt == current.node_id:
+                    if cacheable and failures == 0:
+                        if len(self._route_cache) >= self.ROUTE_CACHE_LIMIT:
+                            self._route_cache.clear()
+                        self._route_cache[(src_id, key)] = RouteResult(
+                            key, list(path), True, 0
+                        )
                     return RouteResult(key, path, True, failures)
                 if self.is_alive(nxt):
                     break

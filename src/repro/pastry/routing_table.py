@@ -16,9 +16,15 @@ from __future__ import annotations
 from repro.pastry.constants import DEFAULT_B_BITS
 from repro.util.ids import ID_BITS, id_digit, shared_prefix_digits
 
+_MISS = object()
+
+#: Cap on the per-table ``entry_for_key`` memo; cleared wholesale when
+#: exceeded (keys routed between mutations are usually few and hot).
+_KEY_MEMO_LIMIT = 4096
+
 
 class RoutingTable:
-    """Sparse (row, column) -> nodeid map with a reverse index."""
+    """Sparse (row, column) -> nodeid map with reverse and row indexes."""
 
     def __init__(self, owner_id: int, b_bits: int = DEFAULT_B_BITS):
         if ID_BITS % b_bits != 0:
@@ -29,6 +35,17 @@ class RoutingTable:
         self.cols = 1 << b_bits
         self._cells: dict[tuple[int, int], int] = {}
         self._reverse: dict[int, tuple[int, int]] = {}
+        #: row -> {col -> nodeid}, kept in lock-step with ``_cells`` so
+        #: :meth:`row_entries` is O(row occupancy), not O(table).
+        self._rows_index: dict[int, dict[int, int]] = {}
+        #: bumped on every mutation; invalidates the key-lookup memo
+        self._version = 0
+        self._key_memo: dict[int, int | None] = {}
+        self._memo_version = -1
+        #: optional ``(owner_id, added_id)`` callback observed by the
+        #: network's leaf/table referrer index (see
+        #: :meth:`repro.pastry.network.PastryNetwork._note_reference`)
+        self.on_add = None
 
     def cell_for(self, node_id: int) -> tuple[int, int] | None:
         """The (row, col) a candidate id would occupy, or None for self."""
@@ -48,20 +65,52 @@ class RoutingTable:
         cell = self.cell_for(node_id)
         if cell is None:
             return False
+        if self.on_add is not None:
+            self.on_add(self.owner_id, node_id)
         if cell in self._cells and not replace:
             return self._cells[cell] == node_id
         old = self._cells.get(cell)
         if old is not None:
             self._reverse.pop(old, None)
-        self._cells[cell] = node_id
-        self._reverse[node_id] = cell
+        self._install(cell, node_id)
         return True
+
+    def _install(self, cell: tuple[int, int], node_id: int) -> None:
+        self._cells[cell] = node_id
+        self._rows_index.setdefault(cell[0], {})[cell[1]] = node_id
+        self._reverse[node_id] = cell
+        self._version += 1
+
+    def install_cell(self, row: int, col: int, node_id: int) -> None:
+        """Trusted direct install used by the bulk ring constructor:
+        the caller guarantees ``(row, col) == cell_for(node_id)`` and
+        that the cell is vacant — skips the prefix computation."""
+        self._install((row, col), node_id)
+
+    def load_cells(self, cells: dict[tuple[int, int], int]) -> None:
+        """Replace the whole table from a ``cell -> nodeid`` mapping
+        (the snapshot-restore path); the mapping is copied."""
+        self._cells = dict(cells)
+        rows_index: dict[int, dict[int, int]] = {}
+        reverse: dict[int, tuple[int, int]] = {}
+        for cell, nid in self._cells.items():
+            rows_index.setdefault(cell[0], {})[cell[1]] = nid
+            reverse[nid] = cell
+        self._rows_index = rows_index
+        self._reverse = reverse
+        self._version += 1
 
     def remove(self, node_id: int) -> bool:
         cell = self._reverse.pop(node_id, None)
         if cell is None:
             return False
         del self._cells[cell]
+        row = self._rows_index.get(cell[0])
+        if row is not None and row.get(cell[1]) == node_id:
+            del row[cell[1]]
+            if not row:
+                del self._rows_index[cell[0]]
+        self._version += 1
         return True
 
     def lookup(self, row: int, col: int) -> int | None:
@@ -69,16 +118,34 @@ class RoutingTable:
 
     def entry_for_key(self, key: int) -> int | None:
         """The routing-table next hop for ``key``: the cell matching the
-        key's first divergent digit, if populated."""
+        key's first divergent digit, if populated.
+
+        Memoised per key until the next table mutation (the per-hop
+        routing decision re-resolves the same keys many times between
+        membership events).
+        """
+        memo = self._key_memo
+        if self._memo_version != self._version:
+            memo.clear()
+            self._memo_version = self._version
+        hit = memo.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
         row = shared_prefix_digits(self.owner_id, key, self.b_bits)
         if row >= self.rows:
-            return None  # key == owner id
-        col = id_digit(key, row, self.b_bits)
-        return self._cells.get((row, col))
+            entry = None  # key == owner id
+        else:
+            col = id_digit(key, row, self.b_bits)
+            entry = self._cells.get((row, col))
+        if len(memo) >= _KEY_MEMO_LIMIT:
+            memo.clear()
+        memo[key] = entry
+        return entry
 
     def row_entries(self, row: int) -> dict[int, int]:
-        """col -> nodeid mapping of one row (copy)."""
-        return {c: nid for (r, c), nid in self._cells.items() if r == row}
+        """col -> nodeid mapping of one row (copy); O(row occupancy)."""
+        entries = self._rows_index.get(row)
+        return dict(entries) if entries else {}
 
     @property
     def entries(self) -> set[int]:

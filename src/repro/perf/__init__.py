@@ -28,6 +28,13 @@ from repro.perf.parallel import (
     effective_workers,
     resolve_workers,
     run_trials,
+    shared_payload,
+)
+from repro.perf.snapshot import (
+    NetworkSnapshot,
+    StoreSnapshot,
+    SystemSnapshot,
+    base_snapshot,
 )
 
 __all__ = [
@@ -41,4 +48,9 @@ __all__ = [
     "effective_workers",
     "resolve_workers",
     "run_trials",
+    "shared_payload",
+    "NetworkSnapshot",
+    "StoreSnapshot",
+    "SystemSnapshot",
+    "base_snapshot",
 ]

@@ -55,10 +55,34 @@ def effective_workers(workers: int | None, config) -> int | None:
     return getattr(config, "workers", 1)
 
 
+#: Trial-visible shared payload installed by :func:`run_trials`; read
+#: it with :func:`shared_payload`.  In workers it is set once by the
+#: pool initializer; in the serial path it is set around the loop.
+_SHARED = None
+
+
+def _set_shared(payload) -> None:
+    global _SHARED
+    _SHARED = payload
+
+
+def shared_payload():
+    """The ``shared=`` payload of the enclosing :func:`run_trials`
+    call, or ``None`` when the trial runs standalone.
+
+    Runners use this to ship one pickled base-overlay snapshot
+    (:mod:`repro.perf.snapshot`) to every worker instead of each trial
+    re-bootstrapping the overlay; trial functions must treat ``None``
+    as "build fresh" so they stay callable outside :func:`run_trials`.
+    """
+    return _SHARED
+
+
 def run_trials(
     trial: Callable,
     arglists: Sequence[tuple],
     workers: int | None = 1,
+    shared=None,
 ) -> list:
     """Run ``trial(*args)`` for every ``args`` tuple, possibly in parallel.
 
@@ -66,11 +90,26 @@ def run_trials(
     deterministic for any worker count — the property the serial ==
     parallel digest gate checks.  With an effective worker count of 1
     the trials run inline (no executor, no pickling).
+
+    ``shared`` is an optional read-only payload made visible to every
+    trial via :func:`shared_payload`: pickled once per worker process
+    (pool initializer) rather than once per trial, and restored around
+    the serial loop so both paths observe identical state.
     """
     n = len(arglists)
     w = resolve_workers(workers, n)
     if w <= 1:
-        return [trial(*args) for args in arglists]
-    with ProcessPoolExecutor(max_workers=w) as pool:
+        if shared is None:
+            return [trial(*args) for args in arglists]
+        prev = _SHARED
+        _set_shared(shared)
+        try:
+            return [trial(*args) for args in arglists]
+        finally:
+            _set_shared(prev)
+    pool_kwargs = {}
+    if shared is not None:
+        pool_kwargs = {"initializer": _set_shared, "initargs": (shared,)}
+    with ProcessPoolExecutor(max_workers=w, **pool_kwargs) as pool:
         futures = [pool.submit(trial, *args) for args in arglists]
         return [f.result() for f in futures]

@@ -1,0 +1,294 @@
+"""Copy-on-write snapshot/fork for the overlay + storage stack.
+
+Experiment runners pay a full ``TapSystem.bootstrap`` per repetition —
+N node-state constructions just to reach the first TAP message.  Every
+repetition of one sweep point starts from the *same* overlay, so the
+construction can be amortised: build one base system, capture an
+immutable :class:`SystemSnapshot`, and :meth:`~SystemSnapshot.fork` an
+independent system per trial.
+
+Semantics
+---------
+* A snapshot is **immutable and picklable**: the captured leaf sets,
+  routing cells and stored objects are plain tuples/dicts of ints and
+  bytes, safe to ship to ``ProcessPoolExecutor`` workers (see
+  ``run_trials(shared=...)``).
+* A fork is **independent**: node and storage state is materialised
+  lazily from the snapshot on first access (:class:`_ForkNodes`), and
+  every materialisation is a fresh copy — mutations in one fork are
+  invisible to the snapshot, the base system and every other fork.
+* A fork is **equivalent** to a fresh build: ``TapSystem.bootstrap(n,
+  seed=rep, overlay_seed=base).rows_digest == TapSystem.fork`` of the
+  base snapshot with ``seed=rep`` — the property the fork-equivalence
+  tests pin byte-for-byte, including after fail/revive cycles.
+
+Epoch bookkeeping carries over verbatim: the restored network resumes
+at the captured ``membership_epoch``, so downstream epoch-keyed caches
+(route cache, ``entry_for_key`` memo, replica-set memo) behave exactly
+as they would on the base system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.past.replication import ReplicatedStore
+from repro.past.storage import StoredObject
+from repro.pastry.network import PastryNetwork
+from repro.pastry.node import PastryNode
+from repro.util.rng import SeedSequenceFactory
+
+
+class _ForkNodes(dict):
+    """``node_id -> PastryNode`` mapping materialised lazily from a
+    :class:`NetworkSnapshot`.
+
+    Reads of never-touched nodes build the node from the snapshot on
+    demand (``__missing__``); iteration yields the snapshot's node
+    order (insertion order of the captured network) followed by any
+    ids added after the fork, so code that walks ``network.nodes``
+    sees exactly what it would on a fresh build.
+    """
+
+    def __init__(self, snap: "NetworkSnapshot", network: PastryNetwork):
+        super().__init__()
+        self._snap = snap
+        self._network = network
+        #: base ids removed after the fork (tombstones — without them a
+        #: ``del`` would "resurrect" the snapshot copy via __missing__)
+        self._deleted: set[int] = set()
+        #: ids added after the fork, in insertion order
+        self._extra: list[int] = []
+
+    # -- lazy materialisation ------------------------------------------
+    def __missing__(self, node_id: int) -> PastryNode:
+        if node_id in self._deleted or node_id not in self._snap.leafs:
+            raise KeyError(node_id)
+        node = self._materialise(node_id)
+        super().__setitem__(node_id, node)
+        return node
+
+    def _materialise(self, node_id: int) -> PastryNode:
+        snap = self._snap
+        node = PastryNode(node_id, snap.b_bits, snap.leaf_set_size)
+        node.leaf_set.bulk_load(snap.leafs[node_id])
+        cells = snap.cells.get(node_id)
+        if cells:
+            node.routing_table.load_cells(cells)
+        node.alive = node_id not in snap.dead
+        self._network._attach_ref_hooks(node)
+        return node
+
+    # -- dict protocol over base ∪ extra -------------------------------
+    def _base_has(self, node_id) -> bool:
+        try:
+            return node_id in self._snap.leafs and node_id not in self._deleted
+        except TypeError:  # unhashable key — mirror dict semantics
+            return False
+
+    def __contains__(self, node_id) -> bool:
+        return super().__contains__(node_id) or self._base_has(node_id)
+
+    def __setitem__(self, node_id, node) -> None:
+        if not super().__contains__(node_id) and not self._base_has(node_id):
+            self._extra.append(node_id)
+        self._deleted.discard(node_id)
+        super().__setitem__(node_id, node)
+
+    def __delitem__(self, node_id) -> None:
+        if node_id in self._snap.leafs:
+            if node_id in self._deleted:
+                raise KeyError(node_id)
+            self._deleted.add(node_id)
+            super().pop(node_id, None)
+            return
+        super().__delitem__(node_id)
+        self._extra.remove(node_id)
+
+    def get(self, node_id, default=None):
+        try:
+            return self[node_id]
+        except KeyError:
+            return default
+
+    def __len__(self) -> int:
+        return len(self._snap.leafs) - len(self._deleted) + len(self._extra)
+
+    def __iter__(self):
+        deleted = self._deleted
+        for nid in self._snap.order:
+            if nid not in deleted:
+                yield nid
+        yield from self._extra
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        return [self[nid] for nid in self]
+
+    def items(self):
+        return [(nid, self[nid]) for nid in self]
+
+
+class NetworkSnapshot:
+    """Immutable, picklable capture of a :class:`PastryNetwork`."""
+
+    __slots__ = (
+        "b_bits", "leaf_set_size", "eager_repair", "membership_epoch",
+        "order", "sorted_alive", "dead", "leafs", "cells",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @classmethod
+    def capture(cls, network: PastryNetwork) -> "NetworkSnapshot":
+        leafs = {}
+        cells = {}
+        dead = set()
+        for nid, node in network.nodes.items():
+            leafs[nid] = tuple(node.leaf_set._members)
+            cells[nid] = dict(node.routing_table._cells)
+            if not node.alive:
+                dead.add(nid)
+        return cls(
+            b_bits=network.b_bits,
+            leaf_set_size=network.leaf_set_size,
+            eager_repair=network.eager_repair,
+            membership_epoch=network.membership_epoch,
+            order=tuple(network.nodes),
+            sorted_alive=tuple(network._sorted_alive),
+            dead=frozenset(dead),
+            leafs=leafs,
+            cells=cells,
+        )
+
+    def restore(self, metrics=None, tracer=None) -> PastryNetwork:
+        """An independent network resuming from the captured state.
+
+        O(1) in the network size: nodes materialise lazily on first
+        access, so a fork that only routes through a few hundred nodes
+        never pays for the rest.
+        """
+        net = PastryNetwork(
+            b_bits=self.b_bits,
+            leaf_set_size=self.leaf_set_size,
+            eager_repair=self.eager_repair,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        net._sorted_alive = list(self.sorted_alive)
+        net.membership_epoch = self.membership_epoch
+        net.nodes = _ForkNodes(self, net)
+        return net
+
+
+class StoreSnapshot:
+    """Immutable, picklable capture of a :class:`ReplicatedStore`."""
+
+    __slots__ = ("k", "objects", "storage_keys", "holders")
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @classmethod
+    def capture(cls, store: ReplicatedStore) -> "StoreSnapshot":
+        objects = {}
+        storage_keys = {}
+        for nid, storage in store.storages.items():
+            keys = tuple(storage.keys())
+            if not keys:
+                continue
+            storage_keys[nid] = keys
+            for key in keys:
+                if key not in objects:
+                    obj = storage.lookup(key)
+                    objects[key] = (
+                        obj.value, obj.delete_proof_hash, tuple(obj.meta.items())
+                    )
+        return cls(
+            k=store.k,
+            objects=objects,
+            storage_keys=storage_keys,
+            holders={
+                key: tuple(sorted(holders))
+                for key, holders in store._holders.items()
+            },
+        )
+
+    def restore(self, network: PastryNetwork, metrics=None, tracer=None) -> ReplicatedStore:
+        store = ReplicatedStore(network, self.k, metrics=metrics, tracer=tracer)
+        # One fresh StoredObject per key, shared by its holders — the
+        # same aliasing ``ReplicatedStore._place`` produces, but never
+        # shared with the base store or any sibling fork.
+        copies = {
+            key: StoredObject(key, value, proof, dict(meta))
+            for key, (value, proof, meta) in self.objects.items()
+        }
+        for nid, keys in self.storage_keys.items():
+            storage = store.storage_of(nid)
+            for key in keys:
+                storage.insert(copies[key], overwrite=True)
+        store._holders = {key: set(h) for key, h in self.holders.items()}
+        store._sorted_keys = sorted(store._holders)
+        return store
+
+
+class SystemSnapshot:
+    """Picklable capture of a whole :class:`~repro.core.TapSystem`."""
+
+    __slots__ = ("network", "store")
+
+    def __init__(self, network: NetworkSnapshot, store: StoreSnapshot):
+        self.network = network
+        self.store = store
+
+    @classmethod
+    def capture(cls, system) -> "SystemSnapshot":
+        if system.tap_nodes:
+            raise ValueError(
+                "snapshot a system before creating TAP state: per-node "
+                "rng streams and anchor state are not capturable"
+            )
+        return cls(
+            NetworkSnapshot.capture(system.network),
+            StoreSnapshot.capture(system.store),
+        )
+
+    def fork(self, seed: int, metrics=None, event_trace=None, tracer=None):
+        """An independent :class:`~repro.core.TapSystem` on a fork of
+        the captured substrates, with fresh seed streams rooted at
+        ``seed`` — equivalent to ``TapSystem.bootstrap(n, seed=seed,
+        overlay_seed=<base seed>)`` byte for byte."""
+        from repro.core.system import TapSystem
+
+        network = self.network.restore()
+        store = self.store.restore(network)
+        return TapSystem(
+            network, store, SeedSequenceFactory(seed),
+            metrics=metrics, event_trace=event_trace, tracer=tracer,
+        )
+
+
+#: Process-local snapshot memo for :func:`base_snapshot`; bounded and
+#: cleared wholesale (snapshots are large, tokens few).
+_SNAPSHOT_CACHE: dict = {}
+_SNAPSHOT_CACHE_LIMIT = 16
+
+
+def base_snapshot(token, build: Callable[[], "SystemSnapshot"]):
+    """Build-once cache for base snapshots, keyed by ``token``.
+
+    Runners key the token by everything that determines the base
+    system (seed, size, topology knobs); serial reps and same-process
+    workers then share one bootstrap per distinct base.
+    """
+    snap = _SNAPSHOT_CACHE.get(token)
+    if snap is None:
+        if len(_SNAPSHOT_CACHE) >= _SNAPSHOT_CACHE_LIMIT:
+            _SNAPSHOT_CACHE.clear()
+        snap = _SNAPSHOT_CACHE[token] = build()
+    return snap

@@ -153,9 +153,13 @@ def id_digit(value: int, row: int, bits_per_digit: int = 4) -> int:
 
 
 def shared_prefix_digits(a: int, b: int, bits_per_digit: int = 4) -> int:
-    """Length of the common digit prefix of two ids (Pastry's ``shl``)."""
-    digits = ID_BITS // bits_per_digit
-    for row in range(digits):
-        if id_digit(a, row, bits_per_digit) != id_digit(b, row, bits_per_digit):
-            return row
-    return digits
+    """Length of the common digit prefix of two ids (Pastry's ``shl``).
+
+    Computed from the highest divergent *bit* (one XOR + bit_length)
+    rather than a digit-by-digit scan — this sits on the routing and
+    ring-construction hot paths.
+    """
+    diff = _check_id(a) ^ _check_id(b)
+    if diff == 0:
+        return ID_BITS // bits_per_digit
+    return (ID_BITS - diff.bit_length()) // bits_per_digit

@@ -1,0 +1,249 @@
+"""Tests for repro.perf.snapshot: the fork-equivalence contract.
+
+The load-bearing property: a system forked from a base snapshot must
+be byte-identical (canonical rows_digest of the full overlay + store
+state) to a fresh ``TapSystem.bootstrap(n, seed=rep,
+overlay_seed=base)`` — before churn, after identical fail/revive/join
+scripts, and under a strict :class:`~repro.obs.InvariantAuditor`.
+Forks must also be isolated (mutations never leak to the snapshot,
+the base system, or sibling forks) and picklable for worker shipping.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.system import TapSystem
+from repro.perf import base_snapshot, rows_digest, run_trials, shared_payload
+from repro.perf.snapshot import _SNAPSHOT_CACHE
+
+BASE_SEED = 3
+N = 150
+
+
+@pytest.fixture(autouse=True)
+def _clear_snapshot_cache():
+    _SNAPSHOT_CACHE.clear()
+    yield
+    _SNAPSHOT_CACHE.clear()
+
+
+def overlay_rows(system: TapSystem) -> list[dict]:
+    """Canonical full-state rows: overlay structure plus store layout.
+
+    Walking every node forces lazy fork materialisation, so equality
+    here really is byte-for-byte equality of the whole system.
+    """
+    rows = []
+    for nid in sorted(system.network.nodes):
+        node = system.network.nodes[nid]
+        rows.append({
+            "id": nid,
+            "alive": node.alive,
+            "leaf": sorted(node.leaf_set._members),
+            "cells": sorted(
+                [row, col, entry]
+                for (row, col), entry in node.routing_table._cells.items()
+            ),
+        })
+    rows.append({
+        "holders": sorted(
+            (key, sorted(holders))
+            for key, holders in system.store._holders.items()
+        ),
+    })
+    return rows
+
+
+def system_digest(system: TapSystem) -> str:
+    return rows_digest(overlay_rows(system))
+
+
+def spread_victims(system: TapSystem, count: int) -> list[int]:
+    """Victims spaced around the ring.
+
+    Consecutive sorted ids would exceed the leaf half-window — a
+    pre-existing limit of the repair model unrelated to forking.
+    """
+    ids = sorted(system.network.alive_ids)
+    return ids[3::9][:count]
+
+
+def churn_script(system: TapSystem) -> None:
+    """A deterministic fail/revive/join sequence (same for any system)."""
+    victims = spread_victims(system, 12)
+    for victim in victims[:8]:
+        system.fail_node(victim)
+    for victim in victims[:4]:
+        system.revive_node(victim)
+    rng = system.seeds.pyrandom("equiv-join")
+    for _ in range(3):
+        new_id = rng.getrandbits(128)
+        while new_id in system.network.nodes:
+            new_id = rng.getrandbits(128)
+        system.join_node(new_id)
+
+
+class TestForkEquivalence:
+    def test_fork_matches_fresh_bootstrap(self):
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+        for rep in (1, 7):
+            fork = snap.fork(seed=rep)
+            fresh = TapSystem.bootstrap(N, seed=rep, overlay_seed=BASE_SEED)
+            assert system_digest(fork) == system_digest(fresh)
+
+    def test_fork_with_base_seed_matches_base(self):
+        # The chaos-runner contract: forking with the seed the base was
+        # bootstrapped with reproduces the fresh bootstrap exactly.
+        base = TapSystem.bootstrap(N, seed=BASE_SEED)
+        digest = system_digest(base)
+        fork = base.snapshot().fork(seed=BASE_SEED)
+        assert system_digest(fork) == digest
+
+    def test_fork_equivalence_survives_churn(self):
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+        fork = snap.fork(seed=11)
+        fresh = TapSystem.bootstrap(N, seed=11, overlay_seed=BASE_SEED)
+        fork.enable_auditing(strict=True)
+        fresh.enable_auditing(strict=True)
+        churn_script(fork)
+        churn_script(fresh)
+        assert system_digest(fork) == system_digest(fresh)
+
+    def test_forked_behaviour_matches_fresh(self):
+        # Same seed streams => identical tunnels and traffic end to end.
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+
+        def exercise(system):
+            owner = system.tap_node(system.random_node_id("equiv"))
+            system.deploy_thas(owner, count=6)
+            tunnel = system.form_tunnel(owner, 3)
+            trace = system.send(owner, tunnel, 42, b"probe")
+            return [
+                [h.hop_id for h in tunnel.hops],
+                trace.success,
+                [list(r.underlying_path) for r in trace.records],
+            ]
+
+        fork_rows = exercise(snap.fork(seed=5))
+        fresh_rows = exercise(TapSystem.bootstrap(N, seed=5, overlay_seed=BASE_SEED))
+        assert rows_digest(fork_rows) == rows_digest(fresh_rows)
+
+
+class TestForkIsolation:
+    def test_fork_mutations_do_not_leak(self):
+        base = TapSystem.bootstrap(N, seed=BASE_SEED)
+        snap = base.snapshot()
+        base_digest = system_digest(base)
+
+        fork_a = snap.fork(seed=1)
+        fork_b = snap.fork(seed=1)
+        churn_script(fork_a)
+        assert system_digest(base) == base_digest
+        assert system_digest(fork_b) == base_digest
+
+    def test_snapshot_is_picklable(self):
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert system_digest(clone.fork(seed=2)) == system_digest(snap.fork(seed=2))
+
+    def test_snapshot_rejects_tap_state(self):
+        system = TapSystem.bootstrap(N, seed=BASE_SEED)
+        system.tap_node(system.random_node_id())
+        with pytest.raises(ValueError, match="before creating TAP state"):
+            system.snapshot()
+
+    def test_join_then_fail_on_fork(self):
+        # Tombstone semantics: joined-then-failed nodes on a fork behave
+        # like on a fresh system; no snapshot resurrection.
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+        fork = snap.fork(seed=4)
+        fork.enable_auditing(strict=True)
+        rng = fork.seeds.pyrandom("join-fail")
+        new_id = rng.getrandbits(128)
+        fork.join_node(new_id)
+        assert new_id in fork.network.nodes
+        fork.fail_node(new_id)
+        assert new_id not in fork.network.alive_ids
+
+
+class TestEpochKeyedCaches:
+    def test_route_cache_invalidated_on_membership_change(self):
+        system = TapSystem.bootstrap(N, seed=BASE_SEED)
+        net = system.network
+        ids = net.alive_ids
+        src, key = ids[0], ids[len(ids) // 2]
+        first = net.route(src, key)
+        cached = net.route(src, key)
+        assert cached.path == first.path
+        # Fail an intermediate hop: the epoch bump must invalidate the
+        # cached path and re-route around the dead node.
+        victim = first.path[len(first.path) // 2]
+        if victim in (src, key):
+            victim = first.path[1]
+        net.fail(victim)
+        rerouted = net.route(src, key)
+        assert victim not in rerouted.path
+
+    def test_row_entries_matches_cells(self):
+        system = TapSystem.bootstrap(N, seed=BASE_SEED)
+        for nid in sorted(system.network.nodes)[:10]:
+            table = system.network.nodes[nid].routing_table
+            for row in range(4):
+                expected = {
+                    col: entry
+                    for (r, col), entry in table._cells.items()
+                    if r == row
+                }
+                assert table.row_entries(row) == expected
+
+    def test_row_entries_tracks_removal(self):
+        system = TapSystem.bootstrap(N, seed=BASE_SEED)
+        nid = sorted(system.network.nodes)[0]
+        table = system.network.nodes[nid].routing_table
+        row, col = next(iter(table._cells))
+        victim = table.lookup(row, col)
+        table.remove(victim)
+        assert col not in table.row_entries(row)
+        assert victim not in table.entries
+
+
+def _shared_probe(token):
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        return None
+    return rows_digest(overlay_rows(snap.fork(seed=9)))
+
+
+class TestSharedSnapshots:
+    def test_base_snapshot_caches_by_token(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+
+        a = base_snapshot(("t", 1), build)
+        b = base_snapshot(("t", 1), build)
+        assert a is b
+        assert len(calls) == 1
+        base_snapshot(("t", 2), build)
+        assert len(calls) == 2
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_shared_payload_reaches_trials(self, workers):
+        snap = TapSystem.bootstrap(N, seed=BASE_SEED).snapshot()
+        token = ("shared-test", BASE_SEED, N)
+        digests = run_trials(
+            _shared_probe, [(token,), (token,)], workers, shared={token: snap}
+        )
+        expected = rows_digest(overlay_rows(snap.fork(seed=9)))
+        assert digests == [expected, expected]
+
+    def test_shared_payload_restored_after_serial_run(self):
+        assert shared_payload() is None
+        run_trials(_shared_probe, [(("none",),)], 1, shared={})
+        assert shared_payload() is None

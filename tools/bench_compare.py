@@ -175,6 +175,51 @@ def bench_fig2_rep():
     return lambda: run_fig2(config)
 
 
+def _bench_ids_1000() -> set[int]:
+    from repro.util.ids import random_id
+    from repro.util.rng import make_pyrandom
+
+    rng = make_pyrandom(2004, "bench-bootstrap")
+    ids: set[int] = set()
+    while len(ids) < 1000:
+        ids.add(random_id(rng))
+    return ids
+
+
+def bench_pastry_bootstrap_1000():
+    from repro.pastry.network import PastryNetwork
+
+    ids = _bench_ids_1000()
+    return lambda: PastryNetwork.build(ids)
+
+
+def bench_system_fork():
+    from repro.core.system import TapSystem
+
+    snap = TapSystem.bootstrap(1000, seed=2004).snapshot()
+
+    def fork_and_route():
+        system = snap.fork(seed=7)
+        ids = system.network.alive_ids
+        n = len(ids)
+        # A few routes so the copy-on-write fork pays for the nodes a
+        # trial actually touches, not just the O(1) container setup.
+        for i in (0, n // 3, n // 2, n - 1):
+            system.network.route(ids[i], ids[(i * 13 + 7) % n])
+        return system
+
+    return fork_and_route
+
+
+def bench_pastry_row_entries():
+    from repro.pastry.network import PastryNetwork
+
+    ids = _bench_ids_1000()
+    net = PastryNetwork.build(ids)
+    table = net.nodes[min(ids)].routing_table
+    return lambda: [table.row_entries(r) for r in range(4)]
+
+
 MICRO = {
     "crypto.seal_1k": bench_crypto_seal_1k,
     "crypto.open_1k": bench_crypto_open_1k,
@@ -185,6 +230,15 @@ MICRO = {
     "serialize.unpack4": bench_serialize_roundtrip,
 }
 
+#: Overlay construction/fork benchmarks: the ``system.fork`` /
+#: ``pastry.bootstrap_1000`` pair is the fork-per-rep payoff the
+#: snapshot subsystem exists for, gated in CI via the quick suite.
+SNAPSHOT = {
+    "pastry.bootstrap_1000": bench_pastry_bootstrap_1000,
+    "system.fork": bench_system_fork,
+    "pastry.row_entries": bench_pastry_row_entries,
+}
+
 MACRO = {
     "fig6.leg": bench_fig6_leg,
     "pastry.join_200": bench_pastry_join_200,
@@ -193,7 +247,7 @@ MACRO = {
 
 
 def run_suite(quick: bool) -> dict[str, dict]:
-    suite = dict(MICRO) if quick else {**MICRO, **MACRO}
+    suite = {**MICRO, **SNAPSHOT} if quick else {**MICRO, **SNAPSHOT, **MACRO}
     results: dict[str, dict] = {}
     for name, setup in suite.items():
         fn = setup()
@@ -272,6 +326,14 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[dict, list
     """Per-benchmark speedups plus the list of gate failures."""
     speedup: dict[str, float] = {}
     failures: list[str] = []
+    base_cpus = baseline.get("cpus")
+    cur_cpus = current.get("cpus")
+    if base_cpus is not None and cur_cpus is not None and base_cpus != cur_cpus:
+        print(
+            f"warning: baseline ran on {base_cpus} cpus, this run on "
+            f"{cur_cpus} — wall-clock comparisons are not like-for-like",
+            file=sys.stderr,
+        )
     base_results = baseline["results"]
     for name, cur in current["results"].items():
         base = base_results.get(name)
