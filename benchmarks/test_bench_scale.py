@@ -1,0 +1,52 @@
+"""Scale bench: compact-engine churn survival at 10^5 nodes.
+
+Regenerates the scale-churn rows — replica-set survival and overlap
+over churn rounds on the array-backed overlay engine, with
+packet-level spot-checks through the materialisation bridge — and
+asserts the engine's headline: every spot-check route agrees with the
+object engine, and replica overlap erodes monotonically under churn.
+
+``TAP_BENCH_SCALE=paper`` runs the full N=100,000 configuration; the
+default CI-sized run uses ``ScaleChurnConfig.fast()`` (N=2,000).
+"""
+
+from repro.experiments import (
+    ScaleChurnConfig,
+    render_table,
+    rows_to_csv,
+    run_scale_churn,
+)
+from repro.experiments.runner import series
+
+from conftest import paper_scale
+
+
+def test_bench_scale_churn(benchmark, emit):
+    config = ScaleChurnConfig() if paper_scale() else ScaleChurnConfig.fast()
+    rows = benchmark.pedantic(run_scale_churn, args=(config,), rounds=1, iterations=1)
+
+    churn = [r for r in rows if r["figure"] == "scale-churn"]
+    emit(
+        "scale_churn",
+        render_table(
+            churn,
+            columns=["rep", "round", "alive", "survivor_fraction", "replica_overlap"],
+            title="Scale churn — replica survival on the compact engine "
+                  f"(N={config.num_nodes}, anchors={config.num_anchors}, "
+                  f"fail={config.fail_fraction}, join={config.join_fraction})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    # Bridge spot-checks: compact routing must agree with the object
+    # engine packet for packet.
+    for row in rows:
+        if row["figure"] == "scale-churn-spot":
+            assert row["agree"] == row["routes"]
+
+    # Churn erodes original replica sets monotonically but most anchors
+    # keep at least one original replica at these rates.
+    for rep, points in series(churn, "round", "replica_overlap", scheme_key="rep").items():
+        overlaps = [v for _, v in points]
+        assert overlaps == sorted(overlaps, reverse=True), rep
+    assert all(r["survivor_fraction"] > 0.9 for r in churn)

@@ -12,6 +12,19 @@ The semantics — ring distance, closest-first, ties toward the smaller
 id — are the ones defined in :mod:`repro.util.ids`; the test-suite
 cross-validates this module against the object-level
 :class:`repro.past.ReplicatedStore` on the same inputs.
+
+Two families of kernels live here:
+
+* the original 64-bit single-word kernels (:func:`replica_table`,
+  :class:`IdSpaceModel`) used by the figure sweeps, where a 64-bit
+  ring is statistically indistinguishable from the 128-bit one;
+* exact 128-bit *two-word* kernels (:func:`pack_ids`,
+  :func:`searchsorted_words`, :func:`ring_distance_words`,
+  :func:`replica_table_words`) operating on aligned ``(hi, lo)``
+  uint64 array pairs.  These share the ring semantics bit-for-bit
+  with :mod:`repro.util.ids` and are the substrate of the compact
+  overlay engine (:mod:`repro.perf.compact`), which must agree with
+  the object engine on *real* 128-bit ids, not a scaled model.
 """
 
 from __future__ import annotations
@@ -20,6 +33,9 @@ import numpy as np
 
 RING_BITS = 64
 _DTYPE = np.uint64
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
 
 
 def _as_ring_array(values) -> np.ndarray:
@@ -33,6 +49,23 @@ def _ring_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elementwise ring distance; relies on well-defined uint64 wrap."""
     diff = a - b
     return np.minimum(diff, np.zeros_like(diff) - diff)
+
+
+def _duplicate_positions(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of every position holding a repeat of an earlier draw.
+
+    The *first* occurrence of each value (in array order) is kept
+    unmarked; a stable argsort makes "first" well-defined within each
+    run of equal values.
+    """
+    order = np.argsort(values, kind="stable")
+    ranked = values[order]
+    dup_sorted = np.empty(len(values), dtype=bool)
+    dup_sorted[:1] = False
+    dup_sorted[1:] = ranked[1:] == ranked[:-1]
+    dup = np.empty(len(values), dtype=bool)
+    dup[order] = dup_sorted
+    return dup
 
 
 def replica_table(sorted_ids: np.ndarray, keys: np.ndarray, k: int) -> np.ndarray:
@@ -89,10 +122,8 @@ class IdSpaceModel:
         if malicious.shape != ids.shape:
             raise ValueError("malicious flags must align with ids")
         self.malicious = malicious[order]
-        #: the constructor's input→sorted permutation; sweeps that vary
-        #: only the flags reuse one model by assigning
-        #: ``model.malicious = flags[model.sort_order]``
-        self.sort_order = order
+        # input→sorted permutation; see the `sort_order` property
+        self._sort_order: np.ndarray | None = order
         # replica_indices memo: the figure sweeps re-query identical
         # (keys, k) pairs once per sweep level over an unchanged
         # population.  Keyed by content (bytes hash), bumped on churn.
@@ -119,16 +150,23 @@ class IdSpaceModel:
 
     @staticmethod
     def draw_unique_ids(count: int, rng: np.random.Generator) -> np.ndarray:
-        """Uniform duplicate-free uint64 ids."""
+        """Uniform duplicate-free uint64 ids, in draw order.
+
+        The collision-retry path (probability ~2^-37 at paper scale)
+        redraws *only* the duplicate positions, keeping the first
+        occurrence of each value where it was drawn.  An earlier
+        version returned ``np.unique(...)[:count]`` — a sorted,
+        smallest-first prefix that biased retry-path ids low and
+        destroyed draw order.
+        """
         out = rng.integers(0, np.iinfo(np.uint64).max, size=count, dtype=np.uint64)
-        while len(np.unique(out)) != count:  # pragma: no cover - ~2^-37
-            out = np.unique(
-                np.concatenate(
-                    [out, rng.integers(0, np.iinfo(np.uint64).max,
-                                       size=count, dtype=np.uint64)]
-                )
-            )[:count]
-        return out
+        while True:
+            dup = _duplicate_positions(out)
+            if not dup.any():
+                return out
+            out[dup] = rng.integers(
+                0, np.iinfo(np.uint64).max, size=int(dup.sum()), dtype=np.uint64
+            )
 
     # ------------------------------------------------------------------
     # queries
@@ -136,6 +174,26 @@ class IdSpaceModel:
     @property
     def size(self) -> int:
         return len(self.ids)
+
+    @property
+    def sort_order(self) -> np.ndarray:
+        """The constructor's input→sorted permutation.
+
+        Sweeps that vary only the flags reuse one model by assigning
+        ``model.malicious = flags[model.sort_order]``.  The permutation
+        describes the *constructor's* population only, so it is
+        invalidated by churn: after :meth:`remove_nodes` /
+        :meth:`add_nodes` the positions it maps to no longer exist and
+        a silent reuse would misalign every flag.
+        """
+        if self._sort_order is None:
+            raise RuntimeError(
+                "sort_order is stale: membership changed since "
+                "construction; rebuild the model (or recompute flags "
+                "against the current `ids`) instead of reusing the "
+                "constructor permutation"
+            )
+        return self._sort_order
 
     def replica_indices(self, keys, k: int) -> np.ndarray:
         """(M, k) indices of each key's replica set, closest first.
@@ -146,7 +204,11 @@ class IdSpaceModel:
         read-only; copy before mutating.
         """
         keys_arr = _as_ring_array(keys)
-        token = (int(k), self._rev, len(keys_arr), hash(keys_arr.tobytes()))
+        # Keyed on the literal key bytes, not hash(bytes): a hash
+        # collision between two key arrays would silently return the
+        # wrong table.  The arrays are small (anchor samples), so
+        # holding the bytes in the memo key is cheap.
+        token = (int(k), self._rev, keys_arr.tobytes())
         table = self._replica_memo.get(token)
         if table is None:
             if len(self._replica_memo) >= self._MEMO_LIMIT:
@@ -184,6 +246,7 @@ class IdSpaceModel:
         keep[np.asarray(indices, dtype=np.intp)] = False
         self.ids = self.ids[keep]
         self.malicious = self.malicious[keep]
+        self._sort_order = None
         self._rev += 1
         self._replica_memo.clear()
 
@@ -199,6 +262,7 @@ class IdSpaceModel:
         self.malicious = flags[order]
         if len(np.unique(self.ids)) != len(self.ids):
             raise ValueError("duplicate node ids after add")
+        self._sort_order = None
         self._rev += 1
         self._replica_memo.clear()
 
@@ -207,3 +271,124 @@ class IdSpaceModel:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IdSpaceModel(n={self.size}, malicious={int(self.malicious.sum())})"
+
+
+# ----------------------------------------------------------------------
+# exact 128-bit two-word kernels
+#
+# A 128-bit id is carried as an aligned pair of uint64 arrays
+# ``(hi, lo)`` with ``id == (hi << 64) | lo``; lexicographic order on
+# the pair is numeric order on the id.  All kernels below are exact —
+# no scaling, no truncation — so the compact overlay engine built on
+# them agrees bit-for-bit with repro.util.ids on the real ring.
+# ----------------------------------------------------------------------
+
+def pack_ids(ids) -> tuple[np.ndarray, np.ndarray]:
+    """Split an iterable of 128-bit Python ints into (hi, lo) uint64 arrays."""
+    values = list(ids)
+    hi = np.fromiter(
+        ((int(v) >> _WORD_BITS) & _WORD_MASK for v in values),
+        dtype=np.uint64, count=len(values),
+    )
+    lo = np.fromiter(
+        (int(v) & _WORD_MASK for v in values),
+        dtype=np.uint64, count=len(values),
+    )
+    return hi, lo
+
+
+def unpack_words(hi: np.ndarray, lo: np.ndarray) -> list[int]:
+    """Inverse of :func:`pack_ids`: (hi, lo) arrays back to Python ints."""
+    return [(int(h) << _WORD_BITS) | int(l) for h, l in zip(hi.tolist(), lo.tolist())]
+
+
+def sort_words(hi: np.ndarray, lo: np.ndarray):
+    """Numeric (lexicographic on the pair) sort; returns (hi, lo, order)."""
+    order = np.lexsort((lo, hi))
+    return hi[order], lo[order], order
+
+
+def searchsorted_words(
+    hi: np.ndarray, lo: np.ndarray, key_hi, key_lo
+) -> np.ndarray:
+    """Leftmost insertion positions of keys in a sorted (hi, lo) pair.
+
+    Equivalent to ``np.searchsorted(ids, keys)`` on the 128-bit values:
+    searchsorted on the high words, then advance each position past
+    entries whose high word ties but whose low word is still smaller.
+    The advance loop runs at most max-run-of-equal-hi times, which for
+    uniform ids is O(1).
+    """
+    key_hi = np.atleast_1d(np.asarray(key_hi, dtype=np.uint64))
+    key_lo = np.atleast_1d(np.asarray(key_lo, dtype=np.uint64))
+    n = len(hi)
+    pos = np.searchsorted(hi, key_hi, side="left")
+    while True:
+        inside = pos < n
+        probe = np.where(inside, pos, 0)
+        step = inside & (hi[probe] == key_hi) & (lo[probe] < key_lo)
+        if not step.any():
+            return pos
+        pos = pos + step
+
+
+def _sub_words(ahi, alo, bhi, blo):
+    """(a - b) mod 2^128 on word pairs, via borrow propagation."""
+    lo = alo - blo
+    borrow = (alo < blo).astype(np.uint64)
+    hi = ahi - bhi - borrow
+    return hi, lo
+
+
+def ring_distance_words(ahi, alo, bhi, blo):
+    """Elementwise 128-bit ring distance min(|a-b|, 2^128-|a-b|).
+
+    Mirrors :func:`repro.util.ids.ring_distance` exactly; inputs
+    broadcast like numpy ufuncs.  Returns the distance as a (hi, lo)
+    pair to be compared lexicographically.
+    """
+    dhi, dlo = _sub_words(ahi, alo, bhi, blo)
+    zero = np.zeros_like(dhi)
+    nhi, nlo = _sub_words(zero, np.zeros_like(dlo), dhi, dlo)
+    neg_smaller = (nhi < dhi) | ((nhi == dhi) & (nlo < dlo))
+    return np.where(neg_smaller, nhi, dhi), np.where(neg_smaller, nlo, dlo)
+
+
+def replica_table_words(
+    sorted_hi: np.ndarray,
+    sorted_lo: np.ndarray,
+    key_hi: np.ndarray,
+    key_lo: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """128-bit twin of :func:`replica_table`.
+
+    ``(sorted_hi, sorted_lo)`` must be numerically ascending and
+    duplicate-free.  Returns ``(len(keys), k)`` indices, closest-first
+    with ties toward the smaller id — the
+    :func:`repro.util.ids.closest_ids` ranking on the real ring.
+    """
+    n = len(sorted_hi)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k > n:
+        raise ValueError(f"k={k} exceeds population {n}")
+    key_hi = np.atleast_1d(np.asarray(key_hi, dtype=np.uint64))
+    key_lo = np.atleast_1d(np.asarray(key_lo, dtype=np.uint64))
+
+    if 2 * k >= n:
+        cand = np.broadcast_to(np.arange(n), (len(key_hi), n))
+    else:
+        pos = searchsorted_words(sorted_hi, sorted_lo, key_hi, key_lo)
+        offsets = np.arange(-k, k)
+        cand = (pos[:, None] + offsets[None, :]) % n
+
+    cand_hi = sorted_hi[cand]
+    cand_lo = sorted_lo[cand]
+    dist_hi, dist_lo = ring_distance_words(
+        cand_hi, cand_lo, key_hi[:, None], key_lo[:, None]
+    )
+    # lexsort ranks by the last key first: distance (hi then lo), then
+    # the candidate id (hi then lo) to break ties toward the smaller id.
+    order = np.lexsort((cand_lo, cand_hi, dist_lo, dist_hi), axis=-1)
+    return np.take_along_axis(cand, order[:, :k], axis=1)

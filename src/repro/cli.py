@@ -68,10 +68,12 @@ from repro.experiments import (
     run_fig6,
     run_hint_staleness,
     run_scatter,
+    run_scale_churn,
     run_secure_routing,
     run_session_survival,
     run_timing_attack,
     run_tradeoff,
+    ScaleChurnConfig,
 )
 
 _FIGURES = {
@@ -98,6 +100,8 @@ _EXTENSIONS = {
                    "TAP vs Crowds vs Onion Routing balance point"),
     "reply-durability": (ReplyDurabilityConfig, run_reply_durability,
                          "anonymous-email reply survival after churn"),
+    "scale-churn": (ScaleChurnConfig, run_scale_churn,
+                    "compact-engine replica survival at 10^5 nodes"),
 }
 
 

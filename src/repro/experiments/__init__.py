@@ -45,6 +45,7 @@ from repro.experiments.reply_durability import (
     ReplyDurabilityConfig,
     run_reply_durability,
 )
+from repro.experiments.scale_churn import ScaleChurnConfig, run_scale_churn
 from repro.experiments.runner import (
     metrics_rows,
     render_metrics,
@@ -82,6 +83,8 @@ __all__ = [
     "run_anonymity_comparison",
     "ReplyDurabilityConfig",
     "run_reply_durability",
+    "ScaleChurnConfig",
+    "run_scale_churn",
     "metrics_rows",
     "render_metrics",
     "render_table",

@@ -1,0 +1,157 @@
+"""Scale experiment: replica-set survival under churn at N=10^5.
+
+The paper's availability statements (figure 2 and the churn sweep of
+figure 5) are about which k nodes are closest to which keys; nothing in
+them needs per-node objects.  This runner replays that methodology on
+the compact array-backed engine (:mod:`repro.perf.compact`) at 100k
+nodes — the ROADMAP's production-scale target — with the same
+determinism contract as every other runner: rows are a pure function of
+the config, identical for any ``workers`` value.
+
+Per trial (one per ``rep``):
+
+1. restore a private overlay from the shared base
+   :class:`~repro.perf.compact.CompactSnapshot` (shipped to workers
+   once via the ``run_trials(shared=...)`` pool initializer);
+2. sample ``num_anchors`` keys and record their original replica sets
+   *by id content* (robust across joins, which shift array positions);
+3. per churn round: fail ``fail_fraction`` of the alive set, admit
+   ``join_fraction * num_nodes`` fresh joiners, then measure the
+   fraction of anchors with a surviving original replica and the mean
+   overlap between current and original replica sets;
+4. finally, spot-check ``spot_check_routes`` packet-level routes: the
+   materialisation bridge restores an object-engine network from the
+   churned compact state and every route must agree hop-for-hop with
+   the compact router and terminate at the true root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ScaleChurnConfig
+from repro.perf import base_snapshot, effective_workers, run_trials, shared_payload
+from repro.perf.compact import CompactOverlay
+from repro.util.rng import SeedSequenceFactory
+
+_U64_MAX = np.iinfo(np.uint64).max
+
+
+def _base_token(config: ScaleChurnConfig) -> tuple:
+    return ("scale-churn-base", config.seed, config.num_nodes)
+
+
+def _base_build(config: ScaleChurnConfig):
+    return CompactOverlay.random(config.num_nodes, seed=config.seed).snapshot()
+
+
+def _fresh_ids(overlay: CompactOverlay, rng: np.random.Generator, count: int) -> list[int]:
+    """``count`` uniform ids absent from the overlay (dup redraw)."""
+    out: list[int] = []
+    seen: set[int] = set()
+    while len(out) < count:
+        need = count - len(out)
+        hi = rng.integers(0, _U64_MAX, size=need, dtype=np.uint64)
+        lo = rng.integers(0, _U64_MAX, size=need, dtype=np.uint64)
+        for h, l in zip(hi.tolist(), lo.tolist()):
+            value = (h << 64) | l
+            if value in seen or value in overlay:
+                continue
+            seen.add(value)
+            out.append(value)
+    return out
+
+
+def _churn_trial(config: ScaleChurnConfig, rep: int) -> list[dict]:
+    token = _base_token(config)
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        snap = base_snapshot(token, lambda: _base_build(config))
+    overlay = snap.restore()
+    rng = SeedSequenceFactory(config.seed).numpy("scale-churn", rep)
+    k = config.replication_factor
+
+    key_hi = rng.integers(0, _U64_MAX, size=config.num_anchors, dtype=np.uint64)
+    key_lo = rng.integers(0, _U64_MAX, size=config.num_anchors, dtype=np.uint64)
+    original = overlay.replica_positions(key_hi, key_lo, k)
+    orig_hi = overlay.hi[original].copy()
+    orig_lo = overlay.lo[original].copy()
+
+    rows: list[dict] = []
+    for round_idx in range(1, config.churn_rounds + 1):
+        alive_idx = np.flatnonzero(overlay.alive)
+        fails = int(round(config.fail_fraction * len(alive_idx)))
+        if fails:
+            overlay.fail_positions(
+                rng.choice(alive_idx, size=fails, replace=False)
+            )
+        joins = int(round(config.join_fraction * config.num_nodes))
+        if joins:
+            overlay.join(_fresh_ids(overlay, rng, joins))
+
+        survived = overlay.alive_mask(orig_hi, orig_lo).any(axis=1)
+        current = overlay.replica_positions(key_hi, key_lo, k)
+        cur_hi = overlay.hi[current]
+        cur_lo = overlay.lo[current]
+        same = (
+            (cur_hi[:, :, None] == orig_hi[:, None, :])
+            & (cur_lo[:, :, None] == orig_lo[:, None, :])
+        )
+        overlap = same.any(axis=2).sum(axis=1) / k
+        rows.append({
+            "figure": "scale-churn",
+            "rep": rep,
+            "round": round_idx,
+            "alive": overlay.num_alive,
+            "survivor_fraction": float(survived.mean()),
+            "replica_overlap": float(overlap.mean()),
+        })
+
+    if config.spot_check_routes:
+        network = overlay.to_network_snapshot().restore()
+        alive = overlay.alive_ids()
+        src_picks = rng.integers(0, len(alive), size=config.spot_check_routes)
+        agree = 0
+        hops = 0
+        for i in range(config.spot_check_routes):
+            src = alive[int(src_picks[i])]
+            key = (int(key_hi[i]) << 64) | int(key_lo[i])
+            bridged = network.route(src, key)
+            compact = overlay.route(src, key)
+            hops += bridged.hops
+            if (
+                bridged.success
+                and bridged.path == compact.path
+                and bridged.destination == overlay.closest_alive(key)
+            ):
+                agree += 1
+        rows.append({
+            "figure": "scale-churn-spot",
+            "rep": rep,
+            "routes": config.spot_check_routes,
+            "agree": agree,
+            "mean_hops": hops / config.spot_check_routes,
+        })
+    return rows
+
+
+def run_scale_churn(
+    config: ScaleChurnConfig = ScaleChurnConfig(),
+    workers: int | None = None,
+) -> list[dict]:
+    """The scale-churn runner; trials fan out over ``workers``.
+
+    The base overlay is built once, snapshotted, and shipped to every
+    worker through the pool initializer — workers restore from arrays
+    (milliseconds at 100k) instead of re-bootstrapping.
+    """
+    token = _base_token(config)
+    bases = {token: base_snapshot(token, lambda: _base_build(config))}
+    per_trial = run_trials(
+        _churn_trial,
+        [(config, rep) for rep in range(config.num_seeds)],
+        effective_workers(workers, config),
+        shared=bases,
+    )
+    return [row for rows in per_trial for row in rows]

@@ -18,6 +18,13 @@ Two construction paths are provided:
 Both yield the same invariants, which the test-suite cross-checks.
 """
 
+from repro.pastry.bulk import (
+    adjacent_prefix_depths,
+    leaf_reach,
+    leaf_window,
+    node_prefix,
+    smallest_id_buckets,
+)
 from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
 from repro.pastry.leafset import LeafSet
 from repro.pastry.routing_table import RoutingTable
@@ -33,4 +40,9 @@ __all__ = [
     "PastryNetwork",
     "RouteResult",
     "RoutingError",
+    "adjacent_prefix_depths",
+    "leaf_reach",
+    "leaf_window",
+    "node_prefix",
+    "smallest_id_buckets",
 ]

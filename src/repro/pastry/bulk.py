@@ -1,0 +1,99 @@
+"""Bulk ring-construction builders shared by the overlay engines.
+
+:meth:`repro.pastry.network.PastryNetwork.build` and the compact
+array-backed engine (:mod:`repro.perf.compact`) must produce *the same*
+canonical overlay for a given id population — that equivalence is a
+tested contract.  The pieces of the layout that define "canonical" live
+here, once:
+
+* **leaf windows** — the half closest ids in each ring direction are
+  exactly the index neighbours in sorted order, so a node's leaf set is
+  the ±reach window around its sorted position;
+* **prefix depths** — nodes sharing an r-digit prefix form a contiguous
+  run in sorted order, so each node's deepest populated routing row is
+  bounded by the shared prefix with its sort neighbours;
+* **prefix buckets** — the deterministic routing-table fill keeps the
+  smallest qualifying id per (row, prefix, digit) bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.util.ids import ID_BITS, id_digit, shared_prefix_digits
+
+
+def leaf_reach(n: int, leaf_set_size: int) -> int:
+    """Per-direction leaf window size for a population of ``n`` nodes."""
+    return min(leaf_set_size // 2, n - 1)
+
+
+def leaf_window(ids: Sequence[int], idx: int, reach: int) -> Iterator[int]:
+    """The canonical leaf-set members of ``ids[idx]``.
+
+    ``ids`` must be ascending and duplicate-free; the window is the
+    ``reach`` index neighbours on each side, wrapping around the ring.
+    """
+    n = len(ids)
+    return (ids[(idx + off) % n] for off in range(-reach, reach + 1) if off)
+
+
+def node_prefix(node_id: int, row: int, b_bits: int) -> int:
+    """The first ``row`` digits of ``node_id`` as an integer (0 for row 0)."""
+    return node_id >> (ID_BITS - b_bits * row) if row else 0
+
+
+def adjacent_prefix_depths(ids: Sequence[int], b_bits: int) -> list[int]:
+    """Per node: max shared-prefix digits with either sort neighbour.
+
+    This bounds the deepest routing row worth filling — a node's
+    longest shared prefix with *any* node is achieved by one of its
+    sort neighbours, so rows beyond ``depth + 1`` are provably empty.
+    """
+    n = len(ids)
+    adjacent = [
+        shared_prefix_digits(ids[i], ids[i + 1], b_bits) for i in range(n - 1)
+    ]
+    return [
+        max(
+            adjacent[i - 1] if i > 0 else 0,
+            adjacent[i] if i < n - 1 else 0,
+        )
+        for i in range(n)
+    ]
+
+
+def smallest_id_buckets(
+    ids: Sequence[int], depths: Sequence[int], b_bits: int
+) -> dict[tuple[int, int, int], int]:
+    """Deterministic routing-table buckets over a sorted population.
+
+    Bucket ``(row, prefix, digit)`` keeps the smallest id whose first
+    ``row`` digits equal ``prefix`` and whose next digit is ``digit`` —
+    the canonical cell entry every engine agrees on.
+    """
+    rows = ID_BITS // b_bits
+    buckets: dict[tuple[int, int, int], int] = {}
+    for idx, nid in enumerate(ids):
+        for row in range(min(rows, depths[idx] + 1)):
+            key = (row, node_prefix(nid, row, b_bits), id_digit(nid, row, b_bits))
+            cur = buckets.get(key)
+            if cur is None or nid < cur:
+                buckets[key] = nid
+    return buckets
+
+
+def proximity_pools(
+    ids: Sequence[int], depths: Sequence[int], b_bits: int, sample: int
+) -> dict[tuple[int, int, int], list[int]]:
+    """Bounded candidate pools per bucket for proximity neighbour
+    selection; candidates arrive in ascending id order."""
+    rows = ID_BITS // b_bits
+    pools: dict[tuple[int, int, int], list[int]] = {}
+    for idx, nid in enumerate(ids):
+        for row in range(min(rows, depths[idx] + 1)):
+            key = (row, node_prefix(nid, row, b_bits), id_digit(nid, row, b_bits))
+            pool = pools.setdefault(key, [])
+            if len(pool) < sample:
+                pool.append(nid)
+    return pools

@@ -15,6 +15,14 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.pastry.bulk import (
+    adjacent_prefix_depths,
+    leaf_reach,
+    leaf_window,
+    node_prefix,
+    proximity_pools,
+    smallest_id_buckets,
+)
 from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
 from repro.pastry.node import PastryNode
 from repro.util.ids import (
@@ -141,15 +149,12 @@ class PastryNetwork:
         # Leaf sets in one pass: the half closest ids in each ring
         # direction are exactly the index neighbours in sorted order,
         # so the trimmed leaf set can be assigned directly instead of
-        # re-ranking after every insertion.
+        # re-ranking after every insertion.  The window/bucket builders
+        # live in repro.pastry.bulk, shared with the compact engine.
         n = len(ids)
-        reach = min(leaf_set_size // 2, n - 1)
+        reach = leaf_reach(n, leaf_set_size)
         for idx, nid in enumerate(ids):
-            net.nodes[nid].leaf_set.bulk_load(
-                ids[(idx + off) % n]
-                for off in range(-reach, reach + 1)
-                if off
-            )
+            net.nodes[nid].leaf_set.bulk_load(leaf_window(ids, idx, reach))
 
         # Routing tables from prefix buckets: bucket (row, prefix, digit)
         # keeps the smallest qualifying id for determinism.  Nodes that
@@ -157,27 +162,10 @@ class PastryNetwork:
         # so each node's deepest populated row is bounded by its shared
         # prefix with its sort neighbours — no need to visit all 32 rows.
         rows = ID_BITS // b_bits
-        adjacent_shl = [
-            shared_prefix_digits(ids[i], ids[i + 1], b_bits) for i in range(n - 1)
-        ]
-        max_shared = [
-            max(
-                adjacent_shl[i - 1] if i > 0 else 0,
-                adjacent_shl[i] if i < n - 1 else 0,
-            )
-            for i in range(n)
-        ]
+        max_shared = adjacent_prefix_depths(ids, b_bits)
         if proximity is None:
             # Deterministic default: the smallest qualifying id per cell.
-            buckets: dict[tuple[int, int, int], int] = {}
-            for idx, nid in enumerate(ids):
-                for row in range(min(rows, max_shared[idx] + 1)):
-                    prefix = nid >> (ID_BITS - b_bits * row) if row else 0
-                    digit = id_digit(nid, row, b_bits)
-                    key = (row, prefix, digit)
-                    cur = buckets.get(key)
-                    if cur is None or nid < cur:
-                        buckets[key] = nid
+            buckets = smallest_id_buckets(ids, max_shared, b_bits)
 
             def cell_entry(owner: int, key: tuple[int, int, int]) -> int | None:
                 return buckets.get(key)
@@ -185,14 +173,7 @@ class PastryNetwork:
         else:
             # PNS: keep a bounded candidate pool per cell, pick the
             # topologically nearest per owner.
-            pools: dict[tuple[int, int, int], list[int]] = {}
-            for idx, nid in enumerate(ids):
-                for row in range(min(rows, max_shared[idx] + 1)):
-                    prefix = nid >> (ID_BITS - b_bits * row) if row else 0
-                    digit = id_digit(nid, row, b_bits)
-                    pool = pools.setdefault((row, prefix, digit), [])
-                    if len(pool) < proximity_sample:
-                        pool.append(nid)
+            pools = proximity_pools(ids, max_shared, b_bits, proximity_sample)
 
             def cell_entry(owner: int, key: tuple[int, int, int]) -> int | None:
                 pool = pools.get(key)
@@ -207,7 +188,7 @@ class PastryNetwork:
         for idx, nid in enumerate(ids):
             table = net.nodes[nid].routing_table
             for row in range(min(rows, max_shared[idx] + 1)):
-                prefix = nid >> (ID_BITS - b_bits * row) if row else 0
+                prefix = node_prefix(nid, row, b_bits)
                 own_digit = id_digit(nid, row, b_bits)
                 for digit in range(1 << b_bits):
                     if digit == own_digit:

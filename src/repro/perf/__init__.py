@@ -21,6 +21,7 @@ The combination makes "parallel" an execution detail rather than a
 semantic one: experiment rows are a pure function of the config.
 """
 
+from repro.perf.compact import CompactOverlay, CompactSnapshot
 from repro.perf.digest import canonical_json, rows_digest
 from repro.perf.merge import TrialObs, capture_obs, local_obs, merge_obs
 from repro.perf.parallel import (
@@ -38,6 +39,8 @@ from repro.perf.snapshot import (
 )
 
 __all__ = [
+    "CompactOverlay",
+    "CompactSnapshot",
     "canonical_json",
     "rows_digest",
     "TrialObs",

@@ -1,0 +1,630 @@
+"""Compact array-backed overlay engine for 10^5–10^6-node simulation.
+
+The object engine (:class:`repro.pastry.PastryNetwork`) spends its
+memory and bootstrap time on per-node objects — a ``PastryNode`` with a
+``LeafSet`` and a ``RoutingTable`` each — which caps practical overlay
+sizes around 10^4.  But the whole canonical overlay is a *derived view*
+of one thing: the sorted alive id set.  Leaf sets are ±reach index
+windows in sorted order, routing cells are smallest-id prefix-bucket
+slices, and both are exactly what :meth:`PastryNetwork.build` computes
+(see :mod:`repro.pastry.bulk`).  This module therefore keeps only:
+
+* the id population as aligned ``(hi, lo)`` uint64 word arrays, sorted
+  numerically (128-bit ids don't fit a NumPy dtype; the two-word
+  kernels live in :mod:`repro.analysis.idspace`);
+* an aligned boolean ``alive`` array plus a ``membership_epoch``
+  counter (the same epoch contract the object engine's caches use);
+
+and derives everything else on demand: replica sets via the vectorised
+128-bit kernels, leaf windows and routing cells per node when routing
+or materialising.  Bootstrap at N=10^5 is an array sort; fail/revive is
+a flag write; join is an array merge.
+
+Equivalence contract (pinned by ``tests/perf/test_compact.py``):
+
+1. **Bootstrap**: materialising every node of a compact overlay yields
+   byte-for-byte the rows of ``PastryNetwork.build`` on the same ids.
+2. **Churn is canonical maintenance**: after any fail/revive/join
+   sequence the compact overlay's derived state equals a *fresh*
+   ``PastryNetwork.build`` over the current alive set — the state the
+   object engine's repair protocols provably converge to.
+3. **Observable equality**: sorted alive ids, replica sets and route
+   destinations match the eagerly-repaired object engine event for
+   event under the strict auditor.
+
+The materialisation bridge (:meth:`CompactOverlay.to_network_snapshot`)
+produces a :class:`~repro.perf.snapshot.NetworkSnapshot` whose per-node
+state is computed lazily, so packet-level spot-checks on a 10^5-node
+compact overlay materialise only the nodes a route actually touches.
+:class:`CompactSnapshot` is the picklable capture for sharding trials
+across workers via ``run_trials(shared=...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.idspace import (
+    pack_ids,
+    replica_table_words,
+    searchsorted_words,
+    unpack_words,
+)
+from repro.pastry.bulk import leaf_reach, node_prefix
+from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
+from repro.pastry.network import RouteResult, RoutingError
+from repro.util.ids import (
+    ID_BITS,
+    ID_SPACE,
+    id_digit,
+    random_id,
+    ring_distance,
+    shared_prefix_digits,
+)
+from repro.util.rng import SeedSequenceFactory
+
+_U64_MAX = np.iinfo(np.uint64).max
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def _pack_scalar(value: int) -> tuple[np.uint64, np.uint64]:
+    return np.uint64(value >> _WORD_BITS), np.uint64(value & _WORD_MASK)
+
+
+def _unpack_scalar(hi, lo) -> int:
+    return (int(hi) << _WORD_BITS) | int(lo)
+
+
+class CompactOverlay:
+    """A whole Pastry ring as sorted word arrays plus an alive mask."""
+
+    #: same routing safety valve as :class:`PastryNetwork`
+    MAX_HOPS = 256
+
+    def __init__(
+        self,
+        hi: np.ndarray,
+        lo: np.ndarray,
+        alive: np.ndarray,
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+        membership_epoch: int = 0,
+    ):
+        if leaf_set_size < 2 or leaf_set_size % 2 != 0:
+            raise ValueError("leaf-set capacity must be an even number >= 2")
+        #: aligned word arrays, numerically ascending, duplicate-free
+        self.hi = hi
+        self.lo = lo
+        #: aligned liveness flags; positions never move on fail/revive
+        self.alive = alive
+        self.b_bits = b_bits
+        self.leaf_set_size = leaf_set_size
+        #: bumped on every alive-set change (same contract as the
+        #: object engine); keys the derived alive-view cache
+        self.membership_epoch = membership_epoch
+        self._view_epoch = -1
+        self._view: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ids(
+        cls,
+        node_ids,
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+    ) -> "CompactOverlay":
+        """Overlay over the given 128-bit ids (any iterable of ints)."""
+        ids = sorted({int(v) for v in node_ids})
+        hi, lo = pack_ids(ids)
+        return cls(hi, lo, np.ones(len(ids), dtype=bool), b_bits, leaf_set_size)
+
+    @classmethod
+    def bootstrap(
+        cls,
+        num_nodes: int,
+        seed: int = 0,
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+    ) -> "CompactOverlay":
+        """The *same* id population as ``TapSystem.bootstrap(n, seed)``.
+
+        Draws from the identical ``"node-ids"`` stream, so a compact
+        overlay and an object system bootstrapped with one seed hold
+        the same ring — the basis of the equivalence tests.
+        """
+        id_rng = SeedSequenceFactory(seed).pyrandom("node-ids")
+        ids: set[int] = set()
+        while len(ids) < num_nodes:
+            ids.add(random_id(id_rng))
+        return cls.from_ids(ids, b_bits, leaf_set_size)
+
+    @classmethod
+    def random(
+        cls,
+        num_nodes: int,
+        seed: int = 0,
+        b_bits: int = DEFAULT_B_BITS,
+        leaf_set_size: int = DEFAULT_LEAF_SET_SIZE,
+    ) -> "CompactOverlay":
+        """Fully vectorised uniform bootstrap for 10^5–10^6 scale.
+
+        Unlike :meth:`bootstrap` the ids come from a NumPy stream (the
+        Python-rng draw loop would dominate at this scale), so the
+        population does not match an object-engine system — use it for
+        scale runs, :meth:`bootstrap`/:meth:`from_ids` for equivalence.
+        Duplicate pairs are redrawn in place, preserving draw order for
+        the survivors (same policy as ``IdSpaceModel.draw_unique_ids``).
+        """
+        rng = SeedSequenceFactory(seed).numpy("compact-ids")
+        hi = rng.integers(0, _U64_MAX, size=num_nodes, dtype=np.uint64)
+        lo = rng.integers(0, _U64_MAX, size=num_nodes, dtype=np.uint64)
+        while True:
+            order = np.lexsort((lo, hi))
+            shi, slo = hi[order], lo[order]
+            dup_sorted = np.zeros(num_nodes, dtype=bool)
+            dup_sorted[1:] = (shi[1:] == shi[:-1]) & (slo[1:] == slo[:-1])
+            if not dup_sorted.any():
+                break
+            dup = order[dup_sorted]
+            hi[dup] = rng.integers(0, _U64_MAX, size=len(dup), dtype=np.uint64)
+            lo[dup] = rng.integers(0, _U64_MAX, size=len(dup), dtype=np.uint64)
+        return cls(shi, slo, np.ones(num_nodes, dtype=bool), b_bits, leaf_set_size)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total tracked positions, alive and dead."""
+        return len(self.hi)
+
+    @property
+    def num_alive(self) -> int:
+        return int(self.alive.sum())
+
+    def _alive_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(hi, lo, global positions) of the alive set, epoch-cached."""
+        if self._view_epoch != self.membership_epoch:
+            idx = np.flatnonzero(self.alive)
+            self._view = (self.hi[idx], self.lo[idx], idx)
+            self._view_epoch = self.membership_epoch
+        return self._view
+
+    def ids_list(self) -> list[int]:
+        """All tracked ids, ascending (alive and dead)."""
+        return unpack_words(self.hi, self.lo)
+
+    def alive_ids(self) -> list[int]:
+        """Ascending ids of alive nodes (fresh list)."""
+        ahi, alo, _ = self._alive_arrays()
+        return unpack_words(ahi, alo)
+
+    def positions_of(self, node_ids) -> np.ndarray:
+        """Global array positions of the given ids; KeyError if absent."""
+        values = [int(v) for v in node_ids]
+        khi, klo = pack_ids(values)
+        pos = searchsorted_words(self.hi, self.lo, khi, klo)
+        probe = np.where(pos < self.size, pos, 0)
+        found = (pos < self.size) & (self.hi[probe] == khi) & (self.lo[probe] == klo)
+        if not found.all():
+            missing = values[int(np.flatnonzero(~found)[0])]
+            raise KeyError(f"unknown node id {missing:#x}")
+        return pos
+
+    def __contains__(self, node_id: int) -> bool:
+        """Is this id tracked (alive or tombstoned)?"""
+        try:
+            self.positions_of([node_id])
+        except KeyError:
+            return False
+        return True
+
+    def is_alive(self, node_id: int) -> bool:
+        try:
+            pos = self.positions_of([node_id])
+        except KeyError:
+            return False
+        return bool(self.alive[pos[0]])
+
+    def fail(self, node_ids) -> None:
+        """Crash nodes (by id); dead positions keep their array slot."""
+        self.fail_positions(self.positions_of(node_ids))
+
+    def revive(self, node_ids) -> None:
+        self.revive_positions(self.positions_of(node_ids))
+
+    def fail_positions(self, positions) -> None:
+        """Crash nodes by global array position (the scale-trial path)."""
+        positions = np.asarray(positions, dtype=np.intp)
+        if self.alive[positions].any():
+            self.alive[positions] = False
+            self.membership_epoch += 1
+
+    def revive_positions(self, positions) -> None:
+        positions = np.asarray(positions, dtype=np.intp)
+        if not self.alive[positions].all():
+            self.alive[positions] = True
+            self.membership_epoch += 1
+
+    def join(self, new_ids) -> None:
+        """Admit new nodes, merging them into the sorted arrays.
+
+        Joining an id that is present and alive raises (mirroring the
+        object engine); joining a failed id revives it.  Because the
+        compact state is canonical-by-construction, a join here equals
+        the object engine's incremental join *plus* the maintenance
+        convergence that follows it.
+        """
+        values = sorted({int(v) for v in new_ids})
+        if not values:
+            return
+        nhi, nlo = pack_ids(values)
+        pos = searchsorted_words(self.hi, self.lo, nhi, nlo)
+        probe = np.where(pos < self.size, pos, 0)
+        present = (pos < self.size) & (self.hi[probe] == nhi) & (self.lo[probe] == nlo)
+        occupied = present & self.alive[probe]
+        if occupied.any():
+            taken = values[int(np.flatnonzero(occupied)[0])]
+            raise ValueError(f"node {taken:#x} already in the overlay")
+        # revive tombstoned ids in place, insert genuinely new ones
+        if present.any():
+            self.alive[probe[present]] = True
+        fresh = ~present
+        if fresh.any():
+            at = pos[fresh]
+            self.hi = np.insert(self.hi, at, nhi[fresh])
+            self.lo = np.insert(self.lo, at, nlo[fresh])
+            self.alive = np.insert(self.alive, at, True)
+        self.membership_epoch += 1
+
+    # ------------------------------------------------------------------
+    # replica-set queries (vectorised, exact 128-bit)
+    # ------------------------------------------------------------------
+    def replica_positions(self, key_hi, key_lo, k: int) -> np.ndarray:
+        """(M, k) *global* positions of each key's replica set.
+
+        Closest-first, ties toward the smaller id — the
+        :meth:`ReplicatedStore.replica_set` ranking.  ``k`` is clamped
+        to the alive population like ``replica_candidates``.  Global
+        positions are stable across fail/revive (not across join).
+        """
+        ahi, alo, idx = self._alive_arrays()
+        if len(ahi) == 0:
+            raise RoutingError("no alive nodes")
+        table = replica_table_words(ahi, alo, key_hi, key_lo, min(k, len(ahi)))
+        return idx[table]
+
+    def replica_ids(self, keys, k: int) -> list[list[int]]:
+        """Replica sets as id lists, for cross-validation against the
+        object engine; use :meth:`replica_positions` in bulk paths."""
+        khi, klo = pack_ids(int(key) for key in keys)
+        table = self.replica_positions(khi, klo, k)
+        return [
+            unpack_words(self.hi[row], self.lo[row])
+            for row in table
+        ]
+
+    def closest_alive(self, key: int) -> int:
+        """Id of the alive node numerically closest to ``key``."""
+        return self.replica_ids([key], 1)[0][0]
+
+    def alive_mask(self, member_hi: np.ndarray, member_lo: np.ndarray) -> np.ndarray:
+        """Elementwise: is this id currently tracked *and* alive?
+
+        Works on any shape of id words — the survivor bookkeeping of
+        the scale trials, robust across joins because it re-resolves
+        positions from id content.
+        """
+        flat_hi = np.ravel(member_hi)
+        flat_lo = np.ravel(member_lo)
+        pos = searchsorted_words(self.hi, self.lo, flat_hi, flat_lo)
+        probe = np.where(pos < self.size, pos, 0)
+        found = (pos < self.size) & (self.hi[probe] == flat_hi) & (self.lo[probe] == flat_lo)
+        out = found & self.alive[probe]
+        return out.reshape(np.shape(member_hi))
+
+    # ------------------------------------------------------------------
+    # derived per-node canonical state
+    # ------------------------------------------------------------------
+    def _alive_id_at(self, apos: int) -> int:
+        ahi, alo, _ = self._alive_arrays()
+        return _unpack_scalar(ahi[apos], alo[apos])
+
+    def _alive_pos_of(self, node_id: int) -> int | None:
+        ahi, alo, _ = self._alive_arrays()
+        khi, klo = _pack_scalar(node_id)
+        pos = int(searchsorted_words(ahi, alo, khi, klo)[0])
+        if pos < len(ahi) and ahi[pos] == khi and alo[pos] == klo:
+            return pos
+        return None
+
+    def leaf_members(self, node_id: int) -> list[int]:
+        """The canonical leaf set of an alive node (unordered ids)."""
+        apos = self._alive_pos_of(node_id)
+        if apos is None:
+            raise KeyError(f"node {node_id:#x} is not alive")
+        return self._leaf_member_ids(apos)
+
+    def _leaf_member_ids(self, apos: int) -> list[int]:
+        ahi, alo, _ = self._alive_arrays()
+        n = len(ahi)
+        reach = leaf_reach(n, self.leaf_set_size)
+        if reach <= 0:
+            return []
+        positions = {(apos + off) % n for off in range(-reach, reach + 1) if off}
+        return [self._alive_id_at(p) for p in positions]
+
+    def _cell_entry(self, node_id: int, row: int, col: int) -> int | None:
+        """Smallest alive id in the (row, prefix, col) bucket slice —
+        the canonical cell entry (``PastryNetwork._find_node_for_cell``
+        over the prefix run in sorted order)."""
+        ahi, alo, _ = self._alive_arrays()
+        b = self.b_bits
+        shift = ID_BITS - b * (row + 1)
+        lower = ((node_prefix(node_id, row, b) << b) | col) << shift
+        khi, klo = _pack_scalar(lower)
+        pos = int(searchsorted_words(ahi, alo, khi, klo)[0])
+        if pos < len(ahi):
+            candidate = self._alive_id_at(pos)
+            if candidate >> shift == lower >> shift:
+                return candidate
+        return None
+
+    def node_cells(self, node_id: int) -> dict[tuple[int, int], int]:
+        """The canonical routing-table cells of an alive node.
+
+        Row depth is bounded by the shared prefix with the sorted
+        neighbours, exactly as in the bulk builder — deeper rows are
+        provably empty.
+        """
+        apos = self._alive_pos_of(node_id)
+        if apos is None:
+            raise KeyError(f"node {node_id:#x} is not alive")
+        return self._node_cells(apos)
+
+    def _node_cells(self, apos: int) -> dict[tuple[int, int], int]:
+        ahi, alo, _ = self._alive_arrays()
+        n = len(ahi)
+        nid = self._alive_id_at(apos)
+        if n == 1:
+            return {}
+        depth = 0
+        if apos > 0:
+            depth = shared_prefix_digits(nid, self._alive_id_at(apos - 1), self.b_bits)
+        if apos < n - 1:
+            depth = max(
+                depth,
+                shared_prefix_digits(nid, self._alive_id_at(apos + 1), self.b_bits),
+            )
+        cells: dict[tuple[int, int], int] = {}
+        for row in range(min(ID_BITS // self.b_bits, depth + 1)):
+            own_digit = id_digit(nid, row, self.b_bits)
+            for col in range(1 << self.b_bits):
+                if col == own_digit:
+                    continue
+                entry = self._cell_entry(nid, row, col)
+                if entry is not None:
+                    cells[(row, col)] = entry
+        return cells
+
+    # ------------------------------------------------------------------
+    # routing (mirrors PastryNode.next_hop on the canonical state)
+    # ------------------------------------------------------------------
+    def _leaf_covers(self, apos: int, key: int) -> bool:
+        ahi, alo, _ = self._alive_arrays()
+        n = len(ahi)
+        if n <= self.leaf_set_size:
+            # the window wraps or under-fills: not "full", covers all
+            return True
+        half = self.leaf_set_size // 2
+        cw_far = self._alive_id_at((apos + half) % n)
+        ccw_far = self._alive_id_at((apos - half) % n)
+        span = (cw_far - ccw_far) % ID_SPACE
+        return (key - ccw_far) % ID_SPACE <= span
+
+    def _next_hop(self, apos: int, key: int) -> int:
+        """Pastry's forwarding rule over derived state; returns the
+        next node id (itself when this node is responsible)."""
+        nid = self._alive_id_at(apos)
+
+        if self._leaf_covers(apos, key):
+            pool = self._leaf_member_ids(apos)
+            pool.append(nid)
+            return min(pool, key=lambda x: (ring_distance(x, key), x))
+
+        row = shared_prefix_digits(nid, key, self.b_bits)
+        col = id_digit(key, row, self.b_bits)
+        entry = self._cell_entry(nid, row, col)
+        if entry is not None:
+            return entry
+
+        # Rare case: any known node with a no-shorter prefix that is
+        # strictly closer.  "Known" for canonical state is the leaf
+        # window plus every populated cell.
+        own_dist = ring_distance(nid, key)
+        known = set(self._leaf_member_ids(apos))
+        known.update(self._node_cells(apos).values())
+        best = None
+        best_key = None
+        for cand in known:
+            if shared_prefix_digits(cand, key, self.b_bits) < row:
+                continue
+            dist = ring_distance(cand, key)
+            if dist >= own_dist:
+                continue
+            cand_key = (dist, cand)
+            if best_key is None or cand_key < best_key:
+                best_key = cand_key
+                best = cand
+        return best if best is not None else nid
+
+    def route(self, src_id: int, key: int) -> RouteResult:
+        """Route ``key`` from ``src_id`` hop by hop on derived state.
+
+        Identical decisions to ``PastryNetwork.route`` on the
+        materialised network: canonical state never references dead
+        nodes, so no failures are discovered en route.
+        """
+        apos = self._alive_pos_of(src_id)
+        if apos is None:
+            raise RoutingError(f"source {src_id:#x} is not alive")
+        path = [src_id]
+        for _ in range(self.MAX_HOPS):
+            nxt = self._next_hop(apos, key)
+            if nxt == path[-1]:
+                return RouteResult(key, path, True, 0)
+            path.append(nxt)
+            apos = self._alive_pos_of(nxt)
+        return RouteResult(key, path, False, 0, meta={"reason": "hop-limit"})
+
+    # ------------------------------------------------------------------
+    # snapshot / materialisation bridge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "CompactSnapshot":
+        """Immutable, picklable capture (for ``run_trials(shared=...)``)."""
+        return CompactSnapshot.capture(self)
+
+    def to_network_snapshot(self):
+        """A lazy :class:`~repro.perf.snapshot.NetworkSnapshot` view.
+
+        ``restore()`` yields an object-engine :class:`PastryNetwork`
+        whose nodes materialise on first access from the compact
+        arrays — a packet-level route on a 10^5-node overlay touches
+        only the handful of nodes on the path.
+        """
+        return self.snapshot().to_network_snapshot()
+
+    def to_system_snapshot(self, replication_factor: int = 3):
+        """A :class:`~repro.perf.snapshot.SystemSnapshot` with an empty
+        store; ``fork(seed)`` then yields a full :class:`TapSystem` on
+        the materialised overlay for end-to-end spot-checks."""
+        from repro.perf.snapshot import StoreSnapshot, SystemSnapshot
+
+        return SystemSnapshot(
+            self.to_network_snapshot(),
+            StoreSnapshot(
+                k=replication_factor, objects={}, storage_keys={}, holders={}
+            ),
+        )
+
+
+class CompactSnapshot:
+    """Frozen copy of a :class:`CompactOverlay`; cheap to pickle/ship."""
+
+    __slots__ = ("hi", "lo", "alive", "b_bits", "leaf_set_size", "membership_epoch")
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    @classmethod
+    def capture(cls, overlay: CompactOverlay) -> "CompactSnapshot":
+        hi = overlay.hi.copy()
+        lo = overlay.lo.copy()
+        alive = overlay.alive.copy()
+        for arr in (hi, lo, alive):
+            arr.setflags(write=False)
+        return cls(
+            hi=hi,
+            lo=lo,
+            alive=alive,
+            b_bits=overlay.b_bits,
+            leaf_set_size=overlay.leaf_set_size,
+            membership_epoch=overlay.membership_epoch,
+        )
+
+    def restore(self) -> CompactOverlay:
+        """An independent mutable overlay resuming from this capture."""
+        return CompactOverlay(
+            self.hi.copy(),
+            self.lo.copy(),
+            self.alive.copy(),
+            self.b_bits,
+            self.leaf_set_size,
+            self.membership_epoch,
+        )
+
+    def _frozen_engine(self) -> CompactOverlay:
+        """A private overlay sharing the read-only arrays (no copy);
+        used by the lazy bridge mappings, never exposed for mutation."""
+        return CompactOverlay(
+            self.hi, self.lo, self.alive,
+            self.b_bits, self.leaf_set_size, self.membership_epoch,
+        )
+
+    def to_network_snapshot(self):
+        from repro.perf.snapshot import NetworkSnapshot
+
+        engine = self._frozen_engine()
+        ids = engine.ids_list()
+        alive_flags = self.alive.tolist()
+        sorted_alive = tuple(
+            nid for nid, up in zip(ids, alive_flags) if up
+        )
+        dead = frozenset(nid for nid, up in zip(ids, alive_flags) if not up)
+        index = {nid: pos for pos, nid in enumerate(ids)}
+        return NetworkSnapshot(
+            b_bits=self.b_bits,
+            leaf_set_size=self.leaf_set_size,
+            eager_repair=True,
+            membership_epoch=self.membership_epoch,
+            order=tuple(ids),
+            sorted_alive=sorted_alive,
+            dead=dead,
+            leafs=_LazyLeafs(engine, index),
+            cells=_LazyCells(engine, index),
+        )
+
+
+class _LazyBridgeView:
+    """Shared plumbing of the lazy ``leafs``/``cells`` mappings the
+    bridge hands to :class:`NetworkSnapshot`: membership over *all*
+    tracked ids, per-node state computed from the compact arrays on
+    first access.  Dead nodes materialise empty (they are tombstones;
+    routing never consults them)."""
+
+    def __init__(self, engine: CompactOverlay, index: dict[int, int]):
+        self._engine = engine
+        self._index = index
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self):
+        return iter(self._index)
+
+    def _alive_position(self, node_id):
+        pos = self._index.get(node_id)
+        if pos is None:
+            raise KeyError(node_id)
+        if not self._engine.alive[pos]:
+            return None
+        return self._engine._alive_pos_of(node_id)
+
+    def get(self, node_id, default=None):
+        try:
+            return self[node_id]
+        except KeyError:
+            return default
+
+
+class _LazyLeafs(_LazyBridgeView):
+    def __getitem__(self, node_id) -> tuple[int, ...]:
+        apos = self._alive_position(node_id)
+        if apos is None:
+            return ()
+        return tuple(self._engine._leaf_member_ids(apos))
+
+
+class _LazyCells(_LazyBridgeView):
+    def __getitem__(self, node_id) -> dict[tuple[int, int], int]:
+        apos = self._alive_position(node_id)
+        if apos is None:
+            return {}
+        return self._engine._node_cells(apos)

@@ -6,12 +6,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.idspace import IdSpaceModel, replica_table
-from repro.util.ids import closest_ids
+import repro.analysis.idspace as idspace
+from repro.analysis.idspace import (
+    IdSpaceModel,
+    pack_ids,
+    replica_table,
+    replica_table_words,
+    ring_distance_words,
+    searchsorted_words,
+    unpack_words,
+)
+from repro.util.ids import closest_ids, ring_distance
 
 RING = 1 << 64
+RING128 = 1 << 128
 
 ids64 = st.integers(min_value=0, max_value=RING - 1)
+ids128 = st.integers(min_value=0, max_value=RING128 - 1)
 
 
 class TestReplicaTable:
@@ -203,3 +214,221 @@ class TestChurnPrimitives:
             model.add_nodes(IdSpaceModel.draw_unique_ids(10, rng))
             assert model.size == 200
             assert model.malicious.sum() == 20  # malicious never leave
+
+
+class TestMemoContentKeyed:
+    """Regression: the replica memo must key on key *content*.
+
+    The old token used ``hash(keys_arr.tobytes())`` — on a (forced)
+    hash collision between two different key arrays, the memo silently
+    returned the first array's table for the second.
+    """
+
+    def test_forced_hash_collision_returns_correct_tables(self, monkeypatch):
+        # Shadow the builtin `hash` inside the module: every old-style
+        # token now collides.  The content-keyed memo never calls it,
+        # so both queries must still get their own (correct) tables.
+        monkeypatch.setattr(idspace, "hash", lambda _data: 0, raising=False)
+        model = IdSpaceModel(np.array([10, 20, 30, 1000], dtype=np.uint64))
+        keys_a = np.array([11, 21], dtype=np.uint64)
+        keys_b = np.array([999, 29], dtype=np.uint64)  # same len, same k
+        table_a = model.replica_indices(keys_a, 2)
+        table_b = model.replica_indices(keys_b, 2)
+        assert list(model.ids[table_a[0]]) == [10, 20]
+        assert list(model.ids[table_b[0]]) == [1000, 30]
+        # and the memo still works: identical content hits the cache
+        assert model.replica_indices(keys_a.copy(), 2) is table_a
+
+    def test_memo_results_read_only(self):
+        model = IdSpaceModel(np.array([10, 20, 30], dtype=np.uint64))
+        table = model.replica_indices(np.array([11], dtype=np.uint64), 1)
+        with pytest.raises(ValueError):
+            table[0, 0] = 2
+
+
+class TestSortOrderInvalidation:
+    """Regression: reusing the constructor permutation after churn
+    (the documented ``flags[model.sort_order]`` pattern) silently
+    misaligned every flag; it must now raise."""
+
+    def test_sort_order_valid_before_churn(self):
+        model = IdSpaceModel(np.array([30, 10, 20], dtype=np.uint64))
+        flags = np.array([True, False, False])
+        assert list(flags[model.sort_order]) == [False, False, True]
+
+    def test_stale_after_remove(self):
+        model = IdSpaceModel(np.array([30, 10, 20], dtype=np.uint64))
+        model.remove_nodes([0])
+        with pytest.raises(RuntimeError, match="stale"):
+            _ = model.sort_order
+
+    def test_stale_after_add(self):
+        model = IdSpaceModel(np.array([30, 10], dtype=np.uint64))
+        model.add_nodes(np.array([20], dtype=np.uint64))
+        with pytest.raises(RuntimeError, match="stale"):
+            _ = model.sort_order
+
+    def test_churn_then_reassign_pattern_raises(self):
+        # The fig3 sweep idiom, applied after churn: must fail loudly
+        # instead of producing misaligned malicious flags.
+        rng = np.random.default_rng(5)
+        model = IdSpaceModel.random(50, rng)
+        model.remove_nodes([0, 1])
+        flags = rng.random(48) < 0.2
+        with pytest.raises(RuntimeError):
+            model.malicious = flags[model.sort_order]
+
+
+class _ScriptedRng:
+    """Fake generator: hands out pre-scripted `integers` results."""
+
+    def __init__(self, draws):
+        self._draws = [np.asarray(d, dtype=np.uint64) for d in draws]
+
+    def integers(self, low, high, size, dtype):
+        out = self._draws.pop(0)
+        assert len(out) == size, f"expected draw of {size}, scripted {len(out)}"
+        return out
+
+
+class TestDrawUniqueRetry:
+    """Regression: the collision-retry path must redraw only the
+    duplicates, preserving draw order — not return a sorted
+    smallest-first prefix of the union."""
+
+    def test_redraws_only_duplicates_in_place(self):
+        rng = _ScriptedRng([
+            [5, 5, 3, 7, 5],  # initial draw: dups at positions 1 and 4
+            [5, 9],           # redraw for positions (1, 4): one still dup
+            [11],             # final redraw for position 1
+        ])
+        out = IdSpaceModel.draw_unique_ids(5, rng)
+        assert list(out) == [5, 11, 3, 7, 9]
+        assert len(np.unique(out)) == 5
+
+    def test_draw_order_preserved_without_collisions(self):
+        rng = _ScriptedRng([[40, 10, 30, 20]])
+        assert list(IdSpaceModel.draw_unique_ids(4, rng)) == [40, 10, 30, 20]
+
+    def test_zero_count(self):
+        rng = _ScriptedRng([[]])
+        assert len(IdSpaceModel.draw_unique_ids(0, rng)) == 0
+
+    def test_real_generator_unique(self):
+        rng = np.random.default_rng(11)
+        out = IdSpaceModel.draw_unique_ids(1000, rng)
+        assert len(np.unique(out)) == 1000
+
+
+class TestWindowedVsFullBranch:
+    """Property test: the windowed branch (2k < n) must agree with the
+    full-ranking branch at every wrap boundary — keys below the
+    smallest id (pos == 0), above the largest (pos == n) and
+    populations straddling 2k ≈ n."""
+
+    @staticmethod
+    def _full_rank_reference(sorted_ids, keys, k):
+        # Force the full-ranking branch by ranking every node per key.
+        n = len(sorted_ids)
+        out = np.empty((len(keys), k), dtype=np.intp)
+        for i, key in enumerate(keys):
+            ranked = sorted(
+                range(n),
+                key=lambda j: (
+                    min((int(sorted_ids[j]) - int(key)) % RING,
+                        (int(key) - int(sorted_ids[j])) % RING),
+                    int(sorted_ids[j]),
+                ),
+            )
+            out[i] = ranked[:k]
+        return out
+
+    @given(
+        pool=st.sets(ids64, min_size=3, max_size=40),
+        k=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_windowed_matches_full_ranking(self, pool, k, data):
+        sorted_ids = np.array(sorted(pool), dtype=np.uint64)
+        n = len(sorted_ids)
+        if 2 * k >= n:
+            k = max(1, (n - 1) // 2)  # force the windowed branch
+        lo, hi = int(sorted_ids[0]), int(sorted_ids[-1])
+        boundary_keys = [
+            0, RING - 1,                      # extremes: pos == 0 / n
+            max(0, lo - 1), lo,               # around the smallest id
+            hi, min(RING - 1, hi + 1),        # around the largest id
+        ]
+        boundary_keys.append(data.draw(ids64))
+        keys = np.array(boundary_keys, dtype=np.uint64)
+        got = replica_table(sorted_ids, keys, k)
+        want = self._full_rank_reference(sorted_ids, keys, k)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (6, 2), (7, 3), (9, 4), (17, 8)])
+    def test_2k_near_n_boundary(self, n, k):
+        # 2k == n - 1: the largest population still on the windowed
+        # branch; one node more flips to full ranking.  Both must agree.
+        rng = np.random.default_rng(n * 31 + k)
+        sorted_ids = np.sort(IdSpaceModel.draw_unique_ids(n, rng))
+        keys = IdSpaceModel.draw_unique_ids(30, rng)
+        got = replica_table(sorted_ids, keys, k)
+        want = self._full_rank_reference(sorted_ids, keys, k)
+        assert np.array_equal(got, want)
+
+
+class TestWordKernels:
+    """The exact 128-bit two-word kernels against Python-int references."""
+
+    @given(values=st.lists(ids128, min_size=0, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_roundtrip(self, values):
+        hi, lo = pack_ids(values)
+        assert unpack_words(hi, lo) == [int(v) for v in values]
+
+    @given(
+        pool=st.sets(ids128, min_size=1, max_size=30),
+        keys=st.lists(ids128, min_size=1, max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_searchsorted_words(self, pool, keys):
+        ids = sorted(pool)
+        hi, lo = pack_ids(ids)
+        khi, klo = pack_ids(keys)
+        got = searchsorted_words(hi, lo, khi, klo)
+        import bisect
+        want = [bisect.bisect_left(ids, key) for key in keys]
+        assert list(got) == want
+
+    @given(a=ids128, b=ids128)
+    @settings(max_examples=200, deadline=None)
+    def test_ring_distance_words(self, a, b):
+        ahi, alo = pack_ids([a])
+        bhi, blo = pack_ids([b])
+        dhi, dlo = ring_distance_words(ahi, alo, bhi, blo)
+        assert unpack_words(dhi, dlo)[0] == ring_distance(a, b)
+
+    @given(
+        pool=st.sets(ids128, min_size=1, max_size=30),
+        keys=st.lists(ids128, min_size=1, max_size=8),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_replica_table_words_matches_closest_ids(self, pool, keys, k):
+        k = min(k, len(pool))
+        ids = sorted(pool)
+        shi, slo = pack_ids(ids)
+        khi, klo = pack_ids(keys)
+        table = replica_table_words(shi, slo, khi, klo, k)
+        for row, key in zip(table, keys):
+            got = [ids[i] for i in row]
+            assert got == closest_ids(ids, key, k)
+
+    def test_replica_table_words_validation(self):
+        hi, lo = pack_ids([1, 2])
+        khi, klo = pack_ids([0])
+        with pytest.raises(ValueError):
+            replica_table_words(hi, lo, khi, klo, 0)
+        with pytest.raises(ValueError):
+            replica_table_words(hi, lo, khi, klo, 3)

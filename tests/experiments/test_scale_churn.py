@@ -1,0 +1,57 @@
+"""Shape + determinism tests for the compact-engine scale experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale_churn import ScaleChurnConfig, run_scale_churn
+from repro.perf import rows_digest
+
+TINY = ScaleChurnConfig(
+    num_nodes=400,
+    num_anchors=50,
+    churn_rounds=3,
+    spot_check_routes=4,
+    num_seeds=2,
+    seed=11,
+)
+
+
+class TestScaleChurn:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scale_churn(TINY)
+
+    def test_row_shape(self, rows):
+        churn = [r for r in rows if r["figure"] == "scale-churn"]
+        spots = [r for r in rows if r["figure"] == "scale-churn-spot"]
+        assert len(churn) == TINY.num_seeds * TINY.churn_rounds
+        assert len(spots) == TINY.num_seeds
+        for row in churn:
+            assert 0.0 <= row["survivor_fraction"] <= 1.0
+            assert 0.0 <= row["replica_overlap"] <= 1.0
+            assert row["alive"] > 0
+
+    def test_churn_erodes_replica_sets(self, rows):
+        for rep in range(TINY.num_seeds):
+            series = [
+                r["replica_overlap"]
+                for r in rows
+                if r["figure"] == "scale-churn" and r["rep"] == rep
+            ]
+            assert series == sorted(series, reverse=True)
+            assert series[-1] < 1.0
+
+    def test_spot_checks_agree_with_bridge(self, rows):
+        for row in rows:
+            if row["figure"] == "scale-churn-spot":
+                assert row["agree"] == row["routes"]
+                assert row["mean_hops"] >= 0
+
+    def test_digest_is_worker_independent(self, rows):
+        serial = rows_digest(rows)
+        assert rows_digest(run_scale_churn(TINY, workers=2)) == serial
+
+    def test_fast_config_is_smaller(self):
+        fast = ScaleChurnConfig.fast()
+        assert fast.num_nodes < ScaleChurnConfig().num_nodes

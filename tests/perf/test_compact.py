@@ -1,0 +1,292 @@
+"""Tests for repro.perf.compact: the compact-engine equivalence contract.
+
+The load-bearing property (DESIGN.md §6d): a :class:`CompactOverlay`'s
+derived state — leaf windows, routing cells, replica sets, route
+decisions — must be byte-identical (canonical ``rows_digest``) to the
+object engine's.  Three layers are pinned here:
+
+1. bootstrap equality against ``PastryNetwork.build`` on the same ids
+   (and against the ``TapSystem.bootstrap`` id population);
+2. canonical-maintenance equality: after fail/revive/join churn the
+   compact state equals a *fresh* build over the current alive set;
+3. observable equality: replica sets vs :class:`ReplicatedStore`,
+   routes hop-for-hop vs the materialisation bridge, destinations vs
+   ``closest_alive``, all under a strict :class:`InvariantAuditor`.
+
+Plus the sharding contract: snapshots pickle, restore isolated
+overlays, and fan out through ``run_trials(shared=...)`` with a
+workers-independent digest.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.system import TapSystem
+from repro.obs import InvariantAuditor
+from repro.past import ReplicatedStore
+from repro.pastry import PastryNetwork, RoutingError
+from repro.perf import rows_digest, run_trials
+from repro.perf.compact import CompactOverlay, CompactSnapshot
+from repro.util.ids import ID_SPACE
+from repro.util.rng import SeedSequenceFactory
+
+SEED = 7
+N = 300
+
+
+def network_rows(net: PastryNetwork) -> list[dict]:
+    """Canonical derived-state rows of the *alive* nodes of an object
+    network — the shape both engines are compared in."""
+    rows = []
+    for nid in sorted(net.alive_ids):
+        node = net.nodes[nid]
+        rows.append({
+            "id": nid,
+            "leaf": sorted(node.leaf_set._members),
+            "cells": sorted(
+                [row, col, entry]
+                for (row, col), entry in node.routing_table._cells.items()
+            ),
+        })
+    return rows
+
+
+def compact_rows(overlay: CompactOverlay) -> list[dict]:
+    """The same rows derived straight from the compact arrays."""
+    rows = []
+    for nid in overlay.alive_ids():
+        rows.append({
+            "id": nid,
+            "leaf": sorted(overlay.leaf_members(nid)),
+            "cells": sorted(
+                [row, col, entry]
+                for (row, col), entry in overlay.node_cells(nid).items()
+            ),
+        })
+    return rows
+
+
+def churn_script(overlay: CompactOverlay, joins: int = 5) -> None:
+    """Deterministic fail/revive/join mix (wide enough to shift leaf
+    windows, routing rows, and the alive-view cache)."""
+    ids = overlay.alive_ids()
+    victims = ids[3::7][:20]
+    overlay.fail(victims)
+    overlay.revive(victims[:8])
+    rng = SeedSequenceFactory(SEED).pyrandom("compact-churn-join")
+    fresh = []
+    while len(fresh) < joins:
+        cand = rng.getrandbits(128)
+        if cand not in overlay:
+            fresh.append(cand)
+    overlay.join(fresh)
+
+
+class TestBootstrapEquivalence:
+    def test_bootstrap_population_matches_object_system(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        system = TapSystem.bootstrap(N, seed=SEED)
+        assert overlay.alive_ids() == sorted(system.network.alive_ids)
+
+    def test_bootstrap_digest_matches_object_build(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        net = PastryNetwork.build(overlay.alive_ids())
+        assert rows_digest(compact_rows(overlay)) == rows_digest(network_rows(net))
+
+    def test_materialisation_bridge_digest_matches_object_build(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        bridged = overlay.to_network_snapshot().restore()
+        net = PastryNetwork.build(overlay.alive_ids())
+        assert rows_digest(network_rows(bridged)) == rows_digest(network_rows(net))
+
+    @pytest.mark.parametrize("n", (1, 2, 3, 17))
+    def test_tiny_rings(self, n):
+        overlay = CompactOverlay.bootstrap(n, seed=SEED)
+        net = PastryNetwork.build(overlay.alive_ids())
+        assert rows_digest(compact_rows(overlay)) == rows_digest(network_rows(net))
+
+    def test_random_bootstrap_is_sorted_and_unique(self):
+        overlay = CompactOverlay.random(5_000, seed=SEED)
+        ids = overlay.ids_list()
+        assert ids == sorted(set(ids))
+        assert overlay.num_alive == 5_000
+
+
+class TestChurnIsCanonicalMaintenance:
+    def test_post_churn_digest_matches_fresh_build(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        churn_script(overlay)
+        net = PastryNetwork.build(overlay.alive_ids())
+        assert rows_digest(compact_rows(overlay)) == rows_digest(network_rows(net))
+
+    def test_bridge_survives_churn_under_strict_auditor(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        churn_script(overlay)
+        bridged = overlay.to_network_snapshot().restore()
+        report = InvariantAuditor(bridged).assert_clean("churned bridge")
+        assert report.clean
+        net = PastryNetwork.build(overlay.alive_ids())
+        assert rows_digest(network_rows(bridged)) == rows_digest(network_rows(net))
+
+    def test_epoch_bumps_only_on_change(self):
+        overlay = CompactOverlay.bootstrap(50, seed=SEED)
+        nid = overlay.alive_ids()[0]
+        epoch = overlay.membership_epoch
+        overlay.fail([nid])
+        assert overlay.membership_epoch == epoch + 1
+        overlay.fail_positions(overlay.positions_of([nid]))  # already dead
+        assert overlay.membership_epoch == epoch + 1
+        overlay.revive([nid])
+        assert overlay.membership_epoch == epoch + 2
+        overlay.revive_positions(overlay.positions_of([nid]))  # already alive
+        assert overlay.membership_epoch == epoch + 2
+
+    def test_join_alive_id_raises(self):
+        overlay = CompactOverlay.bootstrap(50, seed=SEED)
+        taken = overlay.alive_ids()[10]
+        with pytest.raises(ValueError, match="already in the overlay"):
+            overlay.join([taken])
+
+    def test_join_revives_tombstone_in_place(self):
+        overlay = CompactOverlay.bootstrap(50, seed=SEED)
+        victim = overlay.alive_ids()[10]
+        size = overlay.size
+        overlay.fail([victim])
+        assert not overlay.is_alive(victim)
+        overlay.join([victim])
+        assert overlay.is_alive(victim)
+        assert overlay.size == size  # no duplicate slot
+
+    def test_unknown_ids_raise_keyerror(self):
+        overlay = CompactOverlay.bootstrap(20, seed=SEED)
+        ghost = next(
+            v for v in range(1, ID_SPACE) if v not in overlay
+        )
+        with pytest.raises(KeyError, match="unknown node id"):
+            overlay.positions_of([ghost])
+        with pytest.raises(KeyError, match="not alive"):
+            overlay.leaf_members(ghost)
+        with pytest.raises(KeyError, match="not alive"):
+            overlay.node_cells(ghost)
+        assert not overlay.is_alive(ghost)
+        assert ghost not in overlay
+
+
+class TestObservableEquality:
+    def test_replica_sets_match_replicated_store(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        net = PastryNetwork.build(overlay.alive_ids())
+        store = ReplicatedStore(net, replication_factor=4)
+        rng = SeedSequenceFactory(SEED).pyrandom("replica-keys")
+        keys = [rng.getrandbits(128) for _ in range(64)]
+        assert overlay.replica_ids(keys, 4) == [store.replica_set(k) for k in keys]
+
+    def test_replica_sets_match_after_churn(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        churn_script(overlay)
+        net = PastryNetwork.build(overlay.alive_ids())
+        store = ReplicatedStore(net, replication_factor=3)
+        rng = SeedSequenceFactory(SEED).pyrandom("replica-keys-churn")
+        keys = [rng.getrandbits(128) for _ in range(64)]
+        assert overlay.replica_ids(keys, 3) == [store.replica_set(k) for k in keys]
+
+    def test_routes_match_bridge_hop_for_hop(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        churn_script(overlay)
+        bridged = overlay.to_network_snapshot().restore()
+        alive = overlay.alive_ids()
+        rng = SeedSequenceFactory(SEED).pyrandom("route-spots")
+        for _ in range(50):
+            src = alive[rng.randrange(len(alive))]
+            key = rng.getrandbits(128)
+            compact = overlay.route(src, key)
+            reference = bridged.route(src, key)
+            assert compact.success and reference.success
+            assert compact.path == reference.path
+            assert compact.destination == overlay.closest_alive(key)
+            assert compact.destination == bridged.closest_alive(key)
+
+    def test_replica_k_clamped_to_alive_population(self):
+        overlay = CompactOverlay.bootstrap(5, seed=SEED)
+        tables = overlay.replica_ids([123], k=16)
+        assert sorted(tables[0]) == overlay.alive_ids()
+
+    def test_replica_query_requires_alive_nodes(self):
+        overlay = CompactOverlay.bootstrap(4, seed=SEED)
+        overlay.fail(overlay.alive_ids())
+        with pytest.raises(RoutingError, match="no alive nodes"):
+            overlay.closest_alive(1)
+
+    def test_alive_mask_resolves_by_content_across_joins(self):
+        overlay = CompactOverlay.bootstrap(60, seed=SEED)
+        sample = overlay.alive_ids()[5:9]
+        hi = np.array([v >> 64 for v in sample], dtype=np.uint64).reshape(2, 2)
+        lo = np.array([v & ((1 << 64) - 1) for v in sample], dtype=np.uint64).reshape(2, 2)
+        assert overlay.alive_mask(hi, lo).all()
+        overlay.fail([sample[0]])
+        churn_script(overlay, joins=3)  # joins shift array positions
+        mask = overlay.alive_mask(hi, lo)
+        assert mask.shape == (2, 2)
+        assert not mask[0, 0]
+        expected = [overlay.is_alive(v) for v in sample]
+        assert mask.ravel().tolist() == expected
+
+
+class TestSnapshotSharding:
+    def test_snapshot_restore_is_isolated(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        snap = overlay.snapshot()
+        base_digest = rows_digest(compact_rows(snap.restore()))
+        churned = snap.restore()
+        churn_script(churned)
+        assert rows_digest(compact_rows(snap.restore())) == base_digest
+        assert rows_digest(compact_rows(churned)) != base_digest
+
+    def test_snapshot_arrays_are_read_only(self):
+        snap = CompactOverlay.bootstrap(30, seed=SEED).snapshot()
+        with pytest.raises(ValueError):
+            snap.alive[0] = False
+
+    def test_snapshot_pickle_roundtrip(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        churn_script(overlay)
+        snap = overlay.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert isinstance(clone, CompactSnapshot)
+        assert rows_digest(compact_rows(clone.restore())) == rows_digest(
+            compact_rows(snap.restore())
+        )
+        assert clone.membership_epoch == snap.membership_epoch
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_shared_fanout_digest_is_worker_independent(self, workers):
+        snap = CompactOverlay.bootstrap(N, seed=SEED).snapshot()
+        token = ("compact-shared", SEED, N)
+        digests = run_trials(
+            _churned_digest, [(token,), (token,)], workers, shared={token: snap}
+        )
+        local = snap.restore()
+        churn_script(local)
+        expected = rows_digest(compact_rows(local))
+        assert digests == [expected, expected]
+
+    def test_to_system_snapshot_forks_full_system(self):
+        overlay = CompactOverlay.bootstrap(N, seed=SEED)
+        system = overlay.to_system_snapshot(replication_factor=3).fork(seed=2)
+        assert sorted(system.network.alive_ids) == overlay.alive_ids()
+        rng = SeedSequenceFactory(SEED).pyrandom("system-spot")
+        key = rng.getrandbits(128)
+        assert system.store.replica_set(key) == overlay.replica_ids([key], 3)[0]
+
+
+def _churned_digest(token):
+    from repro.perf import shared_payload
+
+    snap = shared_payload()[token]
+    overlay = snap.restore()
+    churn_script(overlay)
+    return rows_digest(compact_rows(overlay))

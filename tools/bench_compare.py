@@ -246,8 +246,48 @@ MACRO = {
 }
 
 
+def bench_pastry_bootstrap_100k():
+    from repro.perf.compact import CompactOverlay
+
+    return lambda: CompactOverlay.random(100_000, seed=2004)
+
+
+def bench_compact_churn_100k():
+    import numpy as np
+
+    from repro.perf.compact import CompactOverlay
+    from repro.util.rng import SeedSequenceFactory
+
+    snap = CompactOverlay.random(100_000, seed=2004).snapshot()
+    rng = SeedSequenceFactory(2004).numpy("bench-churn")
+    u64_max = np.iinfo(np.uint64).max
+    key_hi = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    key_lo = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    victims = rng.choice(100_000, size=1_000, replace=False)
+
+    def churn_round():
+        overlay = snap.restore()
+        overlay.fail_positions(victims)
+        return overlay.replica_positions(key_hi, key_lo, 3)
+
+    return churn_round
+
+
+#: 10^5-node compact-engine benchmarks: the array bootstrap and a full
+#: restore + fail-1% + 2k-replica-query round — the per-trial cost of
+#: the scale-churn experiment, gated in CI via the quick suite.
+SCALE = {
+    "pastry.bootstrap_100k": bench_pastry_bootstrap_100k,
+    "compact.churn_100k": bench_compact_churn_100k,
+}
+
+
 def run_suite(quick: bool) -> dict[str, dict]:
-    suite = {**MICRO, **SNAPSHOT} if quick else {**MICRO, **SNAPSHOT, **MACRO}
+    suite = (
+        {**MICRO, **SNAPSHOT, **SCALE}
+        if quick
+        else {**MICRO, **SNAPSHOT, **SCALE, **MACRO}
+    )
     results: dict[str, dict] = {}
     for name, setup in suite.items():
         fn = setup()
