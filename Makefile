@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test audit bench bench-quick bench-pytest bench-paper figures extensions examples all clean
+.PHONY: install lint test audit bench bench-quick bench-pytest bench-paper figures extensions examples all clean telemetry-gate report gate
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -39,6 +39,20 @@ bench:
 
 bench-quick:
 	$(PYTHON) tools/bench_compare.py --quick
+
+# Relative overhead gate: the instrumented 100k churn round vs its
+# bare twin, interleaved same-run timing (<=5%, exit 1 on breach).
+telemetry-gate:
+	$(PYTHON) tools/bench_compare.py --overhead-only
+
+# Aggregate every manifest / metrics snapshot / chaos report / span
+# trace under results/ into one consolidated report, then enforce the
+# declarative SLOs in slo.toml (exit 2 on violation).
+report:
+	$(PYTHON) -m repro.cli report results/ --md results/report.md
+
+gate:
+	$(PYTHON) -m repro.cli gate results/ --slo slo.toml
 
 # The pytest-benchmark suites (timing detail, per-test history).
 bench-pytest:

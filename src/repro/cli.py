@@ -8,6 +8,8 @@ Usage::
     tap-repro fig6 [--fast] [--trace-out trace.json] [--trace-redact]
     tap-repro trace trace.json [--csv breakdown.csv]
     tap-repro chaos [--plan lossy] [--seed S] [--fast] [--list-plans]
+    tap-repro report results/ [--json report.json] [--md report.md]
+    tap-repro gate results/ [--slo slo.toml]
 
 ``--fast`` runs the scaled-down configs (same shapes, ~100x quicker);
 without it the paper-scale parameters are used.
@@ -15,7 +17,10 @@ without it the paper-scale parameters are used.
 ``--metrics-out`` threads a :class:`repro.obs.MetricsRegistry` through
 every runner that supports it and writes the final snapshot (counters,
 gauges, per-hop latency histograms with p50/p95/p99) as JSON — plus a
-sibling ``.csv`` of tidy per-instrument rows.  ``--audit`` enables
+sibling ``.csv`` of tidy per-instrument rows.  ``--metrics-format``
+selects ``json`` (default), ``jsonl`` (one instrument per line, for
+log shippers), or ``openmetrics`` (Prometheus exposition text).
+``--audit`` enables
 :class:`repro.obs.InvariantAuditor` checks inside supporting runners
 (the run aborts on the first invariant violation).
 
@@ -33,6 +38,17 @@ per-phase latency breakdown (crypto / routing / hint-probe / repair).
 no-policy baseline; same seed + same plan replays byte-identically
 (``--assert-deterministic`` proves it, ``--assert-availability`` turns
 the availability bar into an exit code for CI).
+
+Every ``run`` / ``chaos`` invocation that writes artifacts also drops
+a ``manifest.json`` run ledger beside them (``--manifest-out`` moves
+it): git sha, full config + seeds, rows digests, artifact hashes, and
+a canonical-core digest that is byte-identical for any ``--workers``
+value.  ``tap-repro report DIR`` aggregates every manifest, metrics
+snapshot, chaos report, and span trace under ``DIR`` into one
+consolidated document (markdown via ``--md``, JSON via ``--json``);
+``tap-repro gate DIR --slo slo.toml`` evaluates the declarative SLOs
+against the report's indicators and exits 2 on violation — the CI
+contract.
 """
 
 from __future__ import annotations
@@ -117,7 +133,7 @@ def _run_one(
     tracer=None,
     event_trace=None,
     workers: int | None = None,
-) -> list[dict]:
+) -> tuple[list[dict], object]:
     config_cls, runner, _ = _ALL_RUNNERS[name]
     config = config_cls.fast() if fast else config_cls()
     if seed is not None:
@@ -136,7 +152,16 @@ def _run_one(
         kwargs["event_trace"] = event_trace
     if workers is not None and "workers" in params:
         kwargs["workers"] = workers
-    return runner(config, **kwargs)
+    return runner(config, **kwargs), config
+
+
+def _row_summary(name: str, rows: list[dict]) -> dict:
+    """Headline numbers recorded in the manifest, per runner."""
+    if name == "scale-churn":
+        from repro.experiments.scale_churn import summarize_rows
+
+        return summarize_rows(rows)
+    return {}
 
 
 def _trace_main(argv: list[str]) -> int:
@@ -222,6 +247,9 @@ def _chaos_main(argv: list[str]) -> int:
                         help="write the canonical report JSON here")
     parser.add_argument("--events-out", type=pathlib.Path, default=None,
                         help="write the event trace JSONL here")
+    parser.add_argument("--manifest-out", type=pathlib.Path, default=None,
+                        help="write the run-ledger manifest here (default: "
+                             "manifest.json next to --report-out)")
     parser.add_argument("--assert-availability", type=float, default=None,
                         metavar="X", help="exit 2 if availability < X")
     parser.add_argument("--assert-deterministic", action="store_true",
@@ -269,6 +297,9 @@ def _chaos_main(argv: list[str]) -> int:
     if overrides:
         config = replace(config, **overrides)
 
+    import time
+
+    t0 = time.perf_counter()
     # The policy run, the no-policy baseline, and the determinism
     # replay are independent deterministic runs — one job list, fanned
     # out when --workers asks for it.
@@ -286,14 +317,58 @@ def _chaos_main(argv: list[str]) -> int:
     print(render_table(rows, title=f"chaos '{plan.name}': per-session health"))
     print(availability_report(report, baseline=baseline))
 
+    written: list[tuple[pathlib.Path, str]] = []
     if args.report_out is not None:
         args.report_out.parent.mkdir(parents=True, exist_ok=True)
         args.report_out.write_text(canonical_json(report))
         print(f"wrote {args.report_out}")
+        written.append((args.report_out, "chaos-report"))
     if args.events_out is not None:
         args.events_out.parent.mkdir(parents=True, exist_ok=True)
         args.events_out.write_text(report["events_jsonl"])
         print(f"wrote {args.events_out}")
+        written.append((args.events_out, "events"))
+
+    manifest_path = args.manifest_out
+    if manifest_path is None and written:
+        manifest_path = written[0][0].parent / "manifest.json"
+    if manifest_path is not None:
+        from repro.obs.manifest import (
+            artifact_entry,
+            build_manifest,
+            config_dict,
+            write_manifest,
+        )
+
+        def _arm(rep):
+            return {
+                "rows": len(rep["rows"]),
+                "digest": rep["digest"],
+                "summary": dict(rep["summary"]),
+            }
+
+        results = {"chaos": _arm(report)}
+        if baseline is not None:
+            results["chaos-baseline"] = _arm(baseline)
+        manifest = build_manifest(
+            f"chaos {plan.name}",
+            configs={"chaos": config_dict(config)},
+            results=results,
+            seed=config.seed,
+            artifacts=[
+                artifact_entry(path, kind, base=manifest_path.parent)
+                for path, kind in written
+            ],
+            extra={"plan": plan.name, "baseline": not args.no_baseline},
+            volatile={
+                "wall_time_s": round(time.perf_counter() - t0, 6),
+                "timestamp": time.time(),
+                "workers": args.workers,
+                "argv": list(argv),
+            },
+        )
+        manifest = write_manifest(manifest, manifest_path)
+        print(f"wrote {manifest_path} (digest {manifest['digest'][:16]}...)")
 
     if args.assert_deterministic:
         if replay["digest"] != report["digest"]:
@@ -317,6 +392,94 @@ def _chaos_main(argv: list[str]) -> int:
     return 0
 
 
+def _report_main(argv: list[str]) -> int:
+    """``tap-repro report DIR``: consolidate manifests + artifacts."""
+    parser = argparse.ArgumentParser(
+        prog="tap-repro report",
+        description="Aggregate every run manifest, metrics snapshot, "
+                    "chaos report, and span trace under a results "
+                    "directory into one consolidated report.",
+    )
+    parser.add_argument("results_dir", type=pathlib.Path,
+                        help="directory holding run artifacts")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="also write the report as JSON here")
+    parser.add_argument("--md", type=pathlib.Path, default=None,
+                        help="also write the markdown report here")
+    args = parser.parse_args(argv)
+
+    if not args.results_dir.is_dir():
+        print(f"error: {args.results_dir} is not a directory",
+              file=sys.stderr)
+        return 1
+    import json as _json
+
+    from repro.obs.report import build_report, render_report
+
+    report = build_report(args.results_dir)
+    markdown = render_report(report)
+    print(markdown)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            _json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if args.md is not None:
+        args.md.parent.mkdir(parents=True, exist_ok=True)
+        args.md.write_text(markdown)
+        print(f"wrote {args.md}")
+    return 0
+
+
+def _gate_main(argv: list[str]) -> int:
+    """``tap-repro gate DIR --slo slo.toml``: SLO gate for CI.
+
+    Exit codes: 0 all objectives met, 1 usage/parse error, 2 violation.
+    """
+    parser = argparse.ArgumentParser(
+        prog="tap-repro gate",
+        description="Evaluate declarative SLOs against the consolidated "
+                    "report of a results directory; exit 2 on violation.",
+    )
+    parser.add_argument("results_dir", type=pathlib.Path,
+                        help="directory holding run artifacts")
+    parser.add_argument("--slo", type=pathlib.Path,
+                        default=pathlib.Path("slo.toml"),
+                        help="SLO definition file (default ./slo.toml)")
+    args = parser.parse_args(argv)
+
+    from repro.obs.report import build_report
+    from repro.obs.slo import (
+        GATE_EXIT_VIOLATION,
+        SLOError,
+        evaluate_slos,
+        load_slos,
+        render_slo_results,
+        slo_violations,
+    )
+
+    try:
+        slos = load_slos(args.slo)
+    except (OSError, SLOError, ValueError) as exc:
+        print(f"error: cannot load {args.slo}: {exc}", file=sys.stderr)
+        return 1
+    if not args.results_dir.is_dir():
+        print(f"error: {args.results_dir} is not a directory",
+              file=sys.stderr)
+        return 1
+    report = build_report(args.results_dir)
+    results = evaluate_slos(slos, report["indicators"])
+    print(render_slo_results(results))
+    violations = slo_violations(results)
+    if violations:
+        print(f"\nSLO GATE FAILED: {len(violations)} objective(s) violated",
+              file=sys.stderr)
+        return GATE_EXIT_VIOLATION
+    print("\nall SLOs met")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -327,6 +490,10 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
+    if argv and argv[0] == "gate":
+        return _gate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="tap-repro",
         description="Regenerate the figures of the TAP paper (ICPP 2004).",
@@ -346,8 +513,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--outdir", type=pathlib.Path, default=None,
                         help="with 'all': write one CSV per figure here")
     parser.add_argument("--metrics-out", type=pathlib.Path, default=None,
-                        help="write a repro.obs metrics snapshot (JSON, plus "
-                             "a sibling .csv of per-instrument rows)")
+                        help="write a repro.obs metrics snapshot (default "
+                             "JSON plus a sibling .csv of per-instrument "
+                             "rows; see --metrics-format)")
+    parser.add_argument("--metrics-format", default="json",
+                        choices=("json", "jsonl", "openmetrics"),
+                        help="serialisation for --metrics-out: 'json' "
+                             "(snapshot + CSV sibling), 'jsonl' (one "
+                             "instrument per line), or 'openmetrics' "
+                             "(Prometheus text exposition)")
+    parser.add_argument("--manifest-out", type=pathlib.Path, default=None,
+                        help="write the run-ledger manifest here (default: "
+                             "manifest.json next to the first artifact "
+                             "written; no artifacts, no manifest)")
     parser.add_argument("--audit", action="store_true",
                         help="run invariant audits inside supporting runners "
                              "(abort on the first violation)")
@@ -383,32 +561,52 @@ def main(argv: list[str] | None = None) -> int:
         names = list(_EXTENSIONS)
     else:
         names = [args.figure]
+    import time
+
     from repro.perf import rows_digest
 
+    t0 = time.perf_counter()
+    written: list[tuple[pathlib.Path, str, bool]] = []  # (path, kind, volatile)
+    configs: dict = {}
+    results: dict = {}
+    run_seed = args.seed
     for name in names:
-        rows = _run_one(name, args.fast, args.seed,
-                        metrics=metrics, audit=args.audit,
-                        tracer=tracer, event_trace=event_trace,
-                        workers=args.workers)
+        rows, config = _run_one(name, args.fast, args.seed,
+                                metrics=metrics, audit=args.audit,
+                                tracer=tracer, event_trace=event_trace,
+                                workers=args.workers)
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
         print(f"{name} rows digest: {rows_digest(rows)}")
+        from repro.obs.manifest import config_dict
+
+        configs[name] = config_dict(config)
+        results[name] = {
+            "rows": len(rows),
+            "digest": rows_digest(rows),
+            "summary": _row_summary(name, rows),
+        }
+        if run_seed is None:
+            run_seed = getattr(config, "seed", None)
         if args.csv is not None and len(names) == 1:
+            args.csv.parent.mkdir(parents=True, exist_ok=True)
             args.csv.write_text(rows_to_csv(rows))
             print(f"wrote {args.csv}")
+            written.append((args.csv, "csv", False))
         if args.outdir is not None:
             args.outdir.mkdir(parents=True, exist_ok=True)
             target = args.outdir / f"{name}.csv"
             target.write_text(rows_to_csv(rows))
             print(f"wrote {target}")
+            written.append((target, "csv", False))
     if metrics is not None:
-        from repro.experiments.runner import metrics_rows
+        from repro.obs.export import write_metrics
 
-        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
-        args.metrics_out.write_text(metrics.to_json() + "\n")
-        csv_path = args.metrics_out.with_suffix(".csv")
-        csv_path.write_text(rows_to_csv(metrics_rows(metrics)))
-        print(f"wrote {args.metrics_out} and {csv_path}")
+        for path in write_metrics(metrics, args.metrics_out,
+                                  args.metrics_format):
+            print(f"wrote {path}")
+            written.append((path, "metrics" if path.suffix != ".csv"
+                            else "metrics-csv", False))
     if tracer is not None:
         args.trace_out.parent.mkdir(parents=True, exist_ok=True)
         count = tracer.dump(args.trace_out, redact=args.trace_redact)
@@ -417,6 +615,40 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.trace_out} ({count} spans, "
               f"{tracer.dropped} dropped) and {events_path} "
               f"({n_events} events)")
+        # span exports carry wall clocks: real bytes, volatile hash
+        written.append((args.trace_out, "trace", True))
+        written.append((events_path, "events", False))
+
+    manifest_path = args.manifest_out
+    if manifest_path is None and written:
+        manifest_path = written[0][0].parent / "manifest.json"
+    if manifest_path is not None:
+        from repro.obs.manifest import (
+            artifact_entry,
+            build_manifest,
+            write_manifest,
+        )
+
+        manifest = build_manifest(
+            f"run {args.figure}",
+            configs=configs,
+            results=results,
+            seed=run_seed,
+            artifacts=[
+                artifact_entry(path, kind, volatile=volatile,
+                               base=manifest_path.parent)
+                for path, kind, volatile in written
+            ],
+            extra={"fast": bool(args.fast), "audit": bool(args.audit)},
+            volatile={
+                "wall_time_s": round(time.perf_counter() - t0, 6),
+                "timestamp": time.time(),
+                "workers": args.workers,
+                "argv": list(argv),
+            },
+        )
+        manifest = write_manifest(manifest, manifest_path)
+        print(f"wrote {manifest_path} (digest {manifest['digest'][:16]}...)")
     return 0
 
 

@@ -156,13 +156,19 @@ class ScaleChurnConfig(ExperimentConfig):
     fail_fraction: float = 0.01
     join_fraction: float = 0.005
     spot_check_routes: int = 8
+    #: telemetry sampling budget (only drawn on when a MetricsRegistry
+    #: is threaded through; sampled on its own derived seed stream so
+    #: rows are identical with telemetry on or off)
+    telemetry_anchor_samples: int = 256
+    telemetry_route_samples: int = 4
     seed: int = 2004
     num_seeds: int = 2
 
     @classmethod
     def fast(cls) -> "ScaleChurnConfig":
         return cls(num_nodes=2_000, num_anchors=200, churn_rounds=3,
-                   spot_check_routes=4)
+                   spot_check_routes=4, telemetry_anchor_samples=64,
+                   telemetry_route_samples=2)
 
 
 def scaled(config, **overrides):

@@ -23,6 +23,18 @@ Per trial (one per ``rep``):
    materialisation bridge restores an object-engine network from the
    churned compact state and every route must agree hop-for-hop with
    the compact router and terminate at the true root.
+
+Telemetry (opt-in, sampled): pass a
+:class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.EventTrace`
+and the trial additionally maintains ``compact.*`` membership counters
+(via :meth:`CompactOverlay.instrument`), per-round churn counters and
+alive-fraction gauges, and *seeded-sample* histograms — anchor-overlap
+values and route hop counts drawn on a dedicated
+``derive_seed(seed, "scale-telemetry", rep)`` stream.  Because the
+sampling never touches the trial's own stream, rows (and their digest)
+are identical with telemetry on or off, and worker-local registries
+merge in trial order, so serial == parallel holds for the telemetry
+too.
 """
 
 from __future__ import annotations
@@ -30,7 +42,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.config import ScaleChurnConfig
-from repro.perf import base_snapshot, effective_workers, run_trials, shared_payload
+from repro.perf import (
+    base_snapshot,
+    capture_obs,
+    effective_workers,
+    local_obs,
+    merge_obs,
+    run_trials,
+    shared_payload,
+)
 from repro.perf.compact import CompactOverlay
 from repro.util.rng import SeedSequenceFactory
 
@@ -62,7 +82,26 @@ def _fresh_ids(overlay: CompactOverlay, rng: np.random.Generator, count: int) ->
     return out
 
 
-def _churn_trial(config: ScaleChurnConfig, rep: int) -> list[dict]:
+def _observe_samples(histogram, values: np.ndarray, rng, budget: int) -> None:
+    """Fold a seeded sample of ``values`` into ``histogram``.
+
+    Sample positions come from the telemetry stream, sorted so the
+    fold order (and therefore the retained-sample layout) is a pure
+    function of the seed.
+    """
+    n = len(values)
+    if n > budget:
+        picks = np.sort(rng.choice(n, size=budget, replace=False))
+        values = values[picks]
+    histogram.observe_many(values.tolist())
+
+
+def _churn_trial(
+    config: ScaleChurnConfig,
+    rep: int,
+    want_metrics: bool = False,
+    want_events: bool = False,
+):
     token = _base_token(config)
     payload = shared_payload()
     snap = payload.get(token) if payload else None
@@ -71,6 +110,15 @@ def _churn_trial(config: ScaleChurnConfig, rep: int) -> list[dict]:
     overlay = snap.restore()
     rng = SeedSequenceFactory(config.seed).numpy("scale-churn", rep)
     k = config.replication_factor
+
+    # Trial-local obs; the telemetry stream is derived under its own
+    # label so enabling it cannot perturb the trial's randomness.
+    metrics, _, event_trace = local_obs(want_metrics, False, want_events)
+    tel_rng = None
+    if metrics is not None or event_trace is not None:
+        tel_rng = SeedSequenceFactory(config.seed).numpy("scale-telemetry", rep)
+    if metrics is not None:
+        overlay.instrument(metrics)
 
     key_hi = rng.integers(0, _U64_MAX, size=config.num_anchors, dtype=np.uint64)
     key_lo = rng.integers(0, _U64_MAX, size=config.num_anchors, dtype=np.uint64)
@@ -99,14 +147,51 @@ def _churn_trial(config: ScaleChurnConfig, rep: int) -> list[dict]:
             & (cur_lo[:, :, None] == orig_lo[:, None, :])
         )
         overlap = same.any(axis=2).sum(axis=1) / k
+        survivor_fraction = float(survived.mean())
+        replica_overlap = float(overlap.mean())
         rows.append({
             "figure": "scale-churn",
             "rep": rep,
             "round": round_idx,
             "alive": overlay.num_alive,
-            "survivor_fraction": float(survived.mean()),
-            "replica_overlap": float(overlap.mean()),
+            "survivor_fraction": survivor_fraction,
+            "replica_overlap": replica_overlap,
         })
+        if metrics is not None:
+            metrics.counter("scale.churn.rounds").inc()
+            metrics.counter("scale.churn.failed_nodes").inc(fails)
+            metrics.counter("scale.churn.joined_nodes").inc(joins)
+            metrics.gauge("scale.alive_fraction").set(
+                overlay.num_alive / config.num_nodes
+            )
+            metrics.gauge("scale.survivor_fraction").set(survivor_fraction)
+            _observe_samples(
+                metrics.histogram("scale.replica.overlap"),
+                overlap, tel_rng, config.telemetry_anchor_samples,
+            )
+        if event_trace is not None:
+            event_trace.record(
+                "scale.round", rep=rep, round=round_idx,
+                alive=overlay.num_alive,
+                survivor_fraction=round(survivor_fraction, 6),
+                replica_overlap=round(replica_overlap, 6),
+            )
+
+    if metrics is not None and config.telemetry_route_samples:
+        # Seeded-sample route-hop histogram on the churned overlay:
+        # source and key are fresh telemetry-stream draws, the source
+        # being the alive node owning a second random id — a pure
+        # read of the compact state.
+        hops_hist = metrics.histogram("scale.route.hops")
+        for _ in range(config.telemetry_route_samples):
+            key = (int(tel_rng.integers(0, _U64_MAX, dtype=np.uint64)) << 64) | int(
+                tel_rng.integers(0, _U64_MAX, dtype=np.uint64)
+            )
+            src_probe = (int(tel_rng.integers(0, _U64_MAX, dtype=np.uint64)) << 64) | int(
+                tel_rng.integers(0, _U64_MAX, dtype=np.uint64)
+            )
+            src = overlay.closest_alive(src_probe)
+            hops_hist.observe(overlay.route(src, key).hops)
 
     if config.spot_check_routes:
         network = overlay.to_network_snapshot().restore()
@@ -133,25 +218,68 @@ def _churn_trial(config: ScaleChurnConfig, rep: int) -> list[dict]:
             "agree": agree,
             "mean_hops": hops / config.spot_check_routes,
         })
-    return rows
+    return rows, capture_obs(metrics, None, event_trace)
 
 
 def run_scale_churn(
     config: ScaleChurnConfig = ScaleChurnConfig(),
     workers: int | None = None,
+    metrics=None,
+    event_trace=None,
 ) -> list[dict]:
     """The scale-churn runner; trials fan out over ``workers``.
 
     The base overlay is built once, snapshotted, and shipped to every
     worker through the pool initializer — workers restore from arrays
-    (milliseconds at 100k) instead of re-bootstrapping.
+    (milliseconds at 100k) instead of re-bootstrapping.  Pass a
+    ``metrics`` registry / ``event_trace`` to collect the sampled
+    telemetry described in the module docstring; worker-local copies
+    are merged back in trial order, so the merged state is identical
+    for any ``workers`` value.
     """
+    want_metrics = metrics is not None
+    want_events = event_trace is not None
     token = _base_token(config)
     bases = {token: base_snapshot(token, lambda: _base_build(config))}
-    per_trial = run_trials(
+    results = run_trials(
         _churn_trial,
-        [(config, rep) for rep in range(config.num_seeds)],
+        [
+            (config, rep, want_metrics, want_events)
+            for rep in range(config.num_seeds)
+        ],
         effective_workers(workers, config),
         shared=bases,
     )
-    return [row for rows in per_trial for row in rows]
+    merge_obs(
+        [payload for _, payload in results],
+        metrics=metrics,
+        event_trace=event_trace,
+    )
+    return [row for rows, _ in results for row in rows]
+
+
+def summarize_rows(rows: list[dict]) -> dict:
+    """Headline indicators from scale-churn rows (for the run ledger).
+
+    Also the source of the SLO gate's ``scale.*`` indicators, so the
+    keys here are contract, not presentation.
+    """
+    churn = [r for r in rows if r.get("figure") == "scale-churn"]
+    spot = [r for r in rows if r.get("figure") == "scale-churn-spot"]
+    out: dict = {}
+    if churn:
+        final_round = max(r["round"] for r in churn)
+        finals = [r for r in churn if r["round"] == final_round]
+        out["scale.survivor_fraction"] = min(
+            r["survivor_fraction"] for r in churn
+        )
+        out["scale.replica_overlap"] = min(r["replica_overlap"] for r in churn)
+        out["scale.final_replica_overlap"] = sum(
+            r["replica_overlap"] for r in finals
+        ) / len(finals)
+    if spot:
+        routes = sum(r["routes"] for r in spot)
+        out["scale.route_agreement"] = (
+            sum(r["agree"] for r in spot) / routes if routes else 1.0
+        )
+    return out

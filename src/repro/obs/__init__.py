@@ -19,13 +19,35 @@ paths:
 * :class:`InvariantAuditor` — systematic post-event checks over the
   overlay (leaf-set symmetry, routing-table liveness, ``_sorted_alive``
   consistency) and the replicated store (holder/intended agreement,
-  storage/index agreement).
+  storage/index agreement);
+* :mod:`repro.obs.export` — OpenMetrics / Prometheus text exposition
+  and streaming JSONL renderings of a registry;
+* :mod:`repro.obs.manifest` — the run ledger: one canonical-JSON
+  ``manifest.json`` per CLI invocation, byte-identical (core) across
+  serial and parallel execution;
+* :mod:`repro.obs.report` / :mod:`repro.obs.slo` — the consolidated
+  results-directory report and the declarative SLO gate evaluated
+  over its flat indicator dict.
 
 All instrumentation is opt-in: substrates accept an optional registry
 or tracer and pay only a ``None``/falsiness check when disabled.
 """
 
 from repro.obs.audit import AuditReport, InvariantAuditor, InvariantViolationError
+from repro.obs.export import (
+    METRICS_FORMATS,
+    metrics_jsonl_lines,
+    to_metrics_jsonl,
+    to_openmetrics,
+    write_metrics,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    canonical_manifest,
+    load_manifest,
+    manifest_digest,
+    write_manifest,
+)
 from repro.obs.critical_path import (
     SpanRecord,
     build_trees,
@@ -55,6 +77,7 @@ __all__ = [
     "Histogram",
     "InvariantAuditor",
     "InvariantViolationError",
+    "METRICS_FORMATS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -64,11 +87,20 @@ __all__ = [
     "SpanRecord",
     "SpanTracer",
     "TraceEvent",
+    "build_manifest",
     "build_trees",
+    "canonical_manifest",
     "critical_path",
+    "load_manifest",
     "load_trace_file",
+    "manifest_digest",
+    "metrics_jsonl_lines",
     "phase_breakdown",
     "phase_of",
     "records_from_tracer",
     "redact_attrs",
+    "to_metrics_jsonl",
+    "to_openmetrics",
+    "write_manifest",
+    "write_metrics",
 ]

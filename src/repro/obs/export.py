@@ -1,0 +1,157 @@
+"""Metrics export formats beyond the registry's own JSON snapshot.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` snapshot is a nested
+dict — fine for one process reading one file, but the scale runs feed
+external tooling:
+
+* :func:`to_openmetrics` — the OpenMetrics / Prometheus text
+  exposition format.  Counters become ``<name>_total``, gauges stay
+  plain, histograms export as summaries (``quantile`` labels plus
+  ``_sum``/``_count``/``_min``/``_max``), so a scrape of a finished
+  run drops straight into Prometheus, VictoriaMetrics, or ``promtool``.
+* :func:`metrics_jsonl_lines` / :func:`to_metrics_jsonl` — streaming
+  JSON-lines, one instrument per line.  Lines are emitted lazily in
+  sorted-name order, so a 10^6-instrument registry exports without
+  materialising one giant document.
+
+Both renderings are pure functions of the registry snapshot: sorted
+instrument order, no timestamps — two registries with equal state
+export byte-identically (the property the run-ledger digests lean on).
+
+:data:`METRICS_FORMATS` maps the CLI's ``--metrics-format`` values to
+renderers; :func:`write_metrics` dispatches on it and returns the
+paths written (the JSON format also writes the tidy-CSV sibling the
+original ``--metrics-out`` contract promised).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import re
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: quantiles exported for every histogram: (quantile label, snapshot key)
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def openmetrics_name(name: str) -> str:
+    """A metric name sanitised to the OpenMetrics grammar.
+
+    Dots and dashes (the registry's namespacing convention,
+    ``pastry.route.hops``) become underscores; any remaining illegal
+    character does too, and a leading digit is prefixed.
+    """
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _num(value: float) -> str:
+    """OpenMetrics number rendering: repr floats, bare ints, Inf/NaN."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_openmetrics(registry: MetricsRegistry, prefix: str = "tap_") -> str:
+    """The registry as OpenMetrics text exposition (ends with # EOF).
+
+    ``prefix`` namespaces every family (default ``tap_``) so scraped
+    runs don't collide with a host's own metrics.
+    """
+    lines: list[str] = []
+    for name, snap in registry.snapshot().items():
+        family = prefix + openmetrics_name(name)
+        kind = snap["type"]
+        if kind == "counter":
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family}_total {_num(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_num(snap['value'])}")
+        else:  # histogram -> summary exposition
+            lines.append(f"# TYPE {family} summary")
+            if snap["count"]:
+                for label, key in SUMMARY_QUANTILES:
+                    lines.append(
+                        f'{family}{{quantile="{label}"}} {_num(snap[key])}'
+                    )
+                lines.append(f"{family}_sum {_num(snap['sum'])}")
+            else:
+                lines.append(f"{family}_sum 0")
+            lines.append(f"{family}_count {_num(snap['count'])}")
+            if snap["count"]:
+                # min/max as companion gauges (not part of the summary
+                # family proper, but exact and too useful to drop)
+                lines.append(f"# TYPE {family}_min gauge")
+                lines.append(f"{family}_min {_num(snap['min'])}")
+                lines.append(f"# TYPE {family}_max gauge")
+                lines.append(f"{family}_max {_num(snap['max'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_jsonl_lines(registry: MetricsRegistry) -> Iterator[str]:
+    """Lazily yield one canonical JSON line per instrument (sorted)."""
+    for name, snap in registry.snapshot().items():
+        yield json.dumps(
+            {"metric": name, **snap}, sort_keys=True, separators=(",", ":")
+        )
+
+
+def to_metrics_jsonl(registry: MetricsRegistry) -> str:
+    lines = list(metrics_jsonl_lines(registry))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_json(registry: MetricsRegistry) -> str:
+    return registry.to_json() + "\n"
+
+
+#: ``--metrics-format`` value -> renderer
+METRICS_FORMATS = {
+    "json": _render_json,
+    "jsonl": to_metrics_jsonl,
+    "openmetrics": to_openmetrics,
+}
+
+
+def write_metrics(
+    registry: MetricsRegistry, path, fmt: str = "json"
+) -> list[pathlib.Path]:
+    """Write the registry to ``path`` in ``fmt``; returns paths written.
+
+    The ``json`` format keeps the original ``--metrics-out`` contract:
+    the snapshot JSON plus a sibling ``.csv`` of tidy per-instrument
+    rows.  ``jsonl`` and ``openmetrics`` write exactly one file.
+    """
+    try:
+        render = METRICS_FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown metrics format {fmt!r} "
+            f"(choose from {sorted(METRICS_FORMATS)})"
+        ) from None
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render(registry))
+    written = [path]
+    if fmt == "json":
+        from repro.experiments.runner import rows_to_csv
+
+        csv_path = path.with_suffix(".csv")
+        csv_path.write_text(rows_to_csv(registry.rows()))
+        written.append(csv_path)
+    return written

@@ -103,15 +103,52 @@ class Histogram:
             self._samples = self._samples[::2]
             self._stride *= 2
 
+    def observe_many(self, values) -> None:
+        """Bulk observe, C-speed bookkeeping for the sampled-telemetry
+        hot path.
+
+        Retained samples end up identical to per-value :meth:`observe`
+        calls; the batched ``sum`` may differ from a chain of ``+=`` in
+        the last ulp, which is fine because every execution path of a
+        given run batches identically.  Falls back to the per-value
+        loop once decimation is active (stride bookkeeping is per
+        sample there).
+        """
+        values = [float(v) for v in values]
+        if not values:
+            return
+        if (
+            self._stride != 1
+            or len(self._samples) + len(values) >= self.max_samples
+        ):
+            for v in values:
+                self.observe(v)
+            return
+        self.count += len(values)
+        self.total += sum(values)
+        lo = min(values)
+        hi = max(values)
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        self._samples.extend(values)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """The q-th percentile (0 <= q <= 100) of the retained samples."""
-        if not self._samples:
+    def percentile(self, q: float, ordered: list[float] | None = None) -> float:
+        """The q-th percentile (0 <= q <= 100) of the retained samples.
+
+        ``ordered`` may pass a presorted view of ``_samples`` so
+        callers taking several percentiles (snapshot, exporters) sort
+        once instead of once per quantile.
+        """
+        if ordered is None:
+            ordered = sorted(self._samples)
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         rank = (len(ordered) - 1) * (q / 100.0)
         lo = math.floor(rank)
         hi = math.ceil(rank)
@@ -122,11 +159,15 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram's observations into this one.
 
-        count/sum/min/max stay exact; the retained samples are
+        count/sum/min/max stay exact.  Each retained sample stands for
+        ``stride`` observations, so sources with different decimation
+        strides must not be concatenated as-is — the finer source's
+        samples would outweigh their share of the stream.  Both sides
+        are first brought to the coarser of the two strides (strides
+        are powers of two, so re-decimation is exact), then
         concatenated in (self, other) order and re-decimated under the
-        bound, so a merge of worker-side histograms is deterministic
-        given the merge order (the parallel trial executor merges in
-        trial order).
+        bound.  The merge is deterministic given the merge order (the
+        parallel trial executor merges in trial order).
         """
         if not other.count:
             return
@@ -136,8 +177,14 @@ class Histogram:
             self.min = other.min
         if other.max > self.max:
             self.max = other.max
-        self._samples.extend(other._samples)
-        self._stride = max(self._stride, other._stride)
+        target = max(self._stride, other._stride)
+        if self._stride < target:
+            self._samples = self._samples[:: target // self._stride]
+            self._stride = target
+        theirs = other._samples
+        if other._stride < target:
+            theirs = theirs[:: target // other._stride]
+        self._samples.extend(theirs)
         while len(self._samples) >= self.max_samples:
             self._samples = self._samples[::2]
             self._stride *= 2
@@ -145,6 +192,7 @@ class Histogram:
     def snapshot(self) -> dict:
         if not self.count:
             return {"type": "histogram", "count": 0}
+        ordered = sorted(self._samples)
         return {
             "type": "histogram",
             "count": self.count,
@@ -152,9 +200,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": self.percentile(50, ordered),
+            "p95": self.percentile(95, ordered),
+            "p99": self.percentile(99, ordered),
         }
 
 

@@ -1,0 +1,310 @@
+"""Consolidated run report: one document per results directory.
+
+``tap-repro report RESULTS_DIR`` walks a directory tree for run
+manifests (:mod:`repro.obs.manifest`) and the artifacts they point at
+— metrics snapshots, chaos availability reports, span traces — and
+folds everything into a single report:
+
+* **runs** — one entry per manifest: command, seed, git sha, per-table
+  row counts and digests, headline summaries;
+* **chaos** — availability / effective availability / MTTR per chaos
+  report (policy and baseline arms kept separate);
+* **phases** — the span critical-path phase breakdown of every trace
+  artifact (via :mod:`repro.obs.critical_path`);
+* **indicators** — one flat ``name -> number`` dict distilled from all
+  of the above.  This is the surface the SLO gate
+  (:mod:`repro.obs.slo`) evaluates, so the key scheme is contract:
+  ``audit.*`` and ``metrics.<instrument>.<stat>`` from metrics
+  snapshots, ``chaos.*`` worst-case across policy-arm chaos reports,
+  and any ``summary`` keys the manifests recorded (e.g. ``scale.*``
+  from the scale-churn runner).
+
+Loose artifacts (a chaos report or metrics snapshot with no manifest
+next to it) are still picked up by content sniffing, so the report
+degrades gracefully on partial results directories.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.manifest import is_manifest, load_manifest
+
+#: per-histogram statistics exported as indicators
+_HIST_STATS = ("p50", "p95", "p99", "max", "count")
+
+
+def _load_json(path: pathlib.Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _is_metrics_snapshot(doc) -> bool:
+    return (
+        isinstance(doc, dict)
+        and bool(doc)
+        and all(
+            isinstance(v, dict)
+            and v.get("type") in ("counter", "gauge", "histogram")
+            for v in doc.values()
+        )
+    )
+
+
+def _is_chaos_report(doc) -> bool:
+    return (
+        isinstance(doc, dict)
+        and "plan" in doc
+        and "summary" in doc
+        and "digest" in doc
+    )
+
+
+def scan_results_dir(root) -> dict:
+    """Classify every file under ``root``.
+
+    Returns ``{"manifests": [(path, doc)], "metrics": [(path, doc)],
+    "chaos": [(path, doc)], "traces": [path]}``.  Manifest-referenced
+    artifacts are resolved relative to their manifest; anything not
+    referenced is classified by sniffing its content.
+    """
+    root = pathlib.Path(root)
+    manifests: list[tuple[pathlib.Path, dict]] = []
+    metrics: list[tuple[pathlib.Path, dict]] = []
+    chaos: list[tuple[pathlib.Path, dict]] = []
+    traces: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+
+    for path in sorted(root.rglob("manifest.json")):
+        try:
+            doc = load_manifest(path)
+        except (OSError, ValueError):
+            continue
+        if not is_manifest(doc):
+            continue
+        manifests.append((path, doc))
+        seen.add(path.resolve())
+        for entry in doc.get("artifacts", []):
+            target = (path.parent / entry["path"]).resolve()
+            if not target.is_file():
+                continue
+            seen.add(target)
+            kind = entry.get("kind", "")
+            if kind == "metrics":
+                loaded = _load_json(target)
+                if _is_metrics_snapshot(loaded):
+                    metrics.append((target, loaded))
+            elif kind == "chaos-report":
+                loaded = _load_json(target)
+                if _is_chaos_report(loaded):
+                    chaos.append((target, loaded))
+            elif kind == "trace":
+                traces.append(target)
+
+    for path in sorted(root.rglob("*.json")):
+        if path.resolve() in seen or path.name == "manifest.json":
+            continue
+        doc = _load_json(path)
+        if _is_chaos_report(doc):
+            chaos.append((path.resolve(), doc))
+        elif _is_metrics_snapshot(doc):
+            metrics.append((path.resolve(), doc))
+        elif isinstance(doc, dict) and "traceEvents" in doc:
+            traces.append(path.resolve())
+    return {
+        "manifests": manifests,
+        "metrics": metrics,
+        "chaos": chaos,
+        "traces": traces,
+    }
+
+
+def _merge_min(indicators: dict, key: str, value) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return
+    if key in indicators:
+        indicators[key] = min(indicators[key], value)
+    else:
+        indicators[key] = value
+
+
+def _metrics_indicators(snapshots: list[dict]) -> dict:
+    """Flatten metrics snapshots: counters sum, histogram stats worst-case."""
+    out: dict = {}
+    counters: dict[str, float] = {}
+    for snap in snapshots:
+        for name, inst in snap.items():
+            if inst["type"] == "counter":
+                counters[name] = counters.get(name, 0) + inst["value"]
+            elif inst["type"] == "histogram" and inst.get("count"):
+                for stat in _HIST_STATS:
+                    key = f"metrics.{name}.{stat}"
+                    # worst case across sources: stats are "lower is
+                    # better" (latency, hops), so keep the max
+                    out[key] = max(out.get(key, inst[stat]), inst[stat])
+    for name, total in sorted(counters.items()):
+        out[f"metrics.{name}"] = total
+    if "metrics.obs.audit.violations" in out or any(
+        "obs.audit.runs" in snap for snap in snapshots
+    ):
+        out["audit.runs"] = counters.get("obs.audit.runs", 0)
+        out["audit.violations"] = counters.get("obs.audit.violations", 0)
+    return out
+
+
+def build_report(root) -> dict:
+    """The consolidated report for one results directory."""
+    root = pathlib.Path(root)
+    found = scan_results_dir(root)
+
+    runs = []
+    indicators: dict = {}
+    for path, doc in found["manifests"]:
+        tables = {}
+        for name, res in doc.get("results", {}).items():
+            tables[name] = {
+                "rows": res.get("rows"),
+                "digest": res.get("digest"),
+                "summary": res.get("summary", {}),
+            }
+            for key, value in (res.get("summary") or {}).items():
+                # only namespaced keys ("scale.survivor_fraction") are
+                # indicator contract; bare keys are informational
+                if "." in key:
+                    _merge_min(indicators, key, value)
+        runs.append({
+            "manifest": str(path.relative_to(root)),
+            "command": doc.get("command"),
+            "seed": doc.get("seed"),
+            "git_sha": doc.get("git_sha"),
+            "digest": doc.get("digest"),
+            "tables": tables,
+            "artifacts": len(doc.get("artifacts", [])),
+            "wall_time_s": doc.get("volatile", {}).get("wall_time_s"),
+        })
+
+    chaos_entries = []
+    for path, doc in found["chaos"]:
+        s = doc["summary"]
+        chaos_entries.append({
+            "path": path.name,
+            "plan": doc.get("plan"),
+            "policy": doc.get("policy"),
+            "seed": doc.get("seed"),
+            "availability": s.get("availability"),
+            "effective_availability": s.get("effective_availability"),
+            "mttr_rounds": s.get("mttr_rounds"),
+            "worst_outage_rounds": s.get("worst_outage_rounds"),
+        })
+        if doc.get("policy") != "baseline":
+            _merge_min(indicators, "chaos.availability",
+                       s.get("availability"))
+            _merge_min(indicators, "chaos.effective_availability",
+                       s.get("effective_availability"))
+            mttr = s.get("mttr_rounds")
+            if isinstance(mttr, (int, float)):
+                indicators["chaos.mttr_rounds"] = max(
+                    indicators.get("chaos.mttr_rounds", mttr), mttr
+                )
+
+    phases = []
+    for path in found["traces"]:
+        from repro.obs.critical_path import summarize_trace_file
+
+        try:
+            summary = summarize_trace_file(path)
+        except (OSError, ValueError, KeyError):
+            continue
+        phases.append({
+            "path": path.name,
+            "spans": summary["spans"],
+            "traces": summary["traces"],
+            "end_to_end_s": summary["end_to_end_s"],
+            "breakdown": summary["breakdown"],
+        })
+
+    indicators.update(_metrics_indicators([doc for _, doc in found["metrics"]]))
+    indicators["runs.count"] = len(runs)
+    indicators["chaos.count"] = len(chaos_entries)
+
+    return {
+        "root": str(root),
+        "runs": runs,
+        "chaos": chaos_entries,
+        "phases": phases,
+        "metrics_files": [str(p) for p, _ in found["metrics"]],
+        "indicators": dict(sorted(indicators.items())),
+    }
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_report(report: dict) -> str:
+    """The consolidated report as markdown."""
+    lines = [f"# Run report — `{report['root']}`", ""]
+
+    lines.append(f"## Runs ({len(report['runs'])} manifests)")
+    lines.append("")
+    for run in report["runs"]:
+        sha = (run["git_sha"] or "unknown")[:12]
+        lines.append(
+            f"- **{run['command']}** seed={run['seed']} git={sha} "
+            f"({run['manifest']}, {run['artifacts']} artifacts)"
+        )
+        for name, table in run["tables"].items():
+            digest = (table["digest"] or "")[:16]
+            lines.append(f"  - `{name}`: {table['rows']} rows, "
+                         f"digest `{digest}`")
+            for key, value in (table["summary"] or {}).items():
+                lines.append(f"    - {key} = {_fmt(value)}")
+    if not report["runs"]:
+        lines.append("- (none)")
+    lines.append("")
+
+    if report["chaos"]:
+        lines.append(f"## Chaos ({len(report['chaos'])} reports)")
+        lines.append("")
+        lines.append("| plan | policy | availability | effective | "
+                     "MTTR (rounds) |")
+        lines.append("|---|---|---|---|---|")
+        for entry in report["chaos"]:
+            lines.append(
+                f"| {entry['plan']} | {entry['policy']} "
+                f"| {_fmt(entry['availability'])} "
+                f"| {_fmt(entry['effective_availability'])} "
+                f"| {_fmt(entry['mttr_rounds'])} |"
+            )
+        lines.append("")
+
+    if report["phases"]:
+        lines.append("## Span phase breakdown")
+        lines.append("")
+        for entry in report["phases"]:
+            lines.append(f"- `{entry['path']}`: {entry['spans']} spans, "
+                         f"{entry['traces']} traces, "
+                         f"{entry['end_to_end_s']:.6f} s end-to-end")
+            for row in entry["breakdown"]:
+                lines.append(
+                    f"  - {row['phase']}: {row['time_s']:.6f} s "
+                    f"({row['share']})"
+                )
+        lines.append("")
+
+    lines.append("## Indicators")
+    lines.append("")
+    if report["indicators"]:
+        lines.append("| indicator | value |")
+        lines.append("|---|---|")
+        for key, value in report["indicators"].items():
+            lines.append(f"| `{key}` | {_fmt(value)} |")
+    else:
+        lines.append("(none)")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Declarative SLO gate over the consolidated report's indicators.
+
+An SLO file is TOML (stdlib :mod:`tomllib`): one ``[slo.<name>]``
+table per objective, each naming an indicator from
+:func:`repro.obs.report.build_report` and bounding it::
+
+    [slo.no-audit-violations]
+    indicator = "audit.violations"
+    max = 0
+
+    [slo.chaos-effective-availability]
+    indicator = "chaos.effective_availability"
+    min = 0.85
+
+    [slo.leg-latency-p99]
+    indicator = "metrics.fig6.link_latency_s.p99"
+    max = 0.25
+    required = false        # skip (don't fail) when the indicator is absent
+
+``required`` defaults to true: a missing indicator is a failure, so a
+gate cannot silently pass because the run that produces its evidence
+was dropped from CI.  ``tap-repro gate RESULTS_DIR --slo slo.toml``
+exits 0 when every objective holds and 2 otherwise — the CI contract.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tomllib
+
+#: exit code the gate returns on any SLO violation
+GATE_EXIT_VIOLATION = 2
+
+
+class SLOError(ValueError):
+    """Malformed SLO file."""
+
+
+def load_slos(path) -> list[dict]:
+    """Parse an SLO TOML file into a list of objective dicts."""
+    raw = tomllib.loads(pathlib.Path(path).read_text())
+    tables = raw.get("slo")
+    if not isinstance(tables, dict) or not tables:
+        raise SLOError(f"{path}: no [slo.<name>] tables")
+    out = []
+    for name, spec in sorted(tables.items()):
+        if not isinstance(spec, dict):
+            raise SLOError(f"{path}: [slo.{name}] is not a table")
+        indicator = spec.get("indicator")
+        if not isinstance(indicator, str) or not indicator:
+            raise SLOError(f"{path}: [slo.{name}] needs an 'indicator'")
+        lo = spec.get("min")
+        hi = spec.get("max")
+        if lo is None and hi is None:
+            raise SLOError(f"{path}: [slo.{name}] needs 'min' and/or 'max'")
+        for bound, value in (("min", lo), ("max", hi)):
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+            ):
+                raise SLOError(
+                    f"{path}: [slo.{name}] '{bound}' must be a number"
+                )
+        out.append({
+            "name": name,
+            "indicator": indicator,
+            "min": lo,
+            "max": hi,
+            "required": bool(spec.get("required", True)),
+        })
+    return out
+
+
+def evaluate_slos(slos: list[dict], indicators: dict) -> list[dict]:
+    """Evaluate each objective against the flat indicators dict.
+
+    Returns one result per objective with ``status`` of ``"pass"``,
+    ``"fail"``, or ``"missing"`` (absent indicator; a failure when the
+    objective is required, otherwise informational).
+    """
+    results = []
+    for slo in slos:
+        value = indicators.get(slo["indicator"])
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            status = "missing"
+        else:
+            ok = True
+            if slo["min"] is not None and value < slo["min"]:
+                ok = False
+            if slo["max"] is not None and value > slo["max"]:
+                ok = False
+            status = "pass" if ok else "fail"
+        results.append({**slo, "value": value, "status": status})
+    return results
+
+
+def slo_violations(results: list[dict]) -> list[dict]:
+    """The results that should fail the gate."""
+    return [
+        r for r in results
+        if r["status"] == "fail"
+        or (r["status"] == "missing" and r["required"])
+    ]
+
+
+def render_slo_results(results: list[dict]) -> str:
+    """A fixed-width pass/fail table for the terminal."""
+    name_w = max([len(r["name"]) for r in results] + [4])
+    ind_w = max([len(r["indicator"]) for r in results] + [9])
+    lines = [f"{'SLO':<{name_w}}  {'indicator':<{ind_w}}  "
+             f"{'value':>12}  {'bound':>18}  status"]
+    for r in results:
+        bounds = []
+        if r["min"] is not None:
+            bounds.append(f">= {r['min']:g}")
+        if r["max"] is not None:
+            bounds.append(f"<= {r['max']:g}")
+        value = "-" if r["value"] is None else f"{r['value']:g}"
+        status = r["status"].upper()
+        if r["status"] == "missing" and not r["required"]:
+            status = "MISSING (optional)"
+        lines.append(
+            f"{r['name']:<{name_w}}  {r['indicator']:<{ind_w}}  "
+            f"{value:>12}  {', '.join(bounds):>18}  {status}"
+        )
+    return "\n".join(lines)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.scale_churn import ScaleChurnConfig, run_scale_churn
+from repro.experiments.scale_churn import (
+    ScaleChurnConfig,
+    run_scale_churn,
+    summarize_rows,
+)
+from repro.obs import EventTrace, MetricsRegistry
 from repro.perf import rows_digest
 
 TINY = ScaleChurnConfig(
@@ -14,6 +19,8 @@ TINY = ScaleChurnConfig(
     spot_check_routes=4,
     num_seeds=2,
     seed=11,
+    telemetry_anchor_samples=16,
+    telemetry_route_samples=2,
 )
 
 
@@ -55,3 +62,66 @@ class TestScaleChurn:
     def test_fast_config_is_smaller(self):
         fast = ScaleChurnConfig.fast()
         assert fast.num_nodes < ScaleChurnConfig().num_nodes
+
+
+class TestTelemetry:
+    """Sampled telemetry must observe without perturbing the rows."""
+
+    @pytest.fixture(scope="class")
+    def telemetry(self):
+        metrics = MetricsRegistry()
+        events = EventTrace()
+        rows = run_scale_churn(TINY, metrics=metrics, event_trace=events)
+        return rows, metrics, events
+
+    def test_rows_identical_with_telemetry_off(self, telemetry):
+        rows, _, _ = telemetry
+        assert rows_digest(rows) == rows_digest(run_scale_churn(TINY))
+
+    def test_expected_instruments_present(self, telemetry):
+        _, metrics, _ = telemetry
+        snap = metrics.snapshot()
+        expected_rounds = TINY.num_seeds * TINY.churn_rounds
+        assert snap["scale.churn.rounds"]["value"] == expected_rounds
+        assert snap["compact.fail_events"]["value"] == expected_rounds
+        assert snap["scale.churn.failed_nodes"]["value"] > 0
+        assert snap["scale.replica.overlap"]["count"] == (
+            expected_rounds * TINY.telemetry_anchor_samples
+        )
+        assert snap["scale.route.hops"]["count"] == (
+            TINY.num_seeds * TINY.telemetry_route_samples
+        )
+        assert 0.0 < snap["scale.alive_fraction"]["value"] <= 1.0
+        assert 0.0 < snap["compact.alive_fraction"]["value"] <= 1.0
+
+    def test_round_events_recorded(self, telemetry):
+        _, _, events = telemetry
+        rounds = list(events.events("scale.round"))
+        assert len(rounds) == TINY.num_seeds * TINY.churn_rounds
+        assert all(0.0 <= e.fields["survivor_fraction"] <= 1.0
+                   for e in rounds)
+
+    def test_telemetry_worker_independent(self, telemetry):
+        _, metrics, events = telemetry
+        m2 = MetricsRegistry()
+        e2 = EventTrace()
+        run_scale_churn(TINY, workers=2, metrics=m2, event_trace=e2)
+        assert m2.to_json() == metrics.to_json()
+        assert e2.to_jsonl() == events.to_jsonl()
+
+
+class TestSummarizeRows:
+    def test_summary_keys(self):
+        rows = run_scale_churn(TINY)
+        summary = summarize_rows(rows)
+        assert set(summary) == {
+            "scale.survivor_fraction",
+            "scale.replica_overlap",
+            "scale.final_replica_overlap",
+            "scale.route_agreement",
+        }
+        assert summary["scale.route_agreement"] == 1.0
+        assert 0.0 < summary["scale.replica_overlap"] <= 1.0
+
+    def test_empty_rows(self):
+        assert summarize_rows([]) == {}

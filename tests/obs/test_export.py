@@ -1,0 +1,130 @@
+"""Tests for the OpenMetrics / JSONL metrics export formats."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.export import (
+    METRICS_FORMATS,
+    metrics_jsonl_lines,
+    openmetrics_name,
+    to_metrics_jsonl,
+    to_openmetrics,
+    write_metrics,
+)
+
+
+def _registry() -> MetricsRegistry:
+    m = MetricsRegistry()
+    m.counter("pastry.route.count").inc(7)
+    m.gauge("compact.alive_fraction").set(0.97)
+    h = m.histogram("pastry.route.hops")
+    for v in (1, 2, 2, 3):
+        h.observe(v)
+    return m
+
+
+class TestOpenMetricsName:
+    def test_dots_become_underscores(self):
+        assert openmetrics_name("pastry.route.hops") == "pastry_route_hops"
+
+    def test_leading_digit_prefixed(self):
+        assert openmetrics_name("9lives")[0] == "_"
+
+    def test_legal_name_untouched(self):
+        assert openmetrics_name("already_fine:yes") == "already_fine:yes"
+
+
+class TestToOpenMetrics:
+    def test_ends_with_eof(self):
+        assert to_openmetrics(_registry()).endswith("# EOF\n")
+
+    def test_counter_exposition(self):
+        text = to_openmetrics(_registry())
+        assert "# TYPE tap_pastry_route_count counter" in text
+        assert "tap_pastry_route_count_total 7" in text
+
+    def test_gauge_exposition(self):
+        text = to_openmetrics(_registry())
+        assert "tap_compact_alive_fraction 0.97" in text
+
+    def test_histogram_as_summary(self):
+        text = to_openmetrics(_registry())
+        assert "# TYPE tap_pastry_route_hops summary" in text
+        assert 'tap_pastry_route_hops{quantile="0.5"} 2' in text
+        assert "tap_pastry_route_hops_sum 8" in text
+        assert "tap_pastry_route_hops_count 4" in text
+        assert "tap_pastry_route_hops_min 1" in text
+        assert "tap_pastry_route_hops_max 3" in text
+
+    def test_quantile_values_match_snapshot(self):
+        m = _registry()
+        snap = m.snapshot()["pastry.route.hops"]
+        for line in to_openmetrics(m).splitlines():
+            if line.startswith('tap_pastry_route_hops{quantile="0.99"}'):
+                assert float(line.split()[-1]) == snap["p99"]
+                break
+        else:
+            raise AssertionError("no p99 quantile line")
+
+    def test_empty_histogram_zero_count(self):
+        m = MetricsRegistry()
+        m.histogram("never.observed")
+        text = to_openmetrics(m)
+        assert "tap_never_observed_count 0" in text
+        assert "quantile" not in text
+
+    def test_custom_prefix(self):
+        assert "acme_pastry_route_count_total" in to_openmetrics(
+            _registry(), prefix="acme_"
+        )
+
+    def test_deterministic(self):
+        assert to_openmetrics(_registry()) == to_openmetrics(_registry())
+
+
+class TestJsonl:
+    def test_one_line_per_instrument_sorted(self):
+        lines = list(metrics_jsonl_lines(_registry()))
+        names = [json.loads(line)["metric"] for line in lines]
+        assert names == sorted(names)
+        assert len(names) == 3
+
+    def test_lines_carry_snapshot(self):
+        doc = {
+            json.loads(line)["metric"]: json.loads(line)
+            for line in metrics_jsonl_lines(_registry())
+        }
+        assert doc["pastry.route.count"]["value"] == 7
+        assert doc["pastry.route.hops"]["count"] == 4
+
+    def test_to_metrics_jsonl_trailing_newline(self):
+        assert to_metrics_jsonl(_registry()).endswith("\n")
+
+    def test_empty_registry_empty_string(self):
+        assert to_metrics_jsonl(MetricsRegistry()) == ""
+
+
+class TestWriteMetrics:
+    def test_json_writes_csv_sibling(self, tmp_path):
+        paths = write_metrics(_registry(), tmp_path / "m.json", "json")
+        assert [p.name for p in paths] == ["m.json", "m.csv"]
+        assert "pastry.route.hops" in (tmp_path / "m.csv").read_text()
+        json.loads((tmp_path / "m.json").read_text())
+
+    def test_openmetrics_single_file(self, tmp_path):
+        paths = write_metrics(_registry(), tmp_path / "m.om", "openmetrics")
+        assert len(paths) == 1
+        assert paths[0].read_text().endswith("# EOF\n")
+
+    def test_jsonl_single_file(self, tmp_path):
+        (path,) = write_metrics(_registry(), tmp_path / "m.jsonl", "jsonl")
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            write_metrics(_registry(), tmp_path / "m.x", "xml")
+
+    def test_formats_registry_complete(self):
+        assert set(METRICS_FORMATS) == {"json", "jsonl", "openmetrics"}

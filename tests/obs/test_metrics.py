@@ -70,6 +70,56 @@ class TestHistogram:
         for key in ("count", "sum", "mean", "min", "max", "p50", "p95", "p99"):
             assert key in snap
 
+    def test_percentile_accepts_presorted_view(self):
+        h = Histogram("h")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        ordered = sorted(h._samples)
+        for q in (0, 25, 50, 95, 100):
+            assert h.percentile(q, ordered) == h.percentile(q)
+
+    @staticmethod
+    def _decimated_zeros(n=10_000):
+        h = Histogram("h", max_samples=64)
+        for _ in range(n):
+            h.observe(0.0)
+        assert h._stride > 1  # the premise: this source is decimated
+        return h
+
+    @staticmethod
+    def _undecimated_hundreds(n=50):
+        h = Histogram("h", max_samples=64)
+        for _ in range(n):
+            h.observe(100.0)
+        assert h._stride == 1
+        return h
+
+    def test_merge_is_stride_aware(self):
+        """Regression: concatenating retained samples from sources with
+        different strides over-weighted the finer (undecimated) source.
+        Here the 100s are ~0.5% of the merged stream, so every
+        percentile below p99 must still be 0."""
+        merged = self._decimated_zeros()
+        merged.merge(self._undecimated_hundreds())
+        assert merged.count == 10_050
+        assert merged.total == 5_000.0
+        assert merged.max == 100.0  # aggregates stay exact
+        assert merged.percentile(50) == 0.0
+        assert merged.percentile(95) == 0.0  # was 100.0 before the fix
+
+    def test_merge_stride_bias_both_orders(self):
+        """A decimated and an undecimated worker merge to the same
+        retained distribution in either order."""
+        ab = self._decimated_zeros()
+        ab.merge(self._undecimated_hundreds())
+        ba = self._undecimated_hundreds()
+        ba.merge(self._decimated_zeros())
+        assert ab.count == ba.count == 10_050
+        assert sorted(ab._samples) == sorted(ba._samples)
+        assert ab._stride == ba._stride
+        for q in (50, 90, 95, 99):
+            assert ab.percentile(q) == ba.percentile(q)
+
 
 class TestMetricsRegistry:
     def test_instruments_created_on_first_use(self):

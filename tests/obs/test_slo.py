@@ -1,0 +1,226 @@
+"""Tests for the consolidated report and the declarative SLO gate."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.manifest import (
+    artifact_entry,
+    build_manifest,
+    write_manifest,
+)
+from repro.obs.report import build_report, render_report, scan_results_dir
+from repro.obs.slo import (
+    GATE_EXIT_VIOLATION,
+    SLOError,
+    evaluate_slos,
+    load_slos,
+    render_slo_results,
+    slo_violations,
+)
+
+
+def _chaos_doc(availability=0.95, policy="resilient"):
+    return {
+        "plan": "lossy",
+        "seed": 2004,
+        "policy": policy,
+        "digest": "c" * 64,
+        "summary": {
+            "availability": availability,
+            "effective_availability": availability - 0.05,
+            "mttr_rounds": 1.5,
+            "worst_outage_rounds": 3,
+        },
+    }
+
+
+def _results_dir(tmp_path):
+    """A results tree: one manifest + metrics + chaos report."""
+    run = tmp_path / "run"
+    run.mkdir()
+    metrics = MetricsRegistry()
+    metrics.counter("obs.audit.runs").inc(2)
+    metrics.counter("obs.audit.violations").inc(0)
+    metrics.histogram("fig6.link_latency_s").observe(0.12)
+    (run / "metrics.json").write_text(metrics.to_json())
+    chaos = tmp_path / "chaos"
+    chaos.mkdir()
+    (chaos / "report.json").write_text(json.dumps(_chaos_doc()))
+    manifest = build_manifest(
+        "run scale-churn",
+        configs={"scale-churn": {"num_nodes": 2000}},
+        results={"scale-churn": {
+            "rows": 8,
+            "digest": "a" * 64,
+            "summary": {"scale.survivor_fraction": 0.99,
+                        "scale.route_agreement": 1.0},
+        }},
+        seed=2004,
+        artifacts=[artifact_entry(run / "metrics.json", "metrics",
+                                  base=run)],
+        volatile={"wall_time_s": 0.5},
+    )
+    write_manifest(manifest, run / "manifest.json")
+    return tmp_path
+
+
+class TestScan:
+    def test_finds_everything(self, tmp_path):
+        found = scan_results_dir(_results_dir(tmp_path))
+        assert len(found["manifests"]) == 1
+        assert len(found["metrics"]) == 1
+        assert len(found["chaos"]) == 1
+
+    def test_loose_metrics_sniffed(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("x").inc()
+        (tmp_path / "loose.json").write_text(m.to_json())
+        found = scan_results_dir(tmp_path)
+        assert len(found["metrics"]) == 1
+
+    def test_garbage_json_ignored(self, tmp_path):
+        (tmp_path / "junk.json").write_text("not json at all")
+        (tmp_path / "other.json").write_text('{"hello": 1}')
+        found = scan_results_dir(tmp_path)
+        assert found == {"manifests": [], "metrics": [],
+                         "chaos": [], "traces": []}
+
+
+class TestBuildReport:
+    def test_indicators(self, tmp_path):
+        report = build_report(_results_dir(tmp_path))
+        ind = report["indicators"]
+        assert ind["audit.violations"] == 0
+        assert ind["audit.runs"] == 2
+        assert ind["chaos.availability"] == 0.95
+        assert ind["scale.survivor_fraction"] == 0.99
+        assert ind["metrics.fig6.link_latency_s.p99"] == 0.12
+        assert ind["runs.count"] == 1
+
+    def test_baseline_chaos_excluded_from_indicators(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps(_chaos_doc(0.9)))
+        (tmp_path / "b.json").write_text(
+            json.dumps(_chaos_doc(0.2, policy="baseline"))
+        )
+        ind = build_report(tmp_path)["indicators"]
+        assert ind["chaos.availability"] == 0.9
+        assert ind["chaos.count"] == 2
+
+    def test_worst_case_across_chaos_reports(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps(_chaos_doc(0.99)))
+        (tmp_path / "b.json").write_text(json.dumps(_chaos_doc(0.80)))
+        ind = build_report(tmp_path)["indicators"]
+        assert ind["chaos.availability"] == 0.80
+
+    def test_render_markdown(self, tmp_path):
+        report = build_report(_results_dir(tmp_path))
+        md = render_report(report)
+        assert "# Run report" in md
+        assert "run scale-churn" in md
+        assert "`scale.survivor_fraction`" in md
+        assert "| lossy | resilient |" in md
+
+    def test_report_is_json_serialisable(self, tmp_path):
+        json.dumps(build_report(_results_dir(tmp_path)))
+
+
+SLO_TOML = """
+[slo.audit]
+indicator = "audit.violations"
+max = 0
+
+[slo.availability]
+indicator = "chaos.availability"
+min = 0.9
+
+[slo.optional-latency]
+indicator = "metrics.nope.p99"
+max = 1.0
+required = false
+"""
+
+
+class TestLoadSlos:
+    def test_parses_tables(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(SLO_TOML)
+        slos = load_slos(path)
+        assert [s["name"] for s in slos] == [
+            "audit", "availability", "optional-latency"
+        ]
+        assert slos[0]["max"] == 0 and slos[0]["required"] is True
+        assert slos[2]["required"] is False
+
+    def test_repo_slo_toml_parses(self):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        slos = load_slos(repo / "slo.toml")
+        assert any(s["indicator"] == "audit.violations" for s in slos)
+
+    def test_rejects_no_tables(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text("x = 1\n")
+        with pytest.raises(SLOError, match="no .slo"):
+            load_slos(path)
+
+    def test_rejects_missing_bounds(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('[slo.x]\nindicator = "a"\n')
+        with pytest.raises(SLOError, match="min.*max"):
+            load_slos(path)
+
+    def test_rejects_non_numeric_bound(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('[slo.x]\nindicator = "a"\nmax = "zero"\n')
+        with pytest.raises(SLOError, match="must be a number"):
+            load_slos(path)
+
+
+class TestEvaluate:
+    def _slos(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(SLO_TOML)
+        return load_slos(path)
+
+    def test_all_pass(self, tmp_path):
+        results = evaluate_slos(
+            self._slos(tmp_path),
+            {"audit.violations": 0, "chaos.availability": 0.95},
+        )
+        assert [r["status"] for r in results] == ["pass", "pass", "missing"]
+        assert slo_violations(results) == []
+
+    def test_fail_on_bound(self, tmp_path):
+        results = evaluate_slos(
+            self._slos(tmp_path),
+            {"audit.violations": 2, "chaos.availability": 0.95},
+        )
+        assert results[0]["status"] == "fail"
+        assert len(slo_violations(results)) == 1
+
+    def test_required_missing_is_violation(self, tmp_path):
+        results = evaluate_slos(self._slos(tmp_path), {})
+        bad = slo_violations(results)
+        assert {r["name"] for r in bad} == {"audit", "availability"}
+
+    def test_optional_missing_not_violation(self, tmp_path):
+        results = evaluate_slos(
+            self._slos(tmp_path),
+            {"audit.violations": 0, "chaos.availability": 1.0},
+        )
+        assert not slo_violations(results)
+
+    def test_render_table(self, tmp_path):
+        results = evaluate_slos(
+            self._slos(tmp_path),
+            {"audit.violations": 0, "chaos.availability": 0.5},
+        )
+        text = render_slo_results(results)
+        assert "FAIL" in text and "PASS" in text
+        assert "MISSING (optional)" in text
+
+    def test_gate_exit_code_value(self):
+        assert GATE_EXIT_VIOLATION == 2

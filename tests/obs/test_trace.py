@@ -40,6 +40,76 @@ class TestRingBound:
         assert [e.seq for e in trace] == [6, 7, 8, 9]
 
 
+class TestWrapAround:
+    """Behaviour after the ring exceeds capacity (beyond the clear()
+    accounting already pinned below): eviction order, accounting, and
+    JSONL export of a wrapped buffer."""
+
+    def test_recorded_vs_len_after_wrap(self):
+        trace = EventTrace(capacity=3)
+        for i in range(8):
+            trace.record("e", i=i)
+        assert trace.recorded == 8
+        assert len(trace) == 3
+        assert trace.dropped == 5
+
+    def test_eviction_is_oldest_first(self):
+        trace = EventTrace(capacity=3)
+        for i in range(5):
+            trace.record("e", i=i)
+        # survivors are exactly the newest three, in record order,
+        # with their original sequence numbers intact
+        assert [(e.seq, e.fields["i"]) for e in trace] == [
+            (2, 2), (3, 3), (4, 4),
+        ]
+        trace.record("e", i=5)
+        assert [e.seq for e in trace] == [3, 4, 5]
+
+    def test_jsonl_export_of_wrapped_buffer(self):
+        trace = EventTrace(capacity=4)
+        for i in range(10):
+            trace.record("e", i=i)
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 4  # only the survivors are exported
+        rows = [json.loads(line) for line in lines]
+        assert [row["seq"] for row in rows] == [6, 7, 8, 9]
+        assert [row["i"] for row in rows] == [6, 7, 8, 9]
+        assert trace.to_jsonl().endswith("\n")
+
+    def test_dump_of_wrapped_buffer_counts_survivors(self, tmp_path):
+        trace = EventTrace(capacity=4)
+        for i in range(10):
+            trace.record("e", i=i)
+        path = tmp_path / "wrapped.jsonl"
+        assert trace.dump(path) == 4
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["i"] for row in rows] == [6, 7, 8, 9]
+
+    def test_kind_filter_sees_only_survivors(self):
+        trace = EventTrace(capacity=4)
+        trace.record("a", i=0)
+        for i in range(1, 6):
+            trace.record("b", i=i)
+        # the single "a" event was evicted by the wrap
+        assert list(trace.events("a")) == []
+        assert [e.fields["i"] for e in trace.events("b")] == [2, 3, 4, 5]
+
+    def test_absorb_re_sequences_a_wrapped_trace(self):
+        worker = EventTrace(capacity=3)
+        for i in range(7):
+            worker.record("e", i=i)
+        parent = EventTrace()
+        parent.record("parent")
+        assert parent.absorb(list(worker)) == 3
+        # only the survivors crossed over, renumbered under the
+        # parent's monotone counter
+        assert [(e.seq, e.kind) for e in parent] == [
+            (0, "parent"), (1, "e"), (2, "e"), (3, "e"),
+        ]
+        assert [e.fields["i"] for e in parent.events("e")] == [4, 5, 6]
+        assert parent.dropped == 0
+
+
 class TestExport:
     def test_jsonl_round_trips(self):
         trace = EventTrace()

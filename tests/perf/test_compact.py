@@ -145,6 +145,50 @@ class TestChurnIsCanonicalMaintenance:
         overlay.revive_positions(overlay.positions_of([nid]))  # already alive
         assert overlay.membership_epoch == epoch + 2
 
+    def test_alive_count_cache_tracks_every_mutation(self):
+        """``num_alive`` is epoch-cached and delta-maintained; it must
+        equal a fresh mask sum before and after every mutator,
+        including duplicate positions and no-op batches."""
+        overlay = CompactOverlay.bootstrap(60, seed=SEED)
+
+        def check():
+            assert overlay.num_alive == int(overlay.alive.sum())
+
+        check()  # warm the cache so the delta-carry path is exercised
+        victims = overlay.positions_of(overlay.alive_ids()[:5])
+        duplicated = np.concatenate([victims, victims[:3]])
+        overlay.fail_positions(duplicated)
+        check()
+        overlay.fail_positions(victims)  # all already dead: no-op
+        check()
+        overlay.revive_positions(np.concatenate([victims[:2], victims[:2]]))
+        check()
+        overlay.revive_positions(duplicated)  # partially-alive batch
+        check()
+        ghost = next(v for v in range(1, ID_SPACE) if v not in overlay)
+        overlay.join([ghost])
+        check()
+        overlay.fail([ghost])
+        overlay.join([ghost])  # join-as-revive of a tombstone
+        check()
+
+    def test_alive_count_correct_on_cold_cache(self):
+        overlay = CompactOverlay.bootstrap(60, seed=SEED)
+        # mutate before any num_alive read: the stale cache must not
+        # be carried, only recomputed
+        overlay.fail_positions(overlay.positions_of(overlay.alive_ids()[:7]))
+        assert overlay.num_alive == int(overlay.alive.sum()) == 53
+
+    def test_restore_seeds_alive_count(self):
+        overlay = CompactOverlay.bootstrap(60, seed=SEED)
+        overlay.fail(overlay.alive_ids()[:4])
+        restored = overlay.snapshot().restore()
+        assert restored._count_epoch == restored.membership_epoch
+        assert restored._alive_count == 56
+        assert restored.num_alive == int(restored.alive.sum()) == 56
+        restored.fail_positions(restored.positions_of(restored.alive_ids()[:2]))
+        assert restored.num_alive == 54
+
     def test_join_alive_id_raises(self):
         overlay = CompactOverlay.bootstrap(50, seed=SEED)
         taken = overlay.alive_ids()[10]

@@ -225,3 +225,162 @@ class TestChaosSubcommand:
     def test_baseline_comparison_line(self, capsys):
         assert main(["chaos", "--fast", "--seed", "7", "--plan", "smoke"]) == 0
         assert "no-policy baseline" in capsys.readouterr().out
+
+
+class TestMetricsFormats:
+    def test_openmetrics_format(self, tmp_path, capsys):
+        target = tmp_path / "metrics.om"
+        assert main(["fig6", "--fast", "--metrics-out", str(target),
+                     "--metrics-format", "openmetrics"]) == 0
+        text = target.read_text()
+        assert text.endswith("# EOF\n")
+        assert "tap_pastry_route_hops" in text
+        assert not target.with_suffix(".csv").exists()
+
+    def test_jsonl_format(self, tmp_path, capsys):
+        target = tmp_path / "metrics.jsonl"
+        assert main(["fig6", "--fast", "--metrics-out", str(target),
+                     "--metrics-format", "jsonl"]) == 0
+        lines = [json.loads(l) for l in target.read_text().splitlines()]
+        assert any(d["metric"] == "pastry.route.hops" for d in lines)
+
+    def test_bad_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--fast", "--metrics-out", "m.json",
+                  "--metrics-format", "xml"])
+
+
+class TestRunManifest:
+    def test_manifest_written_next_to_artifacts(self, tmp_path, capsys):
+        assert main(["fig3", "--fast", "--outdir", str(tmp_path)]) == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["command"] == "run fig3"
+        assert manifest["configs"]["fig3"]["num_nodes"] > 0
+        assert "workers" not in manifest["configs"]["fig3"]
+        assert len(manifest["results"]["fig3"]["digest"]) == 64
+        assert manifest["artifacts"][0]["path"] == "fig3.csv"
+        assert "wall_time_s" in manifest["volatile"]
+
+    def test_no_artifacts_no_manifest(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig3", "--fast"]) == 0
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_explicit_manifest_out(self, tmp_path, capsys):
+        target = tmp_path / "ledger" / "m.json"
+        assert main(["fig3", "--fast", "--manifest-out", str(target)]) == 0
+        manifest = json.loads(target.read_text())
+        assert manifest["results"]["fig3"]["rows"] > 0
+        assert manifest["artifacts"] == []
+
+    def test_manifest_core_worker_independent(self, tmp_path, capsys):
+        from repro.obs.manifest import canonical_manifest, load_manifest
+
+        cmd = ["scale-churn", "--fast", "--seed", "3"]
+        d1, d4 = tmp_path / "w1", tmp_path / "w4"
+        assert main(cmd + ["--workers", "1", "--outdir", str(d1)]) == 0
+        assert main(cmd + ["--workers", "2", "--outdir", str(d4)]) == 0
+        m1 = load_manifest(d1 / "manifest.json")
+        m4 = load_manifest(d4 / "manifest.json")
+        assert canonical_manifest(m1) == canonical_manifest(m4)
+        assert m1["digest"] == m4["digest"]
+        assert m1["volatile"]["workers"] == 1
+        assert m4["volatile"]["workers"] == 2
+
+    def test_scale_churn_manifest_records_summary(self, tmp_path, capsys):
+        assert main(["scale-churn", "--fast",
+                     "--outdir", str(tmp_path)]) == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        summary = manifest["results"]["scale-churn"]["summary"]
+        assert summary["scale.route_agreement"] == 1.0
+
+    def test_chaos_manifest(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["chaos", "--fast", "--seed", "7", "--plan", "smoke",
+                     "--report-out", str(report)]) == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["command"] == "chaos smoke"
+        assert set(manifest["results"]) == {"chaos", "chaos-baseline"}
+        assert manifest["results"]["chaos"]["summary"]["availability"] >= 0
+        assert manifest["artifacts"][0]["kind"] == "chaos-report"
+
+
+@pytest.fixture(scope="module")
+def results_dir(tmp_path_factory):
+    """A populated results tree: one run + one chaos invocation."""
+    root = tmp_path_factory.mktemp("results")
+    assert main(["fig6", "--fast", "--outdir", str(root / "fig6"),
+                 "--metrics-out", str(root / "fig6" / "metrics.json"),
+                 "--audit"]) == 0
+    assert main(["chaos", "--fast", "--seed", "7", "--plan", "smoke",
+                 "--report-out", str(root / "chaos" / "report.json")]) == 0
+    assert main(["scale-churn", "--fast",
+                 "--outdir", str(root / "scale")]) == 0
+    return root
+
+
+class TestReportSubcommand:
+    def test_report_round_trip(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["report", str(results_dir), "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "# Run report" in printed
+        report = json.loads(out.read_text())
+        assert len(report["runs"]) == 3
+        ind = report["indicators"]
+        assert ind["audit.violations"] == 0
+        assert ind["chaos.availability"] > 0
+        assert ind["scale.route_agreement"] == 1.0
+
+    def test_markdown_output_file(self, results_dir, tmp_path, capsys):
+        md = tmp_path / "report.md"
+        assert main(["report", str(results_dir), "--md", str(md)]) == 0
+        assert "## Indicators" in md.read_text()
+
+    def test_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestGateSubcommand:
+    PASSING_SLO = """
+[slo.audit]
+indicator = "audit.violations"
+max = 0
+
+[slo.chaos]
+indicator = "chaos.availability"
+min = 0.5
+"""
+
+    def test_gate_passes(self, results_dir, tmp_path, capsys):
+        slo = tmp_path / "slo.toml"
+        slo.write_text(self.PASSING_SLO)
+        assert main(["gate", str(results_dir), "--slo", str(slo)]) == 0
+        assert "all SLOs met" in capsys.readouterr().out
+
+    def test_gate_fails_on_violation(self, results_dir, tmp_path, capsys):
+        slo = tmp_path / "slo.toml"
+        slo.write_text('[slo.x]\nindicator = "chaos.availability"\n'
+                       'min = 1.01\n')
+        assert main(["gate", str(results_dir), "--slo", str(slo)]) == 2
+        assert "SLO GATE FAILED" in capsys.readouterr().err
+
+    def test_gate_fails_on_required_missing(self, results_dir, tmp_path,
+                                            capsys):
+        slo = tmp_path / "slo.toml"
+        slo.write_text('[slo.x]\nindicator = "no.such.indicator"\n'
+                       'min = 1\n')
+        assert main(["gate", str(results_dir), "--slo", str(slo)]) == 2
+
+    def test_repo_slo_file_passes_on_results(self, results_dir, capsys):
+        import pathlib
+
+        repo_slo = pathlib.Path(__file__).resolve().parents[1] / "slo.toml"
+        assert main(["gate", str(results_dir), "--slo", str(repo_slo)]) == 0
+
+    def test_bad_slo_file(self, results_dir, tmp_path, capsys):
+        slo = tmp_path / "bad.toml"
+        slo.write_text("x = 1\n")
+        assert main(["gate", str(results_dir), "--slo", str(slo)]) == 1
+        assert "cannot load" in capsys.readouterr().err

@@ -273,21 +273,72 @@ def bench_compact_churn_100k():
     return churn_round
 
 
+def bench_compact_churn_100k_telemetry():
+    """The churn round again, with the sampled telemetry attached.
+
+    Mirrors what one scale-churn round pays when a MetricsRegistry is
+    threaded through: the overlay's membership instrumentation, the
+    per-round counters/gauges, and a 256-value histogram sample.
+    Gated against ``compact.churn_100k`` from the *same run* via
+    :data:`OVERHEAD_PAIRS` so machine noise cancels.
+    """
+    import numpy as np
+
+    from repro.obs import MetricsRegistry
+    from repro.perf.compact import CompactOverlay
+    from repro.util.rng import SeedSequenceFactory
+
+    snap = CompactOverlay.random(100_000, seed=2004).snapshot()
+    rng = SeedSequenceFactory(2004).numpy("bench-churn")
+    u64_max = np.iinfo(np.uint64).max
+    key_hi = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    key_lo = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    victims = rng.choice(100_000, size=1_000, replace=False)
+    tel = SeedSequenceFactory(2004).numpy("bench-telemetry")
+    sample_idx = np.sort(tel.choice(2_000, size=256, replace=False))
+
+    def churn_round():
+        metrics = MetricsRegistry()
+        overlay = snap.restore()
+        overlay.instrument(metrics)
+        overlay.fail_positions(victims)
+        positions = overlay.replica_positions(key_hi, key_lo, 3)
+        metrics.counter("scale.churn.rounds").inc()
+        metrics.counter("scale.churn.failed_nodes").inc(len(victims))
+        metrics.gauge("scale.alive_fraction").set(overlay.num_alive / 100_000)
+        metrics.histogram("scale.replica.overlap").observe_many(
+            positions[sample_idx, 0].tolist()
+        )
+        return positions
+
+    return churn_round
+
+
 #: 10^5-node compact-engine benchmarks: the array bootstrap and a full
 #: restore + fail-1% + 2k-replica-query round — the per-trial cost of
 #: the scale-churn experiment, gated in CI via the quick suite.
 SCALE = {
     "pastry.bootstrap_100k": bench_pastry_bootstrap_100k,
     "compact.churn_100k": bench_compact_churn_100k,
+    "compact.churn_100k_telemetry": bench_compact_churn_100k_telemetry,
+}
+
+#: instrumented -> (bare, max ratio): same-run pairs gated on relative
+#: cost, independent of the recorded baseline (noise cancels because
+#: both members run back to back on the same machine state)
+OVERHEAD_PAIRS = {
+    "compact.churn_100k_telemetry": ("compact.churn_100k", 1.05),
 }
 
 
-def run_suite(quick: bool) -> dict[str, dict]:
+def run_suite(quick: bool, only: set[str] | None = None) -> dict[str, dict]:
     suite = (
         {**MICRO, **SNAPSHOT, **SCALE}
         if quick
         else {**MICRO, **SNAPSHOT, **SCALE, **MACRO}
     )
+    if only is not None:
+        suite = {name: fn for name, fn in suite.items() if name in only}
     results: dict[str, dict] = {}
     for name, setup in suite.items():
         fn = setup()
@@ -299,9 +350,27 @@ def run_suite(quick: bool) -> dict[str, dict]:
         }
         print(f"  {name:24s} {median_ns:14,.0f} ns/op "
               f"({results[name]['ops_per_s']:12,.1f} ops/s)")
-    if not quick:
+    if not quick and only is None:
         results.update(wallclock_suite())
     return results
+
+
+def overhead_failures(results: dict[str, dict]) -> list[str]:
+    """Same-run pair gate: instrumented vs bare, per OVERHEAD_PAIRS."""
+    failures: list[str] = []
+    for inst, (bare, max_ratio) in OVERHEAD_PAIRS.items():
+        if inst not in results or bare not in results:
+            continue
+        ratio = results[inst]["median_ns"] / results[bare]["median_ns"]
+        verdict = "ok" if ratio <= max_ratio else "FAIL"
+        print(f"  overhead {inst} / {bare}: x{ratio:.3f} "
+              f"(max x{max_ratio:.2f}) {verdict}")
+        if ratio > max_ratio:
+            failures.append(
+                f"{inst}: x{ratio:.3f} over {bare}, "
+                f"telemetry overhead gate is x{max_ratio:.2f}"
+            )
+    return failures
 
 
 def wallclock_suite() -> dict[str, dict]:
@@ -403,6 +472,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="pin this run as the new baseline")
     parser.add_argument("--check-only", action="store_true",
                         help="compare but leave the record file untouched")
+    parser.add_argument("--overhead-only", action="store_true",
+                        help="run only the OVERHEAD_PAIRS benchmarks and "
+                             "gate the instrumented/bare ratio (no "
+                             "baseline needed, file untouched)")
     parser.add_argument("--label", default="current",
                         help="label stored with this run")
     args = parser.parse_args(argv)
@@ -410,6 +483,39 @@ def main(argv: list[str] | None = None) -> int:
     threshold = args.threshold
     if threshold is None:
         threshold = 2.0 if args.quick else 1.5
+
+    if args.overhead_only:
+        suite = {**MICRO, **SNAPSHOT, **SCALE, **MACRO}
+        print(f"bench_compare: telemetry overhead gate at {git_sha()}")
+        results: dict[str, dict] = {}
+        for inst, (bare, _max) in OVERHEAD_PAIRS.items():
+            pair = {}
+            for name in (bare, inst):
+                fn = suite[name]()
+                fn()  # warm
+                pair[name] = fn
+            # Alternate timing passes and keep each side's best median:
+            # one-off process warmup (page faults, allocator growth)
+            # then biases neither member of the ratio.
+            for _ in range(2):
+                for name, fn in pair.items():
+                    ns = time_op(fn)
+                    cur = results.get(name)
+                    if cur is None or ns < cur["median_ns"]:
+                        results[name] = {
+                            "median_ns": round(ns, 1),
+                            "ops_per_s": round(1e9 / ns, 2),
+                        }
+        for name, res in results.items():
+            print(f"  {name:28s} {res['median_ns']:14,.0f} ns/op")
+        failures = overhead_failures(results)
+        if failures:
+            print("\nTELEMETRY OVERHEAD GATE FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("\ntelemetry overhead gate ok")
+        return 0
 
     print(f"bench_compare: running {'micro' if args.quick else 'full'} suite "
           f"at {git_sha()}")
@@ -438,6 +544,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     speedup, failures = compare(baseline, current, threshold)
+    failures.extend(overhead_failures(results))
     print(f"\nvs baseline '{baseline['label']}' @ {baseline['git_sha']}:")
     for name in sorted(speedup):
         print(f"  {name:24s} x{speedup[name]:.2f} "
