@@ -60,7 +60,9 @@ import sys
 
 from repro.experiments import (
     ComparisonConfig,
+    DurabilityConfig,
     ReplyDurabilityConfig,
+    run_durability,
     run_reply_durability,
     Fig2Config,
     Fig3Config,
@@ -118,6 +120,8 @@ _EXTENSIONS = {
                          "anonymous-email reply survival after churn"),
     "scale-churn": (ScaleChurnConfig, run_scale_churn,
                     "compact-engine replica survival at 10^5 nodes"),
+    "durability": (DurabilityConfig, run_durability,
+                   "k-replication vs (k,n) erasure under chaos"),
 }
 
 
@@ -159,6 +163,10 @@ def _row_summary(name: str, rows: list[dict]) -> dict:
     """Headline numbers recorded in the manifest, per runner."""
     if name == "scale-churn":
         from repro.experiments.scale_churn import summarize_rows
+
+        return summarize_rows(rows)
+    if name == "durability":
+        from repro.experiments.durability import summarize_rows
 
         return summarize_rows(rows)
     return {}
@@ -541,6 +549,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for independent trials "
                              "(negative = all cores); rows are identical "
                              "for any value — compare the printed digests")
+    parser.add_argument("--assert-deterministic", action="store_true",
+                        help="re-run each figure (without telemetry) and "
+                             "exit 3 if the rows digests differ — the CI "
+                             "determinism contract")
     args = parser.parse_args(argv)
 
     metrics = None
@@ -578,6 +590,19 @@ def main(argv: list[str] | None = None) -> int:
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
         print(f"{name} rows digest: {rows_digest(rows)}")
+        if args.assert_deterministic:
+            # The replay runs without telemetry on purpose: rows must
+            # be identical with instrumentation on or off.
+            replay_rows, _ = _run_one(name, args.fast, args.seed,
+                                      workers=args.workers)
+            if rows_digest(replay_rows) != rows_digest(rows):
+                print(
+                    f"DETERMINISM VIOLATION: {name} replay digest "
+                    f"{rows_digest(replay_rows)} != {rows_digest(rows)}",
+                    file=sys.stderr,
+                )
+                return 3
+            print(f"{name} deterministic replay ok")
         from repro.obs.manifest import config_dict
 
         configs[name] = config_dict(config)

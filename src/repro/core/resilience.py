@@ -156,6 +156,67 @@ class ResilientReply:
         return self.value is not None and not self.degraded
 
 
+@dataclass(frozen=True)
+class ShareGatherPolicy:
+    """Degraded-read knobs for k-of-n share gathering.
+
+    Used by :meth:`repro.past.erasure.ErasureStore.fetch`: the reader
+    needs ``k`` healthy shares, probes holders in proximity order, and
+    hedges ``hedge`` extra probes beyond the first ``k`` so a single
+    corrupt or slow share does not force a second gathering round.
+    """
+
+    #: extra holders probed beyond the first k (hedged probes)
+    hedge: int = 1
+    #: consecutive per-holder failures before its breaker opens
+    breaker_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hedge < 0:
+            raise ValueError("hedge must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+class ShareHolderHealth:
+    """Per-share-holder circuit breakers for degraded reads.
+
+    One :class:`CircuitBreaker` per holder node: holders whose breaker
+    is open (they recently served corrupt or missing shares) are
+    probed *last*, so repeated degraded reads converge onto the
+    healthy subset without ever abandoning a holder outright — an
+    open breaker only deprioritises, because in a k-of-n gather a
+    recovered holder may be the difference between decode and loss.
+    """
+
+    def __init__(self, policy: ShareGatherPolicy | None = None):
+        self.policy = policy or ShareGatherPolicy()
+        self.breakers: dict[int, CircuitBreaker] = {}
+
+    def breaker(self, holder: int) -> CircuitBreaker:
+        br = self.breakers.get(holder)
+        if br is None:
+            br = self.breakers[holder] = CircuitBreaker(
+                self.policy.breaker_threshold
+            )
+        return br
+
+    def is_open(self, holder: int) -> bool:
+        br = self.breakers.get(holder)
+        return br is not None and br.state == "open"
+
+    def order(self, holders: list[int]) -> list[int]:
+        """Stable re-ordering: open-breaker holders sink to the end."""
+        return sorted(holders, key=self.is_open)
+
+    def record(self, holder: int, ok: bool) -> None:
+        """Feed one probe outcome back into the holder's breaker."""
+        if ok:
+            self.breaker(holder).record_success()
+        else:
+            self.breaker(holder).record_failure()
+
+
 def anchors_reachable(network, store, hops) -> bool:
     """Object-level tunnel health: every hop anchor is served by the
     node routing currently reaches.

@@ -46,6 +46,8 @@ from repro.experiments.reply_durability import (
     run_reply_durability,
 )
 from repro.experiments.scale_churn import ScaleChurnConfig, run_scale_churn
+from repro.experiments.config import DurabilityConfig
+from repro.experiments.durability import run_durability
 from repro.experiments.runner import (
     metrics_rows,
     render_metrics,
@@ -85,6 +87,8 @@ __all__ = [
     "run_reply_durability",
     "ScaleChurnConfig",
     "run_scale_churn",
+    "DurabilityConfig",
+    "run_durability",
     "metrics_rows",
     "render_metrics",
     "render_table",

@@ -171,6 +171,47 @@ class ScaleChurnConfig(ExperimentConfig):
                    telemetry_route_samples=2)
 
 
+@dataclass(frozen=True)
+class DurabilityConfig(ExperimentConfig):
+    """k-replication vs (k,n) erasure coding under a chaos plan.
+
+    Both arms replay the *same* membership and at-rest fault schedule
+    (same derived seed streams, no backend label) over same-id
+    overlays; the replication arm repairs eagerly on failure, the
+    erasure arm defers to a budget-bounded
+    :class:`repro.past.crawler.RepairCrawler` pass per round.  Rows
+    track per-round fetch availability, byte-clean fetch fraction
+    (replication serves bit-rot silently; erasure rejects it), objects
+    lost, and repair bytes moved.
+    """
+
+    num_nodes: int = 400
+    num_objects: int = 64
+    object_bytes: int = 256
+    #: copies the replication baseline keeps (= total_shares, so both
+    #: arms occupy the same holder sets and the same fault schedule
+    #: hits the same nodes)
+    replication_factor: int = 4
+    data_shares: int = 2
+    total_shares: int = 4
+    lease_term: int = 8
+    renew_before: int = 2
+    #: crawler repair-bandwidth budget per epoch (bytes)
+    crawler_budget_bytes: int = 16_384
+    #: named fault plan (``repro.faults.NAMED_PLANS``); the storage
+    #: plans ("bitrot", "lease-skew") exercise the at-rest faults
+    plan: str = "bitrot"
+    #: round count (None = the plan's ``rounds_hint``)
+    rounds: int | None = None
+    seed: int = 2004
+    num_seeds: int = 2
+
+    @classmethod
+    def fast(cls) -> "DurabilityConfig":
+        return cls(num_nodes=160, num_objects=32, object_bytes=128,
+                   crawler_budget_bytes=8_192, num_seeds=2)
+
+
 def scaled(config, **overrides):
     """Return a copy of any config with fields overridden."""
     return replace(config, **overrides)

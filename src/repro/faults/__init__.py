@@ -30,6 +30,7 @@ from repro.faults.injectors import (
     MessageFaultSpec,
     SimNetFaultInjector,
     SimVerdict,
+    StorageFaultInjector,
     SyncFaultInjector,
 )
 from repro.faults.plan import (
@@ -37,6 +38,7 @@ from repro.faults.plan import (
     FaultPlan,
     NodeFaultEvent,
     PartitionEvent,
+    StorageFaultEvent,
     named_plan,
 )
 
@@ -52,6 +54,8 @@ __all__ = [
     "PartitionEvent",
     "SimNetFaultInjector",
     "SimVerdict",
+    "StorageFaultEvent",
+    "StorageFaultInjector",
     "SyncFaultInjector",
     "availability_report",
     "canonical_json",

@@ -280,3 +280,70 @@ class SimNetFaultInjector(_FaultCounters):
         elif isinstance(payload, bytes) and payload:
             record.payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
         record.meta["fault"] = "corrupt"
+
+
+class StorageFaultInjector(_FaultCounters):
+    """At-rest fault oracle for :class:`StorageFaultEvent` schedules.
+
+    Operates on any :class:`repro.past.interface.ObjectStore`; the
+    victims — (key, holder) pairs for bit-rot, holder nodes for lease
+    skew — are sampled from the store's *current* placement state on a
+    dedicated seeded stream, so a run replays bit-identically while
+    still rotting whatever the churn schedule left in place.  Lease
+    skew is a no-op on backends without a lease clock (plain
+    replication has no ``set_clock_skew``) and is counted as skipped.
+    """
+
+    def __init__(self, seeds: SeedSequenceFactory | None = None,
+                 event_trace=None, metrics=None):
+        super().__init__(event_trace, metrics)
+        seeds = seeds or SeedSequenceFactory(0)
+        self._rng = seeds.pyrandom("storage-faults")
+
+    def _share_pool(self, store) -> list[tuple[int, int]]:
+        """All (key, live holder) pairs, in deterministic order."""
+        return [
+            (key, holder)
+            for key in store.all_keys()
+            for holder in sorted(store.holders(key))
+            if store.network.is_alive(holder)
+        ]
+
+    def inject_bitrot(self, store, count: int) -> int:
+        """Rot ``count`` sampled shares (fewer if the pool is small)."""
+        pool = self._share_pool(store)
+        if not pool or count <= 0:
+            return 0
+        victims = self._rng.sample(pool, min(count, len(pool)))
+        rotted = 0
+        for key, holder in sorted(victims):
+            if store.corrupt_replica(holder, key):
+                rotted += 1
+                self.note("storage.bitrot", node=holder, key=key)
+        return rotted
+
+    def inject_lease_skew(self, store, count: int, epochs: int) -> int:
+        """Skew ``count`` sampled live holders' lease clocks forward."""
+        set_skew = getattr(store, "set_clock_skew", None)
+        if set_skew is None:
+            self.note("storage.skew_unsupported")
+            return 0
+        pool = sorted(
+            {h for key in store.all_keys() for h in store.holders(key)
+             if store.network.is_alive(h)}
+        )
+        if not pool or count <= 0:
+            return 0
+        victims = self._rng.sample(pool, min(count, len(pool)))
+        for holder in sorted(victims):
+            set_skew(holder, epochs)
+            self.note("storage.lease_skew", node=holder, epochs=epochs)
+        return len(victims)
+
+    def apply_event(self, store, event) -> None:
+        """Run one :class:`StorageFaultEvent` against ``store``."""
+        if event.bitrot_shares:
+            self.inject_bitrot(store, event.bitrot_shares)
+        if event.skew_nodes:
+            self.inject_lease_skew(store, event.skew_nodes,
+                                   event.skew_epochs)

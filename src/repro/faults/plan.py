@@ -49,6 +49,34 @@ class NodeFaultEvent:
 
 
 @dataclass(frozen=True)
+class StorageFaultEvent:
+    """At-rest storage faults injected at ``round``.
+
+    ``bitrot_shares`` stored replicas/shares get one bit flipped
+    (victim (key, holder) pairs sampled at run time from whatever the
+    store then holds); ``skew_nodes`` holders get their lease clock
+    skewed *forward* by ``skew_epochs`` epochs, making them expire
+    leases early — the lease-clock-skew fault only the erasure
+    backend's lease machinery reacts to.
+    """
+
+    round: int
+    bitrot_shares: int = 0
+    skew_nodes: int = 0
+    skew_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if self.bitrot_shares < 0 or self.skew_nodes < 0:
+            raise ValueError("fault counts must be >= 0")
+        if self.skew_nodes and self.skew_epochs < 1:
+            raise ValueError("skew_epochs must be >= 1 when skewing")
+        if not self.bitrot_shares and not self.skew_nodes:
+            raise ValueError("a storage event must inject something")
+
+
+@dataclass(frozen=True)
 class PartitionEvent:
     """Isolate a ``fraction`` of nodes at ``round``; heal at
     ``heal_round`` (``None`` = never heals)."""
@@ -75,6 +103,7 @@ class FaultPlan:
     messages: MessageFaultSpec = field(default_factory=MessageFaultSpec)
     node_events: tuple[NodeFaultEvent, ...] = ()
     partitions: tuple[PartitionEvent, ...] = ()
+    storage_events: tuple[StorageFaultEvent, ...] = ()
     byzantine: ByzantineSpec | None = None
     #: natural run length; runners may override
     rounds_hint: int = 30
@@ -134,6 +163,29 @@ NAMED_PLANS: dict[str, FaultPlan] = {
             description="10% of hops misbehave: swallow onions, corrupt "
                         "layers, serve stale THAs",
             byzantine=ByzantineSpec(fraction=0.10),
+        ),
+        FaultPlan(
+            name="bitrot",
+            description="silent at-rest corruption: stored shares rot "
+                        "in waves while a light crash schedule runs",
+            node_events=(NodeFaultEvent(round=6, count=3, recover_after=6),),
+            storage_events=(
+                StorageFaultEvent(round=3, bitrot_shares=8),
+                StorageFaultEvent(round=9, bitrot_shares=8),
+                StorageFaultEvent(round=15, bitrot_shares=8),
+            ),
+            rounds_hint=24,
+        ),
+        FaultPlan(
+            name="lease-skew",
+            description="holders with fast clocks expire leases early; "
+                        "some rot mixed in to keep the crawler honest",
+            storage_events=(
+                StorageFaultEvent(round=2, skew_nodes=4, skew_epochs=3),
+                StorageFaultEvent(round=8, bitrot_shares=4,
+                                  skew_nodes=4, skew_epochs=3),
+            ),
+            rounds_hint=20,
         ),
         FaultPlan(
             name="smoke",

@@ -1,4 +1,4 @@
-"""PAST storage substrate with k-closest replication.
+"""PAST storage substrate: replicated and erasure-coded backends.
 
 Reproduces the storage semantics TAP relies on (Rowstron & Druschel,
 SOSP 2001, and FreePastry's replication manager): an object inserted
@@ -7,10 +7,29 @@ numerically closest to ``key``; the closest is the *root* (TAP's
 "tunnel hop node"), the rest are candidates.  The replica set is
 maintained across joins, leaves and failures, so the object remains
 reachable unless all ``k`` holders fail before repair runs.
+
+Two backends satisfy the :class:`ObjectStore` protocol:
+
+* :class:`ReplicatedStore` — plain k-copy replication (the paper's
+  baseline);
+* :class:`ErasureStore` — k-of-n coded shares with hash-tree
+  integrity, leases, and a background :class:`RepairCrawler`.
 """
 
 from repro.past.storage import Storage, StoredObject, StorageError
 from repro.past.replication import ReplicatedStore, ReplicationError
+from repro.past.interface import (
+    ObjectStore,
+    REPAIR_BANDWIDTH_BPS,
+    iter_store_state,
+    live_holders,
+    repair_latency_s,
+    value_nbytes,
+)
+from repro.past.coding import CodingError, decode, encode, share_length
+from repro.past.hashtree import HashTree, fold_path, leaf_digest, verify_share
+from repro.past.erasure import CodedShare, ErasureStore
+from repro.past.crawler import CrawlReport, RepairCrawler
 
 __all__ = [
     "Storage",
@@ -18,4 +37,22 @@ __all__ = [
     "StorageError",
     "ReplicatedStore",
     "ReplicationError",
+    "ObjectStore",
+    "REPAIR_BANDWIDTH_BPS",
+    "iter_store_state",
+    "live_holders",
+    "repair_latency_s",
+    "value_nbytes",
+    "CodingError",
+    "decode",
+    "encode",
+    "share_length",
+    "HashTree",
+    "fold_path",
+    "leaf_digest",
+    "verify_share",
+    "CodedShare",
+    "ErasureStore",
+    "CrawlReport",
+    "RepairCrawler",
 ]

@@ -1,0 +1,200 @@
+"""Systematic k-of-n erasure coding over GF(2^8).
+
+Pure python/NumPy — no external codec.  The code is the classic
+systematic Vandermonde construction (the same family Tahoe-LAFS's
+``zfec`` implements in C): an ``n x k`` Vandermonde matrix ``V`` over
+GF(256) with distinct evaluation points has every ``k x k`` row
+submatrix invertible, so ``A = V @ inv(V[:k])`` keeps that property
+while making its top ``k`` rows the identity.  Encoding multiplies the
+``k`` data fragments by ``A``; the first ``k`` shares *are* the data
+(systematic), the remaining ``n - k`` are parity.  Any ``k`` of the
+``n`` shares reconstruct the object by inverting the matching rows.
+
+Two properties the storage layer leans on:
+
+* **determinism** — encoding is a pure function of ``(data, k, n)``,
+  so a repaired share is byte-identical to the share it replaces and
+  hash-tree digests survive re-coding;
+* **replication as the degenerate point** — with ``k = 1`` the matrix
+  ``A`` is the all-ones column, so every share is a full copy of the
+  object and the backend behaves exactly like plain n-copy
+  replication ("coding disabled").
+
+Fragment arithmetic is vectorised with NumPy log/antilog tables; the
+matrix work (at most ``n <= 255`` rows) stays in plain python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: GF(2^8) modulus x^8 + x^4 + x^3 + x^2 + 1 (the Reed-Solomon classic)
+_PRIMITIVE = 0x11D
+
+_GF_EXP = np.zeros(512, dtype=np.uint8)
+_GF_LOG = np.zeros(256, dtype=np.int32)
+_x = 1
+for _i in range(255):
+    _GF_EXP[_i] = _x
+    _GF_LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= _PRIMITIVE
+_GF_EXP[255:510] = _GF_EXP[:255]
+
+
+class CodingError(ValueError):
+    """Raised on invalid parameters or undecodable share sets."""
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Scalar product in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_GF_EXP[int(_GF_LOG[a]) + int(_GF_LOG[b])])
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise CodingError("zero has no inverse in GF(256)")
+    return int(_GF_EXP[255 - int(_GF_LOG[a])])
+
+
+def _mul_vec(vec: np.ndarray, c: int) -> np.ndarray:
+    """``c * vec`` elementwise over GF(256) (vec is uint8)."""
+    if c == 0:
+        return np.zeros_like(vec)
+    if c == 1:
+        return vec.copy()
+    out = np.zeros_like(vec)
+    nz = vec != 0
+    out[nz] = _GF_EXP[_GF_LOG[vec[nz]] + int(_GF_LOG[c])]
+    return out
+
+
+def _matmul(matrix: list[list[int]], frags: np.ndarray) -> np.ndarray:
+    """``matrix @ frags`` over GF(256); frags is (k, L) uint8."""
+    rows = len(matrix)
+    out = np.zeros((rows, frags.shape[1]), dtype=np.uint8)
+    for i, row in enumerate(matrix):
+        acc = out[i]
+        for j, coeff in enumerate(row):
+            if coeff:
+                acc ^= _mul_vec(frags[j], coeff)
+        out[i] = acc
+    return out
+
+
+def _invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss-Jordan inversion of a small GF(256) matrix."""
+    k = len(matrix)
+    aug = [list(row) + [1 if i == j else 0 for j in range(k)]
+           for i, row in enumerate(matrix)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if aug[r][col]), None)
+        if pivot is None:
+            raise CodingError("singular decode matrix (duplicate shares?)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(v, inv_p) for v in aug[col]]
+        for r in range(k):
+            if r != col and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [v ^ gf_mul(factor, p)
+                          for v, p in zip(aug[r], aug[col])]
+    return [row[k:] for row in aug]
+
+
+def _check_params(k: int, n: int) -> None:
+    if not 1 <= k <= n <= 255:
+        raise CodingError(f"need 1 <= k <= n <= 255, got k={k}, n={n}")
+
+
+def coding_matrix(k: int, n: int) -> list[list[int]]:
+    """The systematic ``n x k`` encoding matrix (top ``k`` rows = I)."""
+    _check_params(k, n)
+    vander = [[pow_gf(i, j) for j in range(k)] for i in range(n)]
+    inv_top = _invert([row[:] for row in vander[:k]])
+    return [
+        [_dot(vrow, [inv_top[r][c] for r in range(k)])
+         for c in range(k)]
+        for vrow in vander
+    ]
+
+
+def _dot(row: list[int], col: list[int]) -> int:
+    acc = 0
+    for a, b in zip(row, col):
+        acc ^= gf_mul(a, b)
+    return acc
+
+
+def pow_gf(base: int, exp: int) -> int:
+    """``base ** exp`` in GF(256) (0^0 == 1 by convention)."""
+    if exp == 0:
+        return 1
+    if base == 0:
+        return 0
+    return int(_GF_EXP[(int(_GF_LOG[base]) * exp) % 255])
+
+
+#: matrices are tiny and reused per (k, n); memoise them
+_MATRIX_CACHE: dict[tuple[int, int], list[list[int]]] = {}
+
+
+def _matrix(k: int, n: int) -> list[list[int]]:
+    mat = _MATRIX_CACHE.get((k, n))
+    if mat is None:
+        mat = _MATRIX_CACHE[(k, n)] = coding_matrix(k, n)
+    return mat
+
+
+def share_length(data_len: int, k: int) -> int:
+    """Bytes per share for a ``data_len``-byte object split ``k`` ways."""
+    return (data_len + k - 1) // k if data_len else 0
+
+
+def encode(data: bytes, k: int, n: int) -> list[bytes]:
+    """Split ``data`` into ``n`` shares, any ``k`` of which decode it.
+
+    Shares are equal length (``ceil(len(data) / k)``); the original
+    length must be carried alongside (the share metadata does) to
+    strip the zero padding on decode.
+    """
+    _check_params(k, n)
+    frag_len = share_length(len(data), k)
+    if frag_len == 0:
+        return [b""] * n
+    buf = np.zeros(k * frag_len, dtype=np.uint8)
+    buf[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+    frags = buf.reshape(k, frag_len)
+    coded = _matmul(_matrix(k, n), frags)
+    return [coded[i].tobytes() for i in range(n)]
+
+
+def decode(shares: dict[int, bytes], k: int, n: int, length: int) -> bytes:
+    """Reconstruct the object from any ``k`` (index -> bytes) shares."""
+    _check_params(k, n)
+    if length == 0:
+        return b""
+    good = sorted(idx for idx in shares if 0 <= idx < n)
+    if len(good) < k:
+        raise CodingError(
+            f"need {k} shares to decode, have {len(good)} of {n}"
+        )
+    picked = good[:k]
+    frag_len = share_length(length, k)
+    rows = []
+    stack = np.zeros((k, frag_len), dtype=np.uint8)
+    matrix = _matrix(k, n)
+    for slot, idx in enumerate(picked):
+        blob = shares[idx]
+        if len(blob) != frag_len:
+            raise CodingError(
+                f"share {idx} has {len(blob)} bytes, expected {frag_len}"
+            )
+        rows.append(matrix[idx])
+        stack[slot] = np.frombuffer(blob, dtype=np.uint8)
+    frags = _matmul(_invert(rows), stack)
+    return frags.reshape(-1).tobytes()[:length]

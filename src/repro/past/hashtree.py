@@ -1,0 +1,89 @@
+"""Merkle hash trees for at-rest share integrity.
+
+Every erasure-coded object gets one tree over its ``n`` share payloads
+(Tahoe-LAFS keeps the same structure in ``hashtree.py``).  Each stored
+share carries the tree's *root* plus its own *authentication path*, so
+a holder — or the repair crawler — can prove a share byte-exact
+against the object's identity without seeing any sibling share:
+recompute the leaf digest from the share bytes, fold the path up, and
+compare roots.  A flipped bit anywhere in the share changes the leaf
+digest and breaks the fold, which is how at-rest bit-rot is detected
+deterministically.
+
+Leaf and interior digests are domain-separated (``leaf`` / ``node``)
+so a crafted leaf can never be replayed as an interior node.  Odd
+nodes are promoted unchanged to the next level (no duplication), which
+keeps the tree a pure function of the leaf list.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256_bytes
+
+#: one path element: (sibling digest, sibling-is-right-of-me)
+PathElement = tuple[bytes, bool]
+
+
+def leaf_digest(data: bytes) -> bytes:
+    """Digest of one share payload (domain-separated leaf hash)."""
+    return sha256_bytes(b"tap-hashtree-leaf", data)
+
+
+def _node(left: bytes, right: bytes) -> bytes:
+    return sha256_bytes(b"tap-hashtree-node", left, right)
+
+
+class HashTree:
+    """Merkle tree over a fixed list of leaf payload digests."""
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            raise ValueError("a hash tree needs at least one leaf")
+        self.leaves = list(leaves)
+        #: levels[0] is the leaf level; levels[-1] is [root]
+        self.levels: list[list[bytes]] = [list(leaves)]
+        while len(self.levels[-1]) > 1:
+            prev = self.levels[-1]
+            nxt = [
+                _node(prev[i], prev[i + 1])
+                for i in range(0, len(prev) - 1, 2)
+            ]
+            if len(prev) % 2:
+                nxt.append(prev[-1])  # odd node promoted unchanged
+            self.levels.append(nxt)
+
+    @classmethod
+    def from_shares(cls, shares: list[bytes]) -> "HashTree":
+        """Build the object tree from the ``n`` share payloads."""
+        return cls([leaf_digest(s) for s in shares])
+
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    def path(self, index: int) -> tuple[PathElement, ...]:
+        """The authentication path of leaf ``index`` up to the root."""
+        if not 0 <= index < len(self.leaves):
+            raise IndexError(f"leaf {index} out of range")
+        out: list[PathElement] = []
+        pos = index
+        for level in self.levels[:-1]:
+            sibling = pos ^ 1
+            if sibling < len(level):
+                out.append((level[sibling], sibling > pos))
+            # odd promoted node has no sibling at this level
+            pos //= 2
+        return tuple(out)
+
+
+def fold_path(leaf: bytes, path: tuple[PathElement, ...]) -> bytes:
+    """Fold a leaf digest up an authentication path to a root digest."""
+    acc = leaf
+    for sibling, sibling_is_right in path:
+        acc = _node(acc, sibling) if sibling_is_right else _node(sibling, acc)
+    return acc
+
+
+def verify_share(data: bytes, path: tuple[PathElement, ...], root: bytes) -> bool:
+    """True iff ``data`` is byte-exact for the tree behind ``root``."""
+    return fold_path(leaf_digest(data), path) == root

@@ -18,6 +18,7 @@ from bisect import bisect_left, insort
 from contextlib import nullcontext
 from typing import Any, Callable, Iterable
 
+from repro.past.interface import repair_latency_s, value_nbytes
 from repro.past.storage import Storage, StorageError, StoredObject
 from repro.pastry.network import PastryNetwork
 from repro.util.ids import ID_SPACE, ring_distance
@@ -91,6 +92,20 @@ class ReplicatedStore:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def _charge_repair(self, objects: int, nbytes: int) -> None:
+        """Account one repair action: replicas moved, bytes shipped,
+        and the virtual transfer latency at the nominal link bandwidth
+        (:data:`repro.past.interface.REPAIR_BANDWIDTH_BPS`) — the same
+        indicator scheme the erasure backend reports, so the two
+        repair-bandwidth profiles compare directly."""
+        if self.metrics is None or not objects:
+            return
+        self.metrics.counter("past.repair.objects_moved").inc(objects)
+        self.metrics.counter("past.repair.bytes_moved").inc(nbytes)
+        self.metrics.histogram("past.repair.latency_s").observe(
+            repair_latency_s(nbytes)
+        )
+
     def storage_of(self, node_id: int) -> Storage:
         store = self.storages.get(node_id)
         if store is None:
@@ -246,10 +261,13 @@ class ReplicatedStore:
                 source = self.storage_of(
                     min(live, key=lambda h: (ring_distance(h, key), h))
                 ).lookup(key)
+                moved = 0
                 for target in self.replica_set(key):
                     if target not in holders:
                         self._place(target, source)
-                        copied += 1
+                        moved += 1
+                copied += moved
+                self._charge_repair(moved, moved * value_nbytes(source.value))
             if span is not None:
                 span.set(replicas_copied=copied, objects_lost=lost)
         # The dead node keeps its (now unreachable) local copies; if it
@@ -333,6 +351,7 @@ class ReplicatedStore:
                 min(live, key=lambda h: (ring_distance(h, key), h))
             ).lookup(key)
             self._place(node_id, source)
+            self._charge_repair(1, value_nbytes(source.value))
             for stale in holders - intended:
                 if self.network.is_alive(stale):
                     self._unplace(stale, key)
@@ -367,8 +386,32 @@ class ReplicatedStore:
         ]
 
     # ------------------------------------------------------------------
-    # diagnostics
+    # fault hooks / diagnostics
     # ------------------------------------------------------------------
+    def corrupt_replica(self, node_id: int, key: int) -> bool:
+        """Flip one bit of ``node_id``'s replica (the bit-rot fault).
+
+        Replication has no at-rest integrity check, so a corrupted
+        replica is *served as-is* by :meth:`fetch` — the silent-rot
+        failure mode the durability experiment contrasts with the
+        erasure backend's hash-tree rejection.
+        """
+        storage = self.storages.get(node_id)
+        if storage is None or not storage.contains(key):
+            return False
+        obj = storage.lookup(key)
+        if not isinstance(obj.value, (bytes, bytearray)) or not obj.value:
+            return False
+        value = bytes(obj.value)
+        rotten = bytes([value[0] ^ 0x01]) + value[1:]
+        storage.insert(
+            StoredObject(key, rotten, obj.delete_proof_hash, obj.meta),
+            overwrite=True,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("past.faults.bitrot").inc()
+        return True
+
     def verify_invariants(self) -> list[str]:
         """Return human-readable invariant violations (empty == healthy)."""
         problems: list[str] = []

@@ -7,6 +7,7 @@ inserter registered (TAP's ``H(PW)`` mechanism, §3.4).
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -32,11 +33,26 @@ class StoredObject:
     meta: dict = field(default_factory=dict, compare=False)
 
     def may_delete(self, proof: bytes | None) -> bool:
-        if self.delete_proof_hash is None:
+        """Deletion guard check: constant-time and fail-closed.
+
+        Any malformed input — missing guard, empty or mistyped proof,
+        a bit-rotted ``delete_proof_hash`` that is no longer a byte
+        string — denies deletion rather than raising: a corrupted
+        replica must never turn the §3.4 delete protocol into a crash
+        or, worse, an accept.  The digest comparison itself is
+        constant-time so holders leak no prefix-match timing signal
+        about ``H(PW)``.
+        """
+        expected = self.delete_proof_hash
+        if not isinstance(expected, (bytes, bytearray)) or not expected:
             return False
-        if proof is None:
+        if not isinstance(proof, (bytes, bytearray)) or not proof:
             return False
-        return hash_password(proof) == self.delete_proof_hash
+        try:
+            presented = hash_password(bytes(proof))
+        except (TypeError, ValueError):
+            return False
+        return hmac.compare_digest(bytes(presented), bytes(expected))
 
 
 class Storage:

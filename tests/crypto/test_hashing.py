@@ -93,6 +93,15 @@ class TestPasswords:
         """Only H(PW) is stored so holders cannot learn PW (§3.4)."""
         assert hash_password(b"secret") != b"secret"
 
+    def test_verify_fails_closed_on_malformed_stored_hash(self):
+        """A bit-rotted or mistyped stored hash denies, never raises."""
+        assert not verify_password(b"pw", None)  # type: ignore[arg-type]
+        assert not verify_password(b"pw", "text")  # type: ignore[arg-type]
+        assert not verify_password(b"pw", hash_password(b"pw")[:-3])
+
+    def test_verify_accepts_bytearray_hash(self):
+        assert verify_password(b"pw", bytearray(hash_password(b"pw")))
+
 
 class TestRandomMaterial:
     def test_key_length(self):

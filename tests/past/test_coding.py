@@ -1,0 +1,126 @@
+"""Tests for the GF(2^8) systematic k-of-n erasure code."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.past.coding import (
+    CodingError,
+    coding_matrix,
+    decode,
+    encode,
+    gf_inv,
+    gf_mul,
+    pow_gf,
+    share_length,
+)
+
+
+def _payload(nbytes: int, seed: int = 7) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(nbytes))
+
+
+class TestFieldArithmetic:
+    def test_mul_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(CodingError):
+            gf_inv(0)
+
+    def test_pow_conventions(self):
+        assert pow_gf(0, 0) == 1
+        assert pow_gf(0, 5) == 0
+        assert pow_gf(3, 1) == 3
+
+
+class TestMatrix:
+    def test_systematic_top_rows_are_identity(self):
+        mat = coding_matrix(3, 7)
+        for i in range(3):
+            assert mat[i] == [1 if j == i else 0 for j in range(3)]
+
+    def test_invalid_params_rejected(self):
+        for k, n in [(0, 3), (4, 3), (1, 256), (-1, 2)]:
+            with pytest.raises(CodingError):
+                coding_matrix(k, n)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("k,n", [(1, 1), (1, 4), (2, 3), (2, 4),
+                                     (3, 5), (4, 7), (5, 5)])
+    def test_every_k_subset_decodes(self, k, n):
+        data = _payload(53, seed=k * 100 + n)
+        shares = encode(data, k, n)
+        assert len(shares) == n
+        assert all(len(s) == share_length(len(data), k) for s in shares)
+        for subset in itertools.combinations(range(n), k):
+            picked = {i: shares[i] for i in subset}
+            assert decode(picked, k, n, len(data)) == data
+
+    def test_systematic_prefix_is_the_data(self):
+        data = _payload(60)
+        shares = encode(data, 3, 5)
+        assert b"".join(shares[:3]) == data
+
+    def test_k1_shares_are_full_copies(self):
+        """k=1 is the replication degenerate point."""
+        data = _payload(31)
+        for share in encode(data, 1, 4):
+            assert share == data
+
+    def test_extra_shares_are_ignored(self):
+        data = _payload(20)
+        shares = encode(data, 2, 4)
+        assert decode(dict(enumerate(shares)), 2, 4, len(data)) == data
+
+    def test_unpadded_length_restored(self):
+        for nbytes in (1, 2, 3, 7, 8, 9):
+            data = _payload(nbytes, seed=nbytes)
+            shares = encode(data, 3, 4)
+            assert decode({0: shares[0], 2: shares[2], 3: shares[3]},
+                          3, 4, nbytes) == data
+
+    def test_empty_object(self):
+        shares = encode(b"", 2, 4)
+        assert shares == [b""] * 4
+        assert decode({}, 2, 4, 0) == b""
+
+    def test_deterministic(self):
+        data = _payload(40)
+        assert encode(data, 2, 4) == encode(data, 2, 4)
+
+
+class TestDecodeErrors:
+    def test_too_few_shares(self):
+        shares = encode(_payload(16), 3, 5)
+        with pytest.raises(CodingError):
+            decode({0: shares[0], 1: shares[1]}, 3, 5, 16)
+
+    def test_out_of_range_indices_do_not_count(self):
+        shares = encode(_payload(16), 2, 4)
+        with pytest.raises(CodingError):
+            decode({0: shares[0], 9: shares[0]}, 2, 4, 16)
+
+    def test_wrong_share_length(self):
+        shares = encode(_payload(16), 2, 4)
+        with pytest.raises(CodingError):
+            decode({0: shares[0][:-1], 1: shares[1]}, 2, 4, 16)
+
+
+class TestShareLength:
+    def test_ceiling_division(self):
+        assert share_length(10, 3) == 4
+        assert share_length(9, 3) == 3
+        assert share_length(1, 4) == 1
+
+    def test_empty(self):
+        assert share_length(0, 3) == 0

@@ -1,0 +1,83 @@
+"""Tests for the per-object Merkle hash tree over coded shares."""
+
+import pytest
+
+from repro.past.hashtree import (
+    HashTree,
+    fold_path,
+    leaf_digest,
+    verify_share,
+)
+
+
+def _shares(count: int) -> list[bytes]:
+    return [bytes([i]) * (i + 3) for i in range(count)]
+
+
+class TestRootAndPaths:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 7, 8, 9])
+    def test_every_share_verifies(self, count):
+        shares = _shares(count)
+        tree = HashTree.from_shares(shares)
+        for i, data in enumerate(shares):
+            path = tree.path(i)
+            assert verify_share(data, path, tree.root)
+            assert fold_path(leaf_digest(data), path) == tree.root
+
+    def test_root_is_deterministic(self):
+        shares = _shares(4)
+        assert HashTree.from_shares(shares).root == \
+            HashTree.from_shares(shares).root
+
+    def test_root_depends_on_every_share(self):
+        shares = _shares(4)
+        root = HashTree.from_shares(shares).root
+        for i in range(4):
+            mutated = list(shares)
+            mutated[i] = b"\xff" + mutated[i][1:]
+            assert HashTree.from_shares(mutated).root != root
+
+    def test_root_depends_on_order(self):
+        shares = _shares(4)
+        swapped = [shares[1], shares[0]] + shares[2:]
+        assert HashTree.from_shares(swapped).root != \
+            HashTree.from_shares(shares).root
+
+
+class TestVerifyNegative:
+    def test_tampered_data_fails(self):
+        shares = _shares(5)
+        tree = HashTree.from_shares(shares)
+        rotten = bytes([shares[2][0] ^ 0x01]) + shares[2][1:]
+        assert not verify_share(rotten, tree.path(2), tree.root)
+
+    def test_wrong_root_fails(self):
+        shares = _shares(4)
+        tree = HashTree.from_shares(shares)
+        other = HashTree.from_shares(_shares(5))
+        assert not verify_share(shares[0], tree.path(0), other.root)
+
+    def test_path_from_sibling_fails(self):
+        shares = _shares(4)
+        tree = HashTree.from_shares(shares)
+        assert not verify_share(shares[0], tree.path(1), tree.root)
+
+    def test_tampered_path_fails(self):
+        shares = _shares(6)
+        tree = HashTree.from_shares(shares)
+        digest, is_right = tree.path(3)[0]
+        bad = ((bytes([digest[0] ^ 0x01]) + digest[1:], is_right),) + \
+            tuple(tree.path(3)[1:])
+        assert not verify_share(shares[3], bad, tree.root)
+
+
+class TestDomainSeparation:
+    def test_leaf_digest_is_not_plain_data(self):
+        """A leaf digest must not collide with an interior node built
+        from the same bytes (second-preimage resistance of the tree)."""
+        data = b"payload"
+        assert leaf_digest(data) != data
+        # a single-leaf tree's root is the leaf digest, not raw sha256
+        tree = HashTree.from_shares([data])
+        assert tree.root == leaf_digest(data)
+        assert tree.path(0) == ()

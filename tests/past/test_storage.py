@@ -84,6 +84,47 @@ class TestDeleteGuard:
         storage.drop(5)
 
 
+class TestMayDeleteFailsClosed:
+    """A corrupted replica must never turn the §3.4 delete check into
+    a crash (or an accept): every malformed guard/proof denies."""
+
+    def test_bitrotted_proof_hash_denies(self, storage):
+        h = hash_password(b"pw")
+        rotted = bytes([h[0] ^ 0x01]) + h[1:]
+        storage.insert(StoredObject(1, b"v", rotted))
+        assert not storage.delete(1, b"pw")
+        assert storage.contains(1)
+
+    def test_truncated_proof_hash_denies(self, storage):
+        storage.insert(StoredObject(1, b"v", hash_password(b"pw")[:-5]))
+        assert not storage.delete(1, b"pw")
+
+    def test_empty_proof_hash_denies(self, storage):
+        storage.insert(StoredObject(1, b"v", b""))
+        assert not storage.delete(1, b"pw")
+
+    def test_non_bytes_proof_hash_denies(self, storage):
+        for garbage in ("stringified", 12345, ["list"]):
+            obj = StoredObject(1, b"v", garbage)  # type: ignore[arg-type]
+            assert not obj.may_delete(b"pw")
+
+    def test_empty_proof_denies_without_raising(self, storage):
+        """hash_password rejects empty passwords with ValueError; the
+        guard must swallow that, not propagate it."""
+        storage.insert(StoredObject(1, b"v", hash_password(b"pw")))
+        assert not storage.delete(1, b"")
+
+    def test_non_bytes_proof_denies(self, storage):
+        storage.insert(StoredObject(1, b"v", hash_password(b"pw")))
+        obj = storage.lookup(1)
+        assert not obj.may_delete("pw")  # type: ignore[arg-type]
+        assert not obj.may_delete(42)  # type: ignore[arg-type]
+
+    def test_bytearray_proof_accepted(self, storage):
+        storage.insert(StoredObject(1, b"v", hash_password(b"pw")))
+        assert storage.delete(1, bytearray(b"pw"))
+
+
 class TestStoredObject:
     def test_pw_hash_validation(self):
         obj = StoredObject(1, b"v", hash_password(b"x"))

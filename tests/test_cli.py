@@ -12,9 +12,8 @@ class TestRegistry:
         assert set(_FIGURES) == {"fig2", "fig3", "fig4a", "fig4b", "fig5", "fig6"}
 
     def test_extensions_registered(self):
-        assert {"tradeoff", "hints", "scatter", "timing", "secure-routing"} <= set(
-            _EXTENSIONS
-        )
+        assert {"tradeoff", "hints", "scatter", "timing", "secure-routing",
+                "durability"} <= set(_EXTENSIONS)
 
     def test_all_runners_have_fast_configs(self):
         for name, (config_cls, runner, desc) in _ALL_RUNNERS.items():
