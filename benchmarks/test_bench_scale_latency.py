@@ -1,0 +1,62 @@
+"""Scale bench: fig6-class latency on the batched packet plane.
+
+Regenerates the scale-latency rows — direct vs tunnel transfer latency
+on a churned compact overlay, every arm routed as one
+``route_many``/``route_tunnels`` batch — and asserts the fig6 trend at
+scale: tunnels pay latency proportional to their hop stretch (trend
+ratio ≈ 1 under i.i.d. links), longer tunnels cost more, and the
+scalar cross-check agrees on every verified route.
+
+``TAP_BENCH_SCALE=paper`` runs the full N=100,000 configuration; the
+default CI-sized run uses ``ScaleLatencyConfig.fast()`` (N=2,000).
+"""
+
+from repro.experiments import (
+    ScaleLatencyConfig,
+    render_table,
+    rows_to_csv,
+    run_scale_latency,
+)
+
+from conftest import paper_scale
+
+
+def test_bench_scale_latency(benchmark, emit):
+    config = ScaleLatencyConfig() if paper_scale() else ScaleLatencyConfig.fast()
+    rows = benchmark.pedantic(
+        run_scale_latency, args=(config,), rounds=1, iterations=1
+    )
+
+    arms = [r for r in rows if r["figure"] == "scale-latency"]
+    emit(
+        "scale_latency",
+        render_table(
+            arms,
+            columns=["rep", "arm", "completion", "mean_hops",
+                     "p50_s", "mean_s", "hop_stretch", "trend_ratio"],
+            title="Scale latency — direct vs tunnel on the packet plane "
+                  f"(N={config.num_nodes}, transfers={config.num_transfers}, "
+                  f"l={config.tunnel_lengths})",
+        ),
+        rows_to_csv(rows),
+    )
+
+    # Scalar cross-check: the batched router must agree packet for
+    # packet with CompactOverlay.route on every verified transfer.
+    for row in rows:
+        if row["figure"] == "scale-latency-verify":
+            assert row["agree"] == row["routes"]
+
+    # The fig6 trend at scale: tunnels stretch hops by ~#legs, latency
+    # follows hops (trend ratio near 1), longer tunnels cost more.
+    assert all(r["completion"] == 1.0 for r in arms)
+    for rep in {r["rep"] for r in arms}:
+        by_arm = {r["arm"]: r for r in arms if r["rep"] == rep}
+        direct = by_arm["direct"]
+        prev_mean = direct["mean_s"]
+        for length in config.tunnel_lengths:
+            tun = by_arm[f"tunnel-l{length}"]
+            assert tun["mean_hops"] > direct["mean_hops"]
+            assert tun["mean_s"] > prev_mean
+            prev_mean = tun["mean_s"]
+            assert 0.8 < tun["trend_ratio"] < 1.2

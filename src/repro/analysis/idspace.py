@@ -354,6 +354,125 @@ def ring_distance_words(ahi, alo, bhi, blo):
     return np.where(neg_smaller, nhi, dhi), np.where(neg_smaller, nlo, dlo)
 
 
+#: masks[s] keeps the low ``s`` bits of a uint64 word (s in [0, 64]);
+#: indexing by a shift array sidesteps numpy's undefined behaviour for
+#: per-element shifts of 64.
+_LOW_MASKS = np.array(
+    [(1 << s) - 1 for s in range(64)] + [_WORD_MASK], dtype=np.uint64
+)
+
+
+def clz64(values: np.ndarray) -> np.ndarray:
+    """Elementwise count-leading-zeros of uint64 words (clz(0) == 64).
+
+    Bit-smear to the right then popcount — exact for the full 64-bit
+    range (a float log2 would lose the low bits past 2**53).
+    """
+    x = np.asarray(values, dtype=np.uint64).copy()
+    for s in (1, 2, 4, 8, 16, 32):
+        x |= x >> np.uint64(s)
+    return (64 - np.bitwise_count(x)).astype(np.int64)
+
+
+def shared_prefix_bits_words(ahi, alo, bhi, blo) -> np.ndarray:
+    """Elementwise length (in bits) of the common 128-bit prefix.
+
+    ``shared_prefix_digits(a, b, b_bits)`` is this divided by
+    ``b_bits`` (floor) — the vectorised twin of
+    :func:`repro.util.ids.shared_prefix_digits`, used by the batched
+    packet plane to pick routing rows for whole packet fronts at once.
+    """
+    xhi = np.asarray(ahi, dtype=np.uint64) ^ np.asarray(bhi, dtype=np.uint64)
+    xlo = np.asarray(alo, dtype=np.uint64) ^ np.asarray(blo, dtype=np.uint64)
+    return np.where(xhi != 0, clz64(xhi), 64 + clz64(xlo))
+
+
+def shift_right_words(hi, lo, shift) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise logical right shift of 128-bit (hi, lo) pairs.
+
+    ``shift`` may be a scalar or a per-element array in [0, 128];
+    shifts of >= 128 yield zero.  Per-element shift amounts of exactly
+    0 or 64 are handled explicitly (numpy's word shifts are undefined
+    at the word width).
+    """
+    hi = np.asarray(hi, dtype=np.uint64)
+    lo = np.asarray(lo, dtype=np.uint64)
+    s = np.asarray(shift, dtype=np.int64)
+    hi, lo, s = np.broadcast_arrays(hi, lo, s)
+    big = s >= 64
+    s1 = np.where(big, s - 64, s)
+    s1 = np.clip(s1, 0, 64)
+    su = np.where(s1 >= 64, 0, s1).astype(np.uint64)
+    shifted_hi = np.where(s1 >= 64, 0, hi >> su)
+    # carry the low bits of hi into lo: hi << (64 - s1), guarded for
+    # s1 == 0 (shift by 64 is undefined on uint64 words)
+    carry_amt = np.where(s1 == 0, 1, 64 - s1).astype(np.uint64)
+    carry = np.where(s1 == 0, 0, hi << carry_amt)
+    small_lo = (lo >> su) | carry
+    out_hi = np.where(big, 0, shifted_hi).astype(np.uint64)
+    out_lo = np.where(big, shifted_hi, small_lo).astype(np.uint64)
+    return out_hi, out_lo
+
+
+def clear_low_words(hi, lo, nbits) -> tuple[np.ndarray, np.ndarray]:
+    """Zero the low ``nbits`` bits of 128-bit (hi, lo) pairs.
+
+    The prefix-bucket lower bound of the packet plane: an id masked to
+    its first ``128 - nbits`` bits is the smallest id in that bucket.
+    ``nbits`` may be scalar or per-element, in [0, 128].
+    """
+    hi = np.asarray(hi, dtype=np.uint64)
+    lo = np.asarray(lo, dtype=np.uint64)
+    n = np.asarray(nbits, dtype=np.int64)
+    hi, lo, n = np.broadcast_arrays(hi, lo, n)
+    lo_bits = np.clip(n, 0, 64)
+    hi_bits = np.clip(n - 64, 0, 64)
+    return hi & ~_LOW_MASKS[hi_bits], lo & ~_LOW_MASKS[lo_bits]
+
+
+def digit_words(hi, lo, row, b_bits: int) -> np.ndarray:
+    """Elementwise ``row``-th base-``2**b_bits`` digit of 128-bit ids.
+
+    Row 0 is the most significant digit — the vectorised twin of
+    :func:`repro.util.ids.id_digit`.  ``row`` may be scalar or a
+    per-element array.
+    """
+    row = np.asarray(row, dtype=np.int64)
+    shift = 128 - b_bits * (row + 1)
+    _, low = shift_right_words(hi, lo, shift)
+    return (low & np.uint64((1 << b_bits) - 1)).astype(np.int64)
+
+
+def add_pow2_words(hi, lo, nbits) -> tuple[np.ndarray, np.ndarray]:
+    """Elementwise (value + 2**nbits) mod 2**128 on (hi, lo) pairs.
+
+    The exclusive upper bound of a prefix bucket/run: lower bound plus
+    the bucket width.  ``nbits`` in [0, 128]; 128 adds a full wrap
+    (identity).
+    """
+    hi = np.asarray(hi, dtype=np.uint64)
+    lo = np.asarray(lo, dtype=np.uint64)
+    n = np.asarray(nbits, dtype=np.int64)
+    hi, lo, n = np.broadcast_arrays(hi, lo, n)
+    lo_add = np.where(n < 64, np.uint64(1) << n.clip(0, 63).astype(np.uint64), 0)
+    hi_add = np.where(
+        (n >= 64) & (n < 128),
+        np.uint64(1) << (n - 64).clip(0, 63).astype(np.uint64),
+        0,
+    )
+    new_lo = lo + lo_add
+    carry = (new_lo < lo).astype(np.uint64)
+    return (hi + hi_add + carry).astype(np.uint64), new_lo.astype(np.uint64)
+
+
+def less_words(ahi, alo, bhi, blo) -> np.ndarray:
+    """Elementwise a < b on 128-bit (hi, lo) pairs."""
+    ahi = np.asarray(ahi, dtype=np.uint64)
+    bhi = np.asarray(bhi, dtype=np.uint64)
+    return (ahi < bhi) | ((ahi == bhi) & (np.asarray(alo, dtype=np.uint64)
+                                          < np.asarray(blo, dtype=np.uint64)))
+
+
 def replica_table_words(
     sorted_hi: np.ndarray,
     sorted_lo: np.ndarray,

@@ -87,11 +87,13 @@ from repro.experiments import (
     run_hint_staleness,
     run_scatter,
     run_scale_churn,
+    run_scale_latency,
     run_secure_routing,
     run_session_survival,
     run_timing_attack,
     run_tradeoff,
     ScaleChurnConfig,
+    ScaleLatencyConfig,
 )
 
 _FIGURES = {
@@ -120,6 +122,8 @@ _EXTENSIONS = {
                          "anonymous-email reply survival after churn"),
     "scale-churn": (ScaleChurnConfig, run_scale_churn,
                     "compact-engine replica survival at 10^5 nodes"),
+    "scale-latency": (ScaleLatencyConfig, run_scale_latency,
+                      "batched direct-vs-tunnel latency at 10^5 nodes"),
     "durability": (DurabilityConfig, run_durability,
                    "k-replication vs (k,n) erasure under chaos"),
 }
@@ -163,6 +167,10 @@ def _row_summary(name: str, rows: list[dict]) -> dict:
     """Headline numbers recorded in the manifest, per runner."""
     if name == "scale-churn":
         from repro.experiments.scale_churn import summarize_rows
+
+        return summarize_rows(rows)
+    if name == "scale-latency":
+        from repro.experiments.scale_latency import summarize_rows
 
         return summarize_rows(rows)
     if name == "durability":

@@ -172,6 +172,44 @@ class ScaleChurnConfig(ExperimentConfig):
 
 
 @dataclass(frozen=True)
+class ScaleLatencyConfig(ExperimentConfig):
+    """Fig6-class direct-vs-tunnel latency at 10^5 nodes (batched plane).
+
+    Runs entirely on the vectorised packet plane
+    (:mod:`repro.perf.packet`): after ``churn_rounds`` of fail/join
+    churn, every trial routes ``num_transfers`` direct transfers and
+    the same number of TAP tunnels per ``tunnel_lengths`` arm as
+    whole batches, then folds per-hop U[``min_latency_s``,
+    ``max_latency_s``] link draws into per-packet latency sums on the
+    trial's seed stream — the paper's figure 6 latency model at a
+    network size the scalar router cannot sweep.  ``verify_routes``
+    packets per trial are re-routed through the scalar
+    ``CompactOverlay.route`` and must agree hop-for-hop.
+    """
+
+    num_nodes: int = 100_000
+    num_transfers: int = 2_000
+    tunnel_lengths: tuple[int, ...] = (3, 5)
+    churn_rounds: int = 2
+    fail_fraction: float = 0.01
+    join_fraction: float = 0.005
+    min_latency_s: float = 0.010
+    max_latency_s: float = 0.230
+    #: per-trial batch-vs-scalar hop-for-hop cross-checks
+    verify_routes: int = 4
+    #: telemetry sampling budget (drawn on a dedicated stream, so rows
+    #: are identical with telemetry on or off)
+    telemetry_latency_samples: int = 256
+    seed: int = 2004
+    num_seeds: int = 2
+
+    @classmethod
+    def fast(cls) -> "ScaleLatencyConfig":
+        return cls(num_nodes=2_000, num_transfers=200, verify_routes=2,
+                   telemetry_latency_samples=64)
+
+
+@dataclass(frozen=True)
 class DurabilityConfig(ExperimentConfig):
     """k-replication vs (k,n) erasure coding under a chaos plan.
 

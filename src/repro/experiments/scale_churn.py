@@ -19,10 +19,13 @@ Per trial (one per ``rep``):
    ``join_fraction * num_nodes`` fresh joiners, then measure the
    fraction of anchors with a surviving original replica and the mean
    overlap between current and original replica sets;
-4. finally, spot-check ``spot_check_routes`` packet-level routes: the
+4. sweep *every* anchor key through the vectorised packet plane
+   (:meth:`CompactOverlay.route_many`) — completion, root-hit fraction
+   and mean hops over the full batch, not a sample;
+5. finally, spot-check ``spot_check_routes`` packet-level routes: the
    materialisation bridge restores an object-engine network from the
    churned compact state and every route must agree hop-for-hop with
-   the compact router and terminate at the true root.
+   the batched router and terminate at the true root.
 
 Telemetry (opt-in, sampled): pass a
 :class:`~repro.obs.MetricsRegistry` / :class:`~repro.obs.EventTrace`
@@ -179,35 +182,57 @@ def _churn_trial(
 
     if metrics is not None and config.telemetry_route_samples:
         # Seeded-sample route-hop histogram on the churned overlay:
-        # source and key are fresh telemetry-stream draws, the source
-        # being the alive node owning a second random id — a pure
-        # read of the compact state.
-        hops_hist = metrics.histogram("scale.route.hops")
-        for _ in range(config.telemetry_route_samples):
-            key = (int(tel_rng.integers(0, _U64_MAX, dtype=np.uint64)) << 64) | int(
-                tel_rng.integers(0, _U64_MAX, dtype=np.uint64)
-            )
-            src_probe = (int(tel_rng.integers(0, _U64_MAX, dtype=np.uint64)) << 64) | int(
-                tel_rng.integers(0, _U64_MAX, dtype=np.uint64)
-            )
-            src = overlay.closest_alive(src_probe)
-            hops_hist.observe(overlay.route(src, key).hops)
+        # sources are the alive owners of fresh telemetry-stream
+        # probes, routed as one batch — a pure read of compact state.
+        samples = config.telemetry_route_samples
+        tkey_hi = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
+        tkey_lo = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
+        probe_hi = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
+        probe_lo = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
+        tsrc = overlay.replica_positions(probe_hi, probe_lo, 1)[:, 0]
+        batch = overlay.route_many(tsrc, tkey_hi, tkey_lo)
+        metrics.histogram("scale.route.hops").observe_many(batch.hops.tolist())
+
+    # Full batched route sweep over the churned ring: every anchor key
+    # routed at once on the packet plane; each packet must settle on
+    # the key's true root (its k=1 replica position).
+    alive_idx = np.flatnonzero(overlay.alive)
+    sweep_src = rng.choice(alive_idx, size=config.num_anchors)
+    sweep = overlay.route_many(sweep_src, key_hi, key_lo)
+    roots = overlay.replica_positions(key_hi, key_lo, 1)[:, 0]
+    rows.append({
+        "figure": "scale-churn-sweep",
+        "rep": rep,
+        "routes": config.num_anchors,
+        "completion": float(sweep.success.mean()),
+        "root_hit_fraction": float(
+            ((sweep.dest_pos == roots) & sweep.success).mean()
+        ),
+        "mean_hops": float(sweep.hops.mean()),
+    })
 
     if config.spot_check_routes:
+        # Bridge verification stays sampled (the materialised network
+        # routes one packet at a time), but the compact side of the
+        # comparison now comes from a single route_many batch.
         network = overlay.to_network_snapshot().restore()
         alive = overlay.alive_ids()
         src_picks = rng.integers(0, len(alive), size=config.spot_check_routes)
+        spot_ids = [alive[int(p)] for p in src_picks]
+        spot = overlay.route_many(
+            overlay.positions_of(spot_ids),
+            key_hi[: config.spot_check_routes],
+            key_lo[: config.spot_check_routes],
+        )
         agree = 0
         hops = 0
         for i in range(config.spot_check_routes):
-            src = alive[int(src_picks[i])]
             key = (int(key_hi[i]) << 64) | int(key_lo[i])
-            bridged = network.route(src, key)
-            compact = overlay.route(src, key)
+            bridged = network.route(spot_ids[i], key)
             hops += bridged.hops
             if (
                 bridged.success
-                and bridged.path == compact.path
+                and bridged.path == spot.path(i)
                 and bridged.destination == overlay.closest_alive(key)
             ):
                 agree += 1
@@ -265,6 +290,7 @@ def summarize_rows(rows: list[dict]) -> dict:
     keys here are contract, not presentation.
     """
     churn = [r for r in rows if r.get("figure") == "scale-churn"]
+    sweep = [r for r in rows if r.get("figure") == "scale-churn-sweep"]
     spot = [r for r in rows if r.get("figure") == "scale-churn-spot"]
     out: dict = {}
     if churn:
@@ -277,6 +303,14 @@ def summarize_rows(rows: list[dict]) -> dict:
         out["scale.final_replica_overlap"] = sum(
             r["replica_overlap"] for r in finals
         ) / len(finals)
+    if sweep:
+        out["scale.sweep_completion"] = min(r["completion"] for r in sweep)
+        out["scale.sweep_root_hit"] = min(
+            r["root_hit_fraction"] for r in sweep
+        )
+        out["scale.sweep_mean_hops"] = sum(
+            r["mean_hops"] for r in sweep
+        ) / len(sweep)
     if spot:
         routes = sum(r["routes"] for r in spot)
         out["scale.route_agreement"] = (

@@ -1,0 +1,267 @@
+"""Scale experiment: fig6-class latency at N=10^5 on the packet plane.
+
+The paper's figure 6 compares end-to-end transfer latency of direct
+Pastry routes against TAP tunnels of length 3 and 5, modelling each
+underlying link as a U[10, 230] ms draw.  The object-engine runner
+(:mod:`repro.experiments.fig6_latency`) tops out around 10^4 nodes
+because every route is a scalar hop loop; this runner replays the same
+methodology at 100k nodes on the vectorised packet plane
+(:mod:`repro.perf.packet`): all transfers of an arm advance as one
+batch, tunnels route all legs batched with additive stitched hop
+counts, and link latencies are one flat Generator draw folded per
+packet with ``np.add.reduceat``.
+
+Per trial (one per ``rep``):
+
+1. restore a private overlay from the shared base
+   :class:`~repro.perf.compact.CompactSnapshot`, then apply
+   ``churn_rounds`` rounds of fail/join churn so the measured ring is
+   not pristine;
+2. sample ``num_transfers`` sources and destination keys, route the
+   direct arm with :func:`~repro.perf.packet.route_many`, and draw its
+   per-hop latencies;
+3. per tunnel length ``L``: sample (num_transfers, L) relay keys,
+   build every tunnel with :func:`~repro.perf.packet.route_tunnels`,
+   and draw latencies over the stitched hop totals;
+4. cross-check ``verify_routes`` packets hop-for-hop against the
+   scalar ``CompactOverlay.route``.
+
+Each arm emits one row with completion fraction, mean hops, latency
+quantiles, and — for tunnel arms — the hop stretch over the direct arm
+and the fig6 trend ratio ``mean_tunnel_latency / (mean_direct_latency
+× hop_stretch)``, which sits near 1 because link draws are i.i.d.: the
+assertion pinned by the bench suite and the scale tests.
+
+Determinism contract: rows are a pure function of the config —
+identical for any ``workers`` value and with telemetry on or off
+(sampling draws only from a dedicated ``scale-telemetry`` stream).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import ScaleLatencyConfig
+from repro.experiments.scale_churn import _fresh_ids, _observe_samples
+from repro.perf import (
+    base_snapshot,
+    capture_obs,
+    effective_workers,
+    local_obs,
+    merge_obs,
+    run_trials,
+    shared_payload,
+)
+from repro.perf.compact import CompactOverlay
+from repro.perf.packet import latency_sums
+from repro.util.rng import SeedSequenceFactory
+
+_U64_MAX = np.iinfo(np.uint64).max
+
+
+def _base_token(config: ScaleLatencyConfig) -> tuple:
+    return ("scale-latency-base", config.seed, config.num_nodes)
+
+
+def _base_build(config: ScaleLatencyConfig):
+    return CompactOverlay.random(config.num_nodes, seed=config.seed).snapshot()
+
+
+def _quantiles(values: np.ndarray) -> dict:
+    if len(values) == 0:
+        return {"p10_s": 0.0, "p50_s": 0.0, "p90_s": 0.0, "mean_s": 0.0}
+    p10, p50, p90 = np.quantile(values, (0.10, 0.50, 0.90))
+    return {
+        "p10_s": float(p10),
+        "p50_s": float(p50),
+        "p90_s": float(p90),
+        "mean_s": float(values.mean()),
+    }
+
+
+def _latency_trial(
+    config: ScaleLatencyConfig,
+    rep: int,
+    want_metrics: bool = False,
+    want_events: bool = False,
+):
+    token = _base_token(config)
+    payload = shared_payload()
+    snap = payload.get(token) if payload else None
+    if snap is None:
+        snap = base_snapshot(token, lambda: _base_build(config))
+    overlay = snap.restore()
+    rng = SeedSequenceFactory(config.seed).numpy("scale-latency", rep)
+
+    metrics, _, event_trace = local_obs(want_metrics, False, want_events)
+    tel_rng = None
+    if metrics is not None or event_trace is not None:
+        tel_rng = SeedSequenceFactory(config.seed).numpy("scale-telemetry", rep)
+    if metrics is not None:
+        overlay.instrument(metrics)
+
+    for _ in range(config.churn_rounds):
+        alive_idx = np.flatnonzero(overlay.alive)
+        fails = int(round(config.fail_fraction * len(alive_idx)))
+        if fails:
+            overlay.fail_positions(
+                rng.choice(alive_idx, size=fails, replace=False)
+            )
+        joins = int(round(config.join_fraction * config.num_nodes))
+        if joins:
+            overlay.join(_fresh_ids(overlay, rng, joins))
+
+    num = config.num_transfers
+    alive_idx = np.flatnonzero(overlay.alive)
+    src = rng.choice(alive_idx, size=num)
+    key_hi = rng.integers(0, _U64_MAX, size=num, dtype=np.uint64)
+    key_lo = rng.integers(0, _U64_MAX, size=num, dtype=np.uint64)
+
+    direct = overlay.route_many(src, key_hi, key_lo)
+    direct_lat = latency_sums(
+        rng, direct.hops, config.min_latency_s, config.max_latency_s
+    )
+    ok = direct.success
+    mean_direct_hops = float(direct.hops[ok].mean()) if ok.any() else 0.0
+    mean_direct_lat = float(direct_lat[ok].mean()) if ok.any() else 0.0
+
+    rows: list[dict] = [{
+        "figure": "scale-latency",
+        "rep": rep,
+        "arm": "direct",
+        "tunnel_length": 0,
+        "transfers": num,
+        "completion": float(ok.mean()),
+        "mean_hops": mean_direct_hops,
+        **_quantiles(direct_lat[ok]),
+    }]
+
+    tunnel_samples: list[np.ndarray] = []
+    for length in config.tunnel_lengths:
+        hop_hi = rng.integers(0, _U64_MAX, size=(num, length), dtype=np.uint64)
+        hop_lo = rng.integers(0, _U64_MAX, size=(num, length), dtype=np.uint64)
+        tunnels = overlay.route_tunnels(src, hop_hi, hop_lo, key_hi, key_lo)
+        lat = latency_sums(
+            rng, tunnels.hops, config.min_latency_s, config.max_latency_s
+        )
+        tok = tunnels.success
+        mean_hops = float(tunnels.hops[tok].mean()) if tok.any() else 0.0
+        mean_lat = float(lat[tok].mean()) if tok.any() else 0.0
+        hop_stretch = mean_hops / mean_direct_hops if mean_direct_hops else 0.0
+        trend = (
+            mean_lat / (mean_direct_lat * hop_stretch)
+            if mean_direct_lat and hop_stretch else 0.0
+        )
+        rows.append({
+            "figure": "scale-latency",
+            "rep": rep,
+            "arm": f"tunnel-l{length}",
+            "tunnel_length": length,
+            "transfers": num,
+            "completion": float(tok.mean()),
+            "mean_hops": mean_hops,
+            **_quantiles(lat[tok]),
+            "hop_stretch": hop_stretch,
+            "trend_ratio": trend,
+        })
+        tunnel_samples.append(lat[tok])
+
+    agree = 0
+    checks = min(config.verify_routes, num)
+    for i in range(checks):
+        src_id = (int(overlay.hi[src[i]]) << 64) | int(overlay.lo[src[i]])
+        key = (int(key_hi[i]) << 64) | int(key_lo[i])
+        ref = overlay.route(src_id, key)
+        if direct.path(i) == ref.path and bool(direct.success[i]) == ref.success:
+            agree += 1
+    if checks:
+        rows.append({
+            "figure": "scale-latency-verify",
+            "rep": rep,
+            "routes": checks,
+            "agree": agree,
+        })
+
+    if metrics is not None:
+        metrics.counter("scale_latency.transfers").inc(num * (1 + len(config.tunnel_lengths)))
+        metrics.gauge("scale_latency.direct_completion").set(float(ok.mean()))
+        _observe_samples(
+            metrics.histogram("scale_latency.direct_s"),
+            direct_lat[ok], tel_rng, config.telemetry_latency_samples,
+        )
+        for length, sample in zip(config.tunnel_lengths, tunnel_samples):
+            _observe_samples(
+                metrics.histogram(f"scale_latency.tunnel_l{length}_s"),
+                sample, tel_rng, config.telemetry_latency_samples,
+            )
+    if event_trace is not None:
+        for row in rows:
+            if row["figure"] == "scale-latency":
+                event_trace.record(
+                    "scale_latency.arm", rep=rep, arm=row["arm"],
+                    completion=round(row["completion"], 6),
+                    mean_hops=round(row["mean_hops"], 6),
+                    p50_s=round(row["p50_s"], 6),
+                )
+    return rows, capture_obs(metrics, None, event_trace)
+
+
+def run_scale_latency(
+    config: ScaleLatencyConfig = ScaleLatencyConfig(),
+    workers: int | None = None,
+    metrics=None,
+    event_trace=None,
+) -> list[dict]:
+    """The scale-latency runner; trials fan out over ``workers``.
+
+    Same sharding contract as every runner: the base overlay snapshot
+    ships to workers once via the pool initializer, per-rep seed
+    streams make rows identical for any ``workers`` value, and
+    telemetry merges in trial order.
+    """
+    want_metrics = metrics is not None
+    want_events = event_trace is not None
+    token = _base_token(config)
+    bases = {token: base_snapshot(token, lambda: _base_build(config))}
+    results = run_trials(
+        _latency_trial,
+        [
+            (config, rep, want_metrics, want_events)
+            for rep in range(config.num_seeds)
+        ],
+        effective_workers(workers, config),
+        shared=bases,
+    )
+    merge_obs(
+        [payload for _, payload in results],
+        metrics=metrics,
+        event_trace=event_trace,
+    )
+    return [row for rows, _ in results for row in rows]
+
+
+def summarize_rows(rows: list[dict]) -> dict:
+    """Headline indicators from scale-latency rows (for the run ledger
+    and the ``scale_latency.*`` SLOs — keys are contract)."""
+    arms = [r for r in rows if r.get("figure") == "scale-latency"]
+    verify = [r for r in rows if r.get("figure") == "scale-latency-verify"]
+    tunnels = [r for r in arms if r["tunnel_length"]]
+    out: dict = {}
+    if arms:
+        out["scale_latency.route_completion"] = min(
+            r["completion"] for r in arms
+        )
+    if tunnels:
+        out["scale_latency.median_tunnel_latency_s"] = max(
+            r["p50_s"] for r in tunnels
+        )
+        out["scale_latency.hop_stretch"] = max(r["hop_stretch"] for r in tunnels)
+        out["scale_latency.trend_ratio"] = sum(
+            r["trend_ratio"] for r in tunnels
+        ) / len(tunnels)
+    if verify:
+        routes = sum(r["routes"] for r in verify)
+        out["scale_latency.route_agreement"] = (
+            sum(r["agree"] for r in verify) / routes if routes else 1.0
+        )
+    return out

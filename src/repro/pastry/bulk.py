@@ -43,6 +43,23 @@ def node_prefix(node_id: int, row: int, b_bits: int) -> int:
     return node_id >> (ID_BITS - b_bits * row) if row else 0
 
 
+def bucket_bounds(node_id: int, row: int, col: int, b_bits: int) -> tuple[int, int]:
+    """The id interval of routing bucket ``(row, prefix(node), col)``.
+
+    Returns ``(lower, upper)``: the bucket holds exactly the ids in
+    ``[lower, upper)`` — those sharing ``node_id``'s first ``row``
+    digits followed by digit ``col``.  Because the bucket is a
+    contiguous interval of the sorted ring, its canonical entry (the
+    smallest qualifying id, per :func:`smallest_id_buckets`) is the
+    first alive id at or past ``lower`` — the one-``searchsorted``
+    lookup both the compact engine's scalar router and the batched
+    packet plane (:mod:`repro.perf.packet`) build on.
+    """
+    shift = ID_BITS - b_bits * (row + 1)
+    lower = ((node_prefix(node_id, row, b_bits) << b_bits) | col) << shift
+    return lower, lower + (1 << shift)
+
+
 def adjacent_prefix_depths(ids: Sequence[int], b_bits: int) -> list[int]:
     """Per node: max shared-prefix digits with either sort neighbour.
 

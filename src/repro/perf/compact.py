@@ -50,7 +50,7 @@ from repro.analysis.idspace import (
     searchsorted_words,
     unpack_words,
 )
-from repro.pastry.bulk import leaf_reach, node_prefix
+from repro.pastry.bulk import bucket_bounds, leaf_reach
 from repro.pastry.constants import DEFAULT_B_BITS, DEFAULT_LEAF_SET_SIZE
 from repro.pastry.network import RouteResult, RoutingError
 from repro.util.ids import (
@@ -427,14 +427,12 @@ class CompactOverlay:
         the canonical cell entry (``PastryNetwork._find_node_for_cell``
         over the prefix run in sorted order)."""
         ahi, alo, _ = self._alive_arrays()
-        b = self.b_bits
-        shift = ID_BITS - b * (row + 1)
-        lower = ((node_prefix(node_id, row, b) << b) | col) << shift
+        lower, upper = bucket_bounds(node_id, row, col, self.b_bits)
         khi, klo = _pack_scalar(lower)
         pos = int(searchsorted_words(ahi, alo, khi, klo)[0])
         if pos < len(ahi):
             candidate = self._alive_id_at(pos)
-            if candidate >> shift == lower >> shift:
+            if lower <= candidate < upper:
                 return candidate
         return None
 
@@ -544,6 +542,39 @@ class CompactOverlay:
             path.append(nxt)
             apos = self._alive_pos_of(nxt)
         return RouteResult(key, path, False, 0, meta={"reason": "hop-limit"})
+
+    # ------------------------------------------------------------------
+    # batched packet plane (repro.perf.packet)
+    # ------------------------------------------------------------------
+    def route_many(self, src_pos, key_hi, key_lo):
+        """Vectorised lockstep routing of a whole packet batch.
+
+        ``src_pos`` are *global* positions; keys are (hi, lo) word
+        arrays.  Hop-for-hop identical to :meth:`route` per packet
+        (dead sources fail in-row instead of raising); see
+        :mod:`repro.perf.packet`.
+        """
+        from repro.perf.packet import route_many
+
+        return route_many(self, src_pos, key_hi, key_lo)
+
+    def route_many_ids(self, src_ids, keys):
+        """ID-level convenience wrapper over :meth:`route_many`."""
+        from repro.perf.packet import route_many
+
+        key_hi, key_lo = pack_ids(keys)
+        return route_many(self, self.positions_of(src_ids), key_hi, key_lo)
+
+    def route_tunnels(self, src_pos, hop_key_hi, hop_key_lo,
+                      dest_key_hi, dest_key_lo, keep_legs: bool = False):
+        """Batched TAP tunnel construction + exit-leg routing; see
+        :func:`repro.perf.packet.route_tunnels`."""
+        from repro.perf.packet import route_tunnels
+
+        return route_tunnels(
+            self, src_pos, hop_key_hi, hop_key_lo,
+            dest_key_hi, dest_key_lo, keep_legs=keep_legs,
+        )
 
     # ------------------------------------------------------------------
     # snapshot / materialisation bridge

@@ -1,0 +1,403 @@
+"""Vectorised packet plane over the compact overlay engine.
+
+:func:`route_many` advances a whole batch of packets one hop per
+iteration with NumPy kernels, making the same forwarding decision as
+``CompactOverlay._next_hop`` for every packet — a tested hop-for-hop
+contract against both the scalar router and the object engine via the
+materialisation bridge (``tests/perf/test_packet.py``).
+
+Per iteration, the active front splits into three vectorised branches
+that mirror the scalar rule exactly:
+
+* **leaf-covered** — ``searchsorted_words`` span test against the far
+  leaf-window edges, then a lexicographic min over the ±reach window
+  (ring distance first, smaller id on ties);
+* **prefix bucket** — the routing cell for (row, key digit) is the
+  first alive id at or past the bucket lower bound
+  (:func:`repro.pastry.bulk.bucket_bounds` semantics via
+  ``clear_low_words`` + ``searchsorted_words``);
+* **run-scan fallback** — when the bucket is empty, every qualifying
+  "known" candidate (leaf member or populated cell sharing no shorter
+  prefix with the key) provably lies inside the contiguous run of
+  alive ids sharing the key's first ``row`` digits, so the batch scans
+  those runs as flattened segments: a run member is a cell entry iff
+  its alive predecessor does not reach one digit deeper
+  (``smallest_id_buckets`` semantics), a leaf member iff its ring
+  *position* is within ±reach, and the segment winner is the
+  lexicographic (distance, id) min among strictly-closer candidates.
+
+Dead sources fail immediately (the scalar ``route`` raises instead —
+batches must keep their row alignment); all other packets terminate
+exactly where the scalar loop would, including the MAX_HOPS limit.
+
+Everything here is a pure function of overlay state and inputs — no
+ambient randomness; the latency model draws from a caller-supplied
+Generator so experiment rows stay digest-identical across workers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.analysis.idspace import (
+    _sub_words,
+    add_pow2_words,
+    clear_low_words,
+    less_words,
+    ring_distance_words,
+    searchsorted_words,
+    shared_prefix_bits_words,
+    unpack_words,
+)
+from repro.pastry.bulk import leaf_reach
+from repro.util.ids import ID_BITS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf.compact import CompactOverlay
+
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: fallback runs wider than this go through the scalar ``_next_hop``
+#: instead of the segmented scan.  A run of width w only arises when w
+#: alive ids share the key's whole current prefix, so uniform rings
+#: never approach the cap past row 0 — and row 0 runs (the whole ring)
+#: only reach the fallback on tiny or pathologically clustered
+#: populations.
+RUN_SCAN_CAP = 4096
+
+
+class BatchRouteResult:
+    """Result of routing a batch of packets in lockstep.
+
+    Scalar fields mirror :class:`repro.pastry.network.RouteResult` per
+    packet: ``hops[i]`` edges traversed, ``success[i]`` responsibility
+    reached (False for dead sources and hop-limit casualties), and
+    ``dest_pos[i]`` the *global* overlay position where the packet
+    stopped.  ``path(i)`` reconstructs the full id path lazily from
+    the per-iteration trail.
+    """
+
+    __slots__ = (
+        "_overlay",
+        "key_hi",
+        "key_lo",
+        "src_pos",
+        "dest_pos",
+        "hops",
+        "success",
+        "_trail",
+    )
+
+    def __init__(self, overlay, key_hi, key_lo, src_pos, dest_pos, hops,
+                 success, trail):
+        self._overlay = overlay
+        self.key_hi = key_hi
+        self.key_lo = key_lo
+        self.src_pos = src_pos
+        self.dest_pos = dest_pos
+        self.hops = hops
+        self.success = success
+        self._trail = trail
+
+    def __len__(self) -> int:
+        return len(self.src_pos)
+
+    def path(self, i: int) -> list[int]:
+        """The id path of packet ``i`` (source first, stop last).
+
+        The trail repeats the final position once a packet settles, so
+        the path is the prefix up to the first consecutive repeat —
+        the same termination the scalar loop uses.
+        """
+        positions: list[int] = []
+        for arr in self._trail:
+            g = int(arr[i])
+            if positions and g == positions[-1]:
+                break
+            positions.append(g)
+        hi = self._overlay.hi
+        lo = self._overlay.lo
+        return [(int(hi[g]) << 64) | int(lo[g]) for g in positions]
+
+    def dest_ids(self) -> list[int]:
+        """Ids at each packet's stop position."""
+        return unpack_words(
+            self._overlay.hi[self.dest_pos], self._overlay.lo[self.dest_pos]
+        )
+
+
+class TunnelBatchResult:
+    """Result of routing a batch of stitched tunnel paths.
+
+    ``leg_hops[t, j]`` is the hop count of tunnel ``t``'s ``j``-th leg
+    (the last column is the exit leg to the destination key);
+    ``hops[t]`` is their sum — junction nodes are shared between legs,
+    so stitched underlying links are exactly additive.  ``success[t]``
+    requires every leg to settle; ``dest_pos[t]`` is the final global
+    position (the key root when successful).
+    """
+
+    __slots__ = ("leg_hops", "hops", "success", "dest_pos", "legs")
+
+    def __init__(self, leg_hops, hops, success, dest_pos, legs):
+        self.leg_hops = leg_hops
+        self.hops = hops
+        self.success = success
+        self.dest_pos = dest_pos
+        self.legs = legs
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+def route_many(overlay: "CompactOverlay", src_pos, key_hi, key_lo,
+               ) -> BatchRouteResult:
+    """Route one key per packet from global positions ``src_pos``.
+
+    Hop-for-hop identical to ``overlay.route`` for every packet whose
+    source is alive; dead sources come back with ``success=False``,
+    zero hops and ``dest_pos == src_pos`` (scalar ``route`` raises —
+    a batch keeps row alignment instead, so sweeps over churned
+    overlays need no pre-filtering).
+    """
+    src_pos = np.asarray(src_pos, dtype=np.intp)
+    key_hi = np.atleast_1d(np.asarray(key_hi, dtype=np.uint64))
+    key_lo = np.atleast_1d(np.asarray(key_lo, dtype=np.uint64))
+    num = len(src_pos)
+    if not (len(key_hi) == len(key_lo) == num):
+        raise ValueError("src_pos and key words must have equal length")
+
+    ahi, alo, idx = overlay._alive_arrays()
+    n = len(ahi)
+    alive_src = overlay.alive[src_pos] if num else np.zeros(0, dtype=bool)
+
+    hops = np.zeros(num, dtype=np.int64)
+    success = np.zeros(num, dtype=bool)
+    done = ~alive_src
+    cur = np.zeros(num, dtype=np.intp)  # alive positions (valid where alive)
+    if n and num:
+        cur[alive_src] = np.searchsorted(idx, src_pos[alive_src])
+    cur_global = src_pos.copy()
+    trail = [src_pos.copy()]
+
+    reach = leaf_reach(n, overlay.leaf_set_size) if n else 0
+    offsets = np.arange(-reach, reach + 1)
+
+    for _ in range(overlay.MAX_HOPS):
+        act = np.flatnonzero(~done)
+        if len(act) == 0:
+            break
+        nxt = _next_hops(
+            overlay, ahi, alo, cur[act], key_hi[act], key_lo[act],
+            offsets, reach,
+        )
+        arrived = nxt == cur[act]
+        moved = act[~arrived]
+        cur[moved] = nxt[~arrived]
+        cur_global[moved] = idx[nxt[~arrived]]
+        hops[moved] += 1
+        done[act[arrived]] = True
+        success[act[arrived]] = True
+        trail.append(cur_global.copy())
+
+    # anything still active hit the hop limit: done, success stays False
+    return BatchRouteResult(
+        overlay, key_hi, key_lo, src_pos, cur_global, hops, success, trail
+    )
+
+
+def _next_hops(overlay, ahi, alo, cpos, kh, kl, offsets, reach):
+    """One forwarding decision per active packet (alive positions)."""
+    n = len(ahi)
+    num = len(cpos)
+    nid_hi = ahi[cpos]
+    nid_lo = alo[cpos]
+    nxt = np.empty(num, dtype=np.intp)
+
+    if n <= overlay.leaf_set_size:
+        covered = np.ones(num, dtype=bool)
+    else:
+        half = overlay.leaf_set_size // 2
+        cw = (cpos + half) % n
+        ccw = (cpos - half) % n
+        span_hi, span_lo = _sub_words(ahi[cw], alo[cw], ahi[ccw], alo[ccw])
+        rel_hi, rel_lo = _sub_words(kh, kl, ahi[ccw], alo[ccw])
+        covered = ~less_words(span_hi, span_lo, rel_hi, rel_lo)
+
+    cov = np.flatnonzero(covered)
+    if len(cov):
+        # min over the ±reach window plus self by (distance, id)
+        cand = (cpos[cov, None] + offsets[None, :]) % n
+        ch = ahi[cand]
+        cl = alo[cand]
+        dh, dl = ring_distance_words(ch, cl, kh[cov, None], kl[cov, None])
+        order = np.lexsort((cl, ch, dl, dh), axis=-1)
+        best = order[:, 0]
+        nxt[cov] = cand[np.arange(len(cov)), best]
+
+    unc = np.flatnonzero(~covered)
+    if len(unc):
+        # uncovered implies key != nid, so the shared prefix is < 128
+        # bits and the target row's shift is non-negative
+        bits = shared_prefix_bits_words(nid_hi[unc], nid_lo[unc],
+                                        kh[unc], kl[unc])
+        row = bits // overlay.b_bits
+        shift = ID_BITS - overlay.b_bits * (row + 1)
+        # cell entry = first alive id at/past the bucket lower bound,
+        # provided it still shares the key's first row+1 digits
+        lo_hi, lo_lo = clear_low_words(kh[unc], kl[unc], shift)
+        pos = searchsorted_words(ahi, alo, lo_hi, lo_lo)
+        probe = np.where(pos < n, pos, 0)
+        p_hi, p_lo = clear_low_words(ahi[probe], alo[probe], shift)
+        found = (pos < n) & (p_hi == lo_hi) & (p_lo == lo_lo)
+        nxt[unc[found]] = pos[found]
+        miss = np.flatnonzero(~found)
+        if len(miss):
+            fb = unc[miss]
+            nxt[fb] = _fallback_hops(
+                overlay, ahi, alo, cpos[fb], kh[fb], kl[fb], row[miss], reach
+            )
+    return nxt
+
+
+def _fallback_hops(overlay, ahi, alo, cpos, kh, kl, row, reach):
+    """Vectorised twin of the scalar rare-case rule.
+
+    Every scalar candidate — a leaf member or populated routing cell
+    sharing at least ``row`` digits with the key — lies inside the
+    contiguous run of alive ids sharing the key's first ``row``
+    digits, so each packet scans its run as one flattened segment.
+    """
+    n = len(ahi)
+    num = len(cpos)
+    b = overlay.b_bits
+    run_bits = ID_BITS - b * row
+    lo_hi, lo_lo = clear_low_words(kh, kl, run_bits)
+    up_hi, up_lo = add_pow2_words(lo_hi, lo_lo, run_bits)
+    start = searchsorted_words(ahi, alo, lo_hi, lo_lo)
+    end = searchsorted_words(ahi, alo, up_hi, up_lo)
+    # an upper bound of exactly 2^128 wraps to zero: the run reaches
+    # the top of the ring (incl. row 0, where the run is the whole ring)
+    end = np.where((up_hi == 0) & (up_lo == 0), n, end)
+    lens = end - start
+
+    out = np.empty(num, dtype=np.intp)
+    big = lens > RUN_SCAN_CAP
+    for j in np.flatnonzero(big):
+        # degenerate clustering: defer to the scalar rule wholesale
+        apos = int(cpos[j])
+        nxt_id = overlay._next_hop(apos, (int(kh[j]) << 64) | int(kl[j]))
+        out[j] = overlay._alive_pos_of(nxt_id)
+    small = np.flatnonzero(~big)
+    if len(small) == 0:
+        return out
+
+    s_start = start[small]
+    s_len = lens[small]
+    total = int(s_len.sum())
+    seg = np.repeat(np.arange(len(small)), s_len)
+    seg_base = np.concatenate(([0], np.cumsum(s_len)[:-1]))
+    p = (np.arange(total) - seg_base[seg] + s_start[seg]).astype(np.intp)
+
+    m_hi = ahi[p]
+    m_lo = alo[p]
+    kh_s = kh[small][seg]
+    kl_s = kl[small][seg]
+    apos_s = cpos[small][seg]
+    nid_hi_s = ahi[apos_s]
+    nid_lo_s = alo[apos_s]
+
+    own_dh, own_dl = ring_distance_words(nid_hi_s, nid_lo_s, kh_s, kl_s)
+    dh, dl = ring_distance_words(m_hi, m_lo, kh_s, kl_s)
+    closer = less_words(dh, dl, own_dh, own_dl)
+
+    # leaf membership is positional: within ±reach of the node's slot
+    dpos = (p - apos_s) % n
+    leaf = np.minimum(dpos, n - dpos) <= reach
+
+    # cell membership: the smallest alive id of its deepest bucket
+    # under nid — true iff the alive predecessor does not also share
+    # one digit more than (m, nid) do, or m is the very first alive id
+    row_m = shared_prefix_bits_words(m_hi, m_lo, nid_hi_s, nid_lo_s) // b
+    prev = np.maximum(p - 1, 0)
+    prev_row = shared_prefix_bits_words(ahi[prev], alo[prev], m_hi, m_lo) // b
+    entry = (p == 0) | (prev_row <= row_m)
+
+    qual = closer & (leaf | entry)
+    # segmented lexicographic min of (distance, id); sentinel keys for
+    # non-qualifiers (real distances never exceed 2^127)
+    dh = np.where(qual, dh, _U64_MAX)
+    dl = np.where(qual, dl, _U64_MAX)
+    sm_hi = np.where(qual, m_hi, _U64_MAX)
+    sm_lo = np.where(qual, m_lo, _U64_MAX)
+    order = np.lexsort((sm_lo, sm_hi, dl, dh, seg))
+    first = np.unique(seg[order], return_index=True)[1]
+    win = order[first]
+    # no qualifying candidate: stay put (the scalar rule terminates)
+    out[small] = np.where(qual[win], p[win], cpos[small])
+    return out
+
+
+def route_tunnels(overlay: "CompactOverlay", src_pos, hop_key_hi, hop_key_lo,
+                  dest_key_hi, dest_key_lo, keep_legs: bool = False,
+                  ) -> TunnelBatchResult:
+    """Build one TAP tunnel per packet and route the exit leg, batched.
+
+    ``hop_key_hi``/``hop_key_lo`` are (T, L) word arrays — one random
+    relay key per tunnel hop; each leg routes the whole batch from the
+    previous junction to the next hop key's root, then the final leg
+    routes to the destination key.  Stitching drops the duplicated
+    junction node, so total underlying hops are the per-leg sums.
+
+    A tunnel fails as soon as any leg fails; later legs for that
+    packet keep routing from the last good junction (deterministic,
+    cheap, and masked out of every statistic by ``success``).
+    """
+    src_pos = np.asarray(src_pos, dtype=np.intp)
+    hop_key_hi = np.asarray(hop_key_hi, dtype=np.uint64)
+    hop_key_lo = np.asarray(hop_key_lo, dtype=np.uint64)
+    num, tunnel_len = hop_key_hi.shape
+    leg_hops = np.zeros((num, tunnel_len + 1), dtype=np.int64)
+    success = np.ones(num, dtype=bool)
+    current = src_pos.copy()
+    legs: list[BatchRouteResult] = []
+    for j in range(tunnel_len):
+        res = route_many(overlay, current, hop_key_hi[:, j], hop_key_lo[:, j])
+        success &= res.success
+        leg_hops[:, j] = res.hops
+        current = np.where(res.success, res.dest_pos, current)
+        if keep_legs:
+            legs.append(res)
+    res = route_many(overlay, current, dest_key_hi, dest_key_lo)
+    success &= res.success
+    leg_hops[:, tunnel_len] = res.hops
+    current = np.where(res.success, res.dest_pos, current)
+    if keep_legs:
+        legs.append(res)
+    return TunnelBatchResult(
+        leg_hops, leg_hops.sum(axis=1), success, current, legs
+    )
+
+
+def latency_sums(rng: np.random.Generator, hops, min_latency_s: float,
+                 max_latency_s: float) -> np.ndarray:
+    """Per-packet end-to-end latency: sum of per-hop U[min, max] draws.
+
+    One flat draw of ``hops.sum()`` link latencies on the caller's
+    seed stream, folded per packet with ``np.add.reduceat`` — the
+    batched twin of the fig6 per-leg loop.  Zero-hop packets cost 0 s.
+    """
+    hops = np.asarray(hops, dtype=np.int64)
+    if (hops < 0).any():
+        raise ValueError("negative hop counts")
+    out = np.zeros(len(hops), dtype=np.float64)
+    total = int(hops.sum())
+    if total == 0:
+        return out
+    draws = rng.uniform(min_latency_s, max_latency_s, size=total)
+    ends = np.cumsum(hops)
+    nz = hops > 0
+    out[nz] = np.add.reduceat(draws, (ends - hops)[nz])
+    return out

@@ -31,13 +31,23 @@ class TestScaleChurn:
 
     def test_row_shape(self, rows):
         churn = [r for r in rows if r["figure"] == "scale-churn"]
+        sweeps = [r for r in rows if r["figure"] == "scale-churn-sweep"]
         spots = [r for r in rows if r["figure"] == "scale-churn-spot"]
         assert len(churn) == TINY.num_seeds * TINY.churn_rounds
+        assert len(sweeps) == TINY.num_seeds
         assert len(spots) == TINY.num_seeds
         for row in churn:
             assert 0.0 <= row["survivor_fraction"] <= 1.0
             assert 0.0 <= row["replica_overlap"] <= 1.0
             assert row["alive"] > 0
+
+    def test_sweep_routes_every_anchor_to_its_root(self, rows):
+        for row in rows:
+            if row["figure"] == "scale-churn-sweep":
+                assert row["routes"] == TINY.num_anchors
+                assert row["completion"] == 1.0
+                assert row["root_hit_fraction"] == 1.0
+                assert row["mean_hops"] > 0
 
     def test_churn_erodes_replica_sets(self, rows):
         for rep in range(TINY.num_seeds):
@@ -118,9 +128,14 @@ class TestSummarizeRows:
             "scale.survivor_fraction",
             "scale.replica_overlap",
             "scale.final_replica_overlap",
+            "scale.sweep_completion",
+            "scale.sweep_root_hit",
+            "scale.sweep_mean_hops",
             "scale.route_agreement",
         }
         assert summary["scale.route_agreement"] == 1.0
+        assert summary["scale.sweep_completion"] == 1.0
+        assert summary["scale.sweep_root_hit"] == 1.0
         assert 0.0 < summary["scale.replica_overlap"] <= 1.0
 
     def test_empty_rows(self):

@@ -24,6 +24,8 @@ import pickle
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.system import TapSystem
 from repro.obs import InvariantAuditor
@@ -278,6 +280,87 @@ class TestObservableEquality:
         assert not mask[0, 0]
         expected = [overlay.is_alive(v) for v in sample]
         assert mask.ravel().tolist() == expected
+
+
+class TestTieBreaking:
+    """Deterministic tie-breaking at exact ring-distance ties and
+    id-space wrap, mirroring the PR 6 ``replica_table`` wrap tests —
+    the convention everywhere is closest first, smaller id on ties."""
+
+    @staticmethod
+    def _oracle(ids, key, k):
+        from repro.util.ids import closest_ids
+
+        return closest_ids(ids, key, k)
+
+    def test_replica_positions_exact_tie_prefers_smaller_id(self):
+        key = 1 << 100
+        d = 1 << 90
+        ids = sorted([(key - d) % ID_SPACE, (key + d) % ID_SPACE,
+                      (key + 5 * d) % ID_SPACE])
+        overlay = CompactOverlay.from_ids(ids)
+        assert overlay.replica_ids([key], 2)[0] == self._oracle(ids, key, 2)
+        # the equidistant pair must come back smaller-id first
+        assert overlay.replica_ids([key], 2)[0][0] == min(
+            (key - d) % ID_SPACE, (key + d) % ID_SPACE
+        )
+
+    def test_replica_positions_tie_across_the_wrap(self):
+        # key at the very top of the ring; its two closest neighbours
+        # straddle position 0 of the sorted array at equal distance
+        d = 1 << 80
+        key = ID_SPACE - 1
+        ids = sorted([(key + d) % ID_SPACE, (key - d) % ID_SPACE,
+                      1 << 120, 1 << 121])
+        overlay = CompactOverlay.from_ids(ids)
+        for k in (1, 2, 3, 4):
+            assert overlay.replica_ids([key], k)[0] == self._oracle(ids, key, k)
+
+    @given(
+        grid=st.lists(st.integers(0, 15), min_size=2, max_size=12, unique=True),
+        key_slot=st.integers(0, 16),
+        k=st.integers(1, 6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_replica_positions_match_oracle_on_tie_heavy_grids(
+        self, grid, key_slot, k
+    ):
+        # ids on a coarse 16-slot grid force exact distance ties and
+        # wrap crossings; keys at slot boundaries sort at positions
+        # 0/n, and k up to 2k ≈ n exercises the windowed branch edges
+        step = ID_SPACE // 16
+        ids = sorted(slot * step for slot in grid)
+        key = (key_slot * step - 1) % ID_SPACE if key_slot else 0
+        overlay = CompactOverlay.from_ids(ids)
+        assert overlay.replica_ids([key], k)[0] == self._oracle(ids, key, k)
+
+    def test_route_terminates_at_smaller_id_on_exact_tie(self):
+        key = 1 << 100
+        d = 1 << 90
+        ids = sorted([(key - d) % ID_SPACE, (key + d) % ID_SPACE,
+                      (key + 7 * d) % ID_SPACE])
+        overlay = CompactOverlay.from_ids(ids)
+        winner = min((key - d) % ID_SPACE, (key + d) % ID_SPACE)
+        for src in ids:
+            assert overlay.route(src, key).destination == winner
+
+    @given(
+        grid=st.lists(st.integers(0, 15), min_size=1, max_size=10, unique=True),
+        key_slot=st.integers(0, 15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_route_destination_matches_oracle_on_tie_heavy_grids(
+        self, grid, key_slot
+    ):
+        step = ID_SPACE // 16
+        ids = sorted(slot * step for slot in grid)
+        key = key_slot * step + step // 2
+        overlay = CompactOverlay.from_ids(ids)
+        expected = self._oracle(ids, key, 1)[0]
+        for src in ids:
+            result = overlay.route(src, key)
+            assert result.success
+            assert result.destination == expected
 
 
 class TestSnapshotSharding:

@@ -1,0 +1,103 @@
+"""Unit tests for the bench_compare gate logic (no benchmarks run).
+
+The harness itself lives outside the package in ``tools/``, so it is
+loaded by path; only the pure comparison/gate functions are exercised
+— ``compare`` (baseline carry-forward + loud missing-benchmark
+warning) and ``batch_speedup_failures`` (per-route normalisation).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = pathlib.Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_compare", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_compare", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _stamped(results: dict, cpus: int = 4) -> dict:
+    return {"cpus": cpus, "results": results}
+
+
+class TestCompare:
+    def test_speedup_and_gate(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1000.0}})
+        current = _stamped({"a": {"median_ns": 500.0}})
+        speedup, failures = bench.compare(baseline, current, threshold=1.15)
+        assert speedup == {"a": 2.0}
+        assert failures == []
+
+    def test_regression_beyond_threshold_fails(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1000.0}})
+        current = _stamped({"a": {"median_ns": 2000.0}})
+        _, failures = bench.compare(baseline, current, threshold=1.15)
+        assert len(failures) == 1
+        assert "a:" in failures[0]
+
+    def test_missing_benchmark_warns_and_carries_forward(self, bench, capsys):
+        baseline = _stamped({
+            "a": {"median_ns": 1000.0},
+            "gone": {"median_ns": 700.0},
+        })
+        current = _stamped({"a": {"median_ns": 1000.0}})
+        speedup, failures = bench.compare(
+            baseline, current, threshold=1.15,
+            previous_speedup={"gone": 1.4, "a": 9.9},
+        )
+        assert failures == []
+        # the stale entry rides along; the measured one is refreshed
+        assert speedup == {"a": 1.0, "gone": 1.4}
+        err = capsys.readouterr().err
+        assert "1 baseline benchmark(s) not measured" in err
+        assert "gone" in err
+        assert "carried forward" in err
+
+    def test_missing_benchmark_without_history_still_warns(self, bench, capsys):
+        baseline = _stamped({"gone": {"median_ns": 700.0}})
+        current = _stamped({})
+        speedup, _ = bench.compare(baseline, current, threshold=1.15)
+        assert speedup == {}
+        assert "gone" in capsys.readouterr().err
+
+    def test_cpu_mismatch_warns(self, bench, capsys):
+        baseline = _stamped({}, cpus=8)
+        current = _stamped({}, cpus=1)
+        bench.compare(baseline, current, threshold=1.15)
+        assert "not like-for-like" in capsys.readouterr().err
+
+
+class TestBatchSpeedupGate:
+    def _results(self, bench, per_route_ratio: float) -> dict:
+        fast = "compact.route_many_100k"
+        slow = "compact.route_100k"
+        slow_ns = 1_000_000.0
+        per_slow = slow_ns / bench.ROUTE_UNITS[slow]
+        fast_ns = (per_slow / per_route_ratio) * bench.ROUTE_UNITS[fast]
+        return {
+            fast: {"median_ns": fast_ns},
+            slow: {"median_ns": slow_ns},
+        }
+
+    def test_fast_enough_passes(self, bench):
+        assert bench.batch_speedup_failures(self._results(bench, 25.0)) == []
+
+    def test_too_slow_fails(self, bench):
+        failures = bench.batch_speedup_failures(self._results(bench, 10.0))
+        assert len(failures) == 1
+        assert "x10.0 per route" in failures[0]
+
+    def test_missing_member_is_skipped(self, bench):
+        results = self._results(bench, 10.0)
+        del results["compact.route_100k"]
+        assert bench.batch_speedup_failures(results) == []

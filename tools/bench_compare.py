@@ -323,6 +323,78 @@ SCALE = {
     "compact.churn_100k_telemetry": bench_compact_churn_100k_telemetry,
 }
 
+
+def _route_setup():
+    import numpy as np
+
+    from repro.perf.compact import CompactOverlay
+    from repro.util.rng import SeedSequenceFactory
+
+    overlay = CompactOverlay.random(100_000, seed=2004)
+    rng = SeedSequenceFactory(2004).numpy("bench-route")
+    u64_max = np.iinfo(np.uint64).max
+    alive = np.flatnonzero(overlay.alive)
+    src = rng.choice(alive, size=512)
+    key_hi = rng.integers(0, u64_max, size=512, dtype=np.uint64)
+    key_lo = rng.integers(0, u64_max, size=512, dtype=np.uint64)
+    return overlay, src, key_hi, key_lo, rng
+
+
+def bench_compact_route_100k():
+    """Scalar baseline: 16 hop-loop routes per call (one op = 16 routes)."""
+    overlay, src, key_hi, key_lo, _ = _route_setup()
+    pairs = [
+        (
+            (int(overlay.hi[src[i]]) << 64) | int(overlay.lo[src[i]]),
+            (int(key_hi[i]) << 64) | int(key_lo[i]),
+        )
+        for i in range(ROUTE_UNITS["compact.route_100k"])
+    ]
+    return lambda: [overlay.route(s, k) for s, k in pairs]
+
+
+def bench_compact_route_many_100k():
+    """Batched plane: 512 routes advanced in lockstep per call."""
+    overlay, src, key_hi, key_lo, _ = _route_setup()
+    return lambda: overlay.route_many(src, key_hi, key_lo)
+
+
+def bench_compact_tunnel_batch_100k():
+    """128 three-hop tunnels (4 legs each) built + routed per call."""
+    import numpy as np
+
+    overlay, src, key_hi, key_lo, rng = _route_setup()
+    u64_max = np.iinfo(np.uint64).max
+    tunnels = 128
+    hop_hi = rng.integers(0, u64_max, size=(tunnels, 3), dtype=np.uint64)
+    hop_lo = rng.integers(0, u64_max, size=(tunnels, 3), dtype=np.uint64)
+    return lambda: overlay.route_tunnels(
+        src[:tunnels], hop_hi, hop_lo, key_hi[:tunnels], key_lo[:tunnels]
+    )
+
+
+#: batched packet-plane benchmarks at 10^5 nodes; one *op* is a whole
+#: call, so ROUTE_UNITS records how many end-to-end routes each call
+#: performs (tunnel legs count per-leg routes)
+ROUTE = {
+    "compact.route_100k": bench_compact_route_100k,
+    "compact.route_many_100k": bench_compact_route_many_100k,
+    "compact.tunnel_batch_100k": bench_compact_tunnel_batch_100k,
+}
+
+ROUTE_UNITS = {
+    "compact.route_100k": 16,
+    "compact.route_many_100k": 512,
+    "compact.tunnel_batch_100k": 128 * 4,
+}
+
+#: batched -> (scalar, min per-route speedup): same-run relative gate,
+#: normalised by ROUTE_UNITS — the vectorised plane must stay at least
+#: this many times faster per route than the scalar hop loop
+BATCH_PAIRS = {
+    "compact.route_many_100k": ("compact.route_100k", 20.0),
+}
+
 #: instrumented -> (bare, max ratio): same-run pairs gated on relative
 #: cost, independent of the recorded baseline (noise cancels because
 #: both members run back to back on the same machine state)
@@ -333,9 +405,9 @@ OVERHEAD_PAIRS = {
 
 def run_suite(quick: bool, only: set[str] | None = None) -> dict[str, dict]:
     suite = (
-        {**MICRO, **SNAPSHOT, **SCALE}
+        {**MICRO, **SNAPSHOT, **SCALE, **ROUTE}
         if quick
-        else {**MICRO, **SNAPSHOT, **SCALE, **MACRO}
+        else {**MICRO, **SNAPSHOT, **SCALE, **ROUTE, **MACRO}
     )
     if only is not None:
         suite = {name: fn for name, fn in suite.items() if name in only}
@@ -369,6 +441,32 @@ def overhead_failures(results: dict[str, dict]) -> list[str]:
             failures.append(
                 f"{inst}: x{ratio:.3f} over {bare}, "
                 f"telemetry overhead gate is x{max_ratio:.2f}"
+            )
+    return failures
+
+
+def batch_speedup_failures(results: dict[str, dict]) -> list[str]:
+    """Same-run pair gate: batched vs scalar per-route cost.
+
+    Normalised by :data:`ROUTE_UNITS` (routes per call) so the two
+    members compare per route regardless of their batch sizes; like
+    :func:`overhead_failures`, both sides come from this run, so
+    machine noise cancels and no baseline is needed.
+    """
+    failures: list[str] = []
+    for fast, (slow, min_ratio) in BATCH_PAIRS.items():
+        if fast not in results or slow not in results:
+            continue
+        per_fast = results[fast]["median_ns"] / ROUTE_UNITS[fast]
+        per_slow = results[slow]["median_ns"] / ROUTE_UNITS[slow]
+        ratio = per_slow / per_fast
+        verdict = "ok" if ratio >= min_ratio else "FAIL"
+        print(f"  batch speedup {fast} vs {slow}: x{ratio:.1f}/route "
+              f"(min x{min_ratio:.0f}) {verdict}")
+        if ratio < min_ratio:
+            failures.append(
+                f"{fast}: only x{ratio:.1f} per route over {slow}, "
+                f"batch-speedup gate is x{min_ratio:.0f}"
             )
     return failures
 
@@ -431,8 +529,20 @@ def stamp(results: dict, label: str) -> dict:
     }
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> tuple[dict, list[str]]:
-    """Per-benchmark speedups plus the list of gate failures."""
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    previous_speedup: dict | None = None,
+) -> tuple[dict, list[str]]:
+    """Per-benchmark speedups plus the list of gate failures.
+
+    A benchmark present in the baseline but absent from this run (a
+    ``--quick`` run skips the MACRO group, a renamed benchmark drops
+    out entirely) is never silently dropped from the report: it warns
+    loudly on stderr and carries the previously recorded speedup
+    entry forward, explicitly marked stale.
+    """
     speedup: dict[str, float] = {}
     failures: list[str] = []
     base_cpus = baseline.get("cpus")
@@ -456,6 +566,18 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[dict, list
                 f"{base['median_ns']:,.0f} ns/op "
                 f"(x{1 / ratio:.2f} slower, threshold x{threshold:.2f})"
             )
+    missing = sorted(set(base_results) - set(current["results"]))
+    if missing:
+        print(
+            f"warning: {len(missing)} baseline benchmark(s) not measured "
+            f"in this run: {', '.join(missing)} — their trajectory "
+            f"entries are carried forward, not refreshed",
+            file=sys.stderr,
+        )
+        for name in missing:
+            prev = (previous_speedup or {}).get(name)
+            if prev is not None:
+                speedup[name] = prev
     return speedup, failures
 
 
@@ -543,12 +665,15 @@ def main(argv: list[str] | None = None) -> int:
               f"run with --write-baseline first", file=sys.stderr)
         return 2
 
-    speedup, failures = compare(baseline, current, threshold)
+    speedup, failures = compare(baseline, current, threshold,
+                                previous_speedup=record.get("speedup"))
     failures.extend(overhead_failures(results))
+    failures.extend(batch_speedup_failures(results))
     print(f"\nvs baseline '{baseline['label']}' @ {baseline['git_sha']}:")
     for name in sorted(speedup):
+        stale = "" if name in results else "  (carried, not measured this run)"
         print(f"  {name:24s} x{speedup[name]:.2f} "
-              f"{'faster' if speedup[name] >= 1 else 'slower'}")
+              f"{'faster' if speedup[name] >= 1 else 'slower'}{stale}")
 
     if not args.check_only:
         record.update({
