@@ -473,6 +473,28 @@ def less_words(ahi, alo, bhi, blo) -> np.ndarray:
                                           < np.asarray(blo, dtype=np.uint64)))
 
 
+def merge_insert_positions(at, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index plan for merging ``k`` presorted elements into an ``n``-array.
+
+    ``at`` are the leftmost insertion points (``searchsorted`` output,
+    ascending) of the new elements against the existing array.  Returns
+    ``(target, keep)``: ``target[j]`` is the position of new element
+    ``j`` in the merged ``n + k`` array, and ``keep`` masks the slots
+    occupied by the original elements (in their original order).
+
+    One plan serves every aligned companion array — the compact engine
+    scatters ``hi``, ``lo`` *and* ``alive`` through the same indices —
+    where repeated ``np.insert`` calls would redo the index arithmetic
+    and a full copy per array.
+    """
+    at = np.asarray(at, dtype=np.intp)
+    k = len(at)
+    target = at + np.arange(k, dtype=np.intp)
+    keep = np.ones(n + k, dtype=bool)
+    keep[target] = False
+    return target, keep
+
+
 def replica_table_words(
     sorted_hi: np.ndarray,
     sorted_lo: np.ndarray,

@@ -141,9 +141,19 @@ def _run_one(
     tracer=None,
     event_trace=None,
     workers: int | None = None,
+    million: bool = False,
+    volatile_out: dict | None = None,
 ) -> tuple[list[dict], object]:
     config_cls, runner, _ = _ALL_RUNNERS[name]
-    config = config_cls.fast() if fast else config_cls()
+    if million:
+        if not hasattr(config_cls, "million"):
+            raise SystemExit(
+                f"error: {name} has no million-node configuration "
+                f"(--million applies to scale-churn and scale-latency)"
+            )
+        config = config_cls.million()
+    else:
+        config = config_cls.fast() if fast else config_cls()
     if seed is not None:
         from dataclasses import replace
 
@@ -160,19 +170,21 @@ def _run_one(
         kwargs["event_trace"] = event_trace
     if workers is not None and "workers" in params:
         kwargs["workers"] = workers
+    if volatile_out is not None and "volatile_out" in params:
+        kwargs["volatile_out"] = volatile_out
     return runner(config, **kwargs), config
 
 
-def _row_summary(name: str, rows: list[dict]) -> dict:
+def _row_summary(name: str, rows: list[dict], config=None) -> dict:
     """Headline numbers recorded in the manifest, per runner."""
     if name == "scale-churn":
         from repro.experiments.scale_churn import summarize_rows
 
-        return summarize_rows(rows)
+        return summarize_rows(rows, config)
     if name == "scale-latency":
         from repro.experiments.scale_latency import summarize_rows
 
-        return summarize_rows(rows)
+        return summarize_rows(rows, config)
     if name == "durability":
         from repro.experiments.durability import summarize_rows
 
@@ -522,6 +534,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--fast", action="store_true",
                         help="scaled-down config (quick, same shapes)")
+    parser.add_argument("--million", action="store_true",
+                        help="the N=10^6 operating point (scale-churn / "
+                             "scale-latency only): chunked routing, "
+                             "shared-memory base sharding, sampled "
+                             "scalar verification")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the experiment seed")
     parser.add_argument("--csv", type=pathlib.Path, default=None,
@@ -589,12 +606,17 @@ def main(argv: list[str] | None = None) -> int:
     written: list[tuple[pathlib.Path, str, bool]] = []  # (path, kind, volatile)
     configs: dict = {}
     results: dict = {}
+    runner_volatile: dict = {}
     run_seed = args.seed
     for name in names:
+        one_volatile: dict = {}
         rows, config = _run_one(name, args.fast, args.seed,
                                 metrics=metrics, audit=args.audit,
                                 tracer=tracer, event_trace=event_trace,
-                                workers=args.workers)
+                                workers=args.workers, million=args.million,
+                                volatile_out=one_volatile)
+        if one_volatile:
+            runner_volatile[name] = one_volatile
         _, _, description = _ALL_RUNNERS[name]
         print(render_table(rows, title=f"{name}: {description}"))
         print(f"{name} rows digest: {rows_digest(rows)}")
@@ -602,7 +624,8 @@ def main(argv: list[str] | None = None) -> int:
             # The replay runs without telemetry on purpose: rows must
             # be identical with instrumentation on or off.
             replay_rows, _ = _run_one(name, args.fast, args.seed,
-                                      workers=args.workers)
+                                      workers=args.workers,
+                                      million=args.million)
             if rows_digest(replay_rows) != rows_digest(rows):
                 print(
                     f"DETERMINISM VIOLATION: {name} replay digest "
@@ -617,7 +640,7 @@ def main(argv: list[str] | None = None) -> int:
         results[name] = {
             "rows": len(rows),
             "digest": rows_digest(rows),
-            "summary": _row_summary(name, rows),
+            "summary": _row_summary(name, rows, config),
         }
         if run_seed is None:
             run_seed = getattr(config, "seed", None)
@@ -672,12 +695,17 @@ def main(argv: list[str] | None = None) -> int:
                                base=manifest_path.parent)
                 for path, kind, volatile in written
             ],
-            extra={"fast": bool(args.fast), "audit": bool(args.audit)},
+            extra={"fast": bool(args.fast), "audit": bool(args.audit),
+                   "million": bool(args.million)},
             volatile={
                 "wall_time_s": round(time.perf_counter() - t0, 6),
                 "timestamp": time.time(),
                 "workers": args.workers,
                 "argv": list(argv),
+                # per-runner machine timings (e.g. per-worker snapshot
+                # restore / shared-segment attach); volatile is outside
+                # the manifest's core digest by construction
+                **({"runners": runner_volatile} if runner_volatile else {}),
             },
         )
         manifest = write_manifest(manifest, manifest_path)

@@ -161,6 +161,16 @@ class ScaleChurnConfig(ExperimentConfig):
     #: rows are identical with telemetry on or off)
     telemetry_anchor_samples: int = 256
     telemetry_route_samples: int = 4
+    #: sampled batched routes re-run through the scalar router per
+    #: trial (the million-node stand-in for the bridge spot check,
+    #: which would materialise N Python objects)
+    scalar_verify_routes: int = 0
+    #: packet-plane window size (None = whole batch at once); any
+    #: value yields identical rows, larger only costs memory
+    chunk_size: int | None = None
+    #: ship the base snapshot to workers as a shared-memory segment
+    #: (metadata-only pickle) instead of a full array pickle
+    use_shared_memory: bool = False
     seed: int = 2004
     num_seeds: int = 2
 
@@ -169,6 +179,15 @@ class ScaleChurnConfig(ExperimentConfig):
         return cls(num_nodes=2_000, num_anchors=200, churn_rounds=3,
                    spot_check_routes=4, telemetry_anchor_samples=64,
                    telemetry_route_samples=2)
+
+    @classmethod
+    def million(cls) -> "ScaleChurnConfig":
+        """The N=10^6 operating point: bridge spot checks off (they
+        materialise the ring as objects), sampled scalar verification
+        on, routing chunked, base shipped via shared memory."""
+        return cls(num_nodes=1_000_000, num_anchors=2_000, churn_rounds=3,
+                   spot_check_routes=0, scalar_verify_routes=8,
+                   chunk_size=1_024, use_shared_memory=True)
 
 
 @dataclass(frozen=True)
@@ -200,6 +219,11 @@ class ScaleLatencyConfig(ExperimentConfig):
     #: telemetry sampling budget (drawn on a dedicated stream, so rows
     #: are identical with telemetry on or off)
     telemetry_latency_samples: int = 256
+    #: packet-plane window size (None = whole batch at once); any
+    #: value yields identical rows, larger only costs memory
+    chunk_size: int | None = None
+    #: ship the base snapshot to workers as a shared-memory segment
+    use_shared_memory: bool = False
     seed: int = 2004
     num_seeds: int = 2
 
@@ -207,6 +231,13 @@ class ScaleLatencyConfig(ExperimentConfig):
     def fast(cls) -> "ScaleLatencyConfig":
         return cls(num_nodes=2_000, num_transfers=200, verify_routes=2,
                    telemetry_latency_samples=64)
+
+    @classmethod
+    def million(cls) -> "ScaleLatencyConfig":
+        """The N=10^6 operating point (chunked, shared-memory base)."""
+        return cls(num_nodes=1_000_000, num_transfers=2_000,
+                   churn_rounds=1, verify_routes=4,
+                   chunk_size=1_024, use_shared_memory=True)
 
 
 @dataclass(frozen=True)

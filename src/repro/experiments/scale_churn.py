@@ -42,16 +42,20 @@ too.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.experiments.config import ScaleChurnConfig
 from repro.perf import (
     base_snapshot,
     capture_obs,
+    collect_volatile,
     effective_workers,
     local_obs,
     merge_obs,
     run_trials,
+    share_base,
     shared_payload,
 )
 from repro.perf.compact import CompactOverlay
@@ -110,7 +114,17 @@ def _churn_trial(
     snap = payload.get(token) if payload else None
     if snap is None:
         snap = base_snapshot(token, lambda: _base_build(config))
+    # Wall-clock facts about how the base reached this trial — shipped
+    # back through the volatile channel, never into rows.
+    start = time.perf_counter()
     overlay = snap.restore()
+    volatile = {
+        "rep": rep,
+        "restore_seconds": round(time.perf_counter() - start, 6),
+        # the lazy shared-segment map cost in this worker (None when
+        # the base arrived as a plain array pickle)
+        "attach_seconds": getattr(snap, "attach_seconds", None),
+    }
     rng = SeedSequenceFactory(config.seed).numpy("scale-churn", rep)
     k = config.replication_factor
 
@@ -131,7 +145,7 @@ def _churn_trial(
 
     rows: list[dict] = []
     for round_idx in range(1, config.churn_rounds + 1):
-        alive_idx = np.flatnonzero(overlay.alive)
+        alive_idx = overlay.alive_positions()
         fails = int(round(config.fail_fraction * len(alive_idx)))
         if fails:
             overlay.fail_positions(
@@ -190,15 +204,17 @@ def _churn_trial(
         probe_hi = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
         probe_lo = tel_rng.integers(0, _U64_MAX, size=samples, dtype=np.uint64)
         tsrc = overlay.replica_positions(probe_hi, probe_lo, 1)[:, 0]
-        batch = overlay.route_many(tsrc, tkey_hi, tkey_lo)
+        batch = overlay.route_many(tsrc, tkey_hi, tkey_lo,
+                                   chunk_size=config.chunk_size)
         metrics.histogram("scale.route.hops").observe_many(batch.hops.tolist())
 
     # Full batched route sweep over the churned ring: every anchor key
     # routed at once on the packet plane; each packet must settle on
     # the key's true root (its k=1 replica position).
-    alive_idx = np.flatnonzero(overlay.alive)
+    alive_idx = overlay.alive_positions()
     sweep_src = rng.choice(alive_idx, size=config.num_anchors)
-    sweep = overlay.route_many(sweep_src, key_hi, key_lo)
+    sweep = overlay.route_many(sweep_src, key_hi, key_lo,
+                               chunk_size=config.chunk_size)
     roots = overlay.replica_positions(key_hi, key_lo, 1)[:, 0]
     rows.append({
         "figure": "scale-churn-sweep",
@@ -210,6 +226,33 @@ def _churn_trial(
         ),
         "mean_hops": float(sweep.hops.mean()),
     })
+
+    if config.scalar_verify_routes:
+        # Sampled scalar verification: re-route the first few sweep
+        # packets one at a time through ``CompactOverlay.route`` —
+        # the million-node cross-check, where the materialisation
+        # bridge (``spot_check_routes``) is out of reach.
+        checks = min(config.scalar_verify_routes, config.num_anchors)
+        agree = 0
+        for i in range(checks):
+            src_id = (
+                (int(overlay.hi[sweep_src[i]]) << 64)
+                | int(overlay.lo[sweep_src[i]])
+            )
+            key = (int(key_hi[i]) << 64) | int(key_lo[i])
+            ref = overlay.route(src_id, key)
+            if (
+                sweep.path(i) == ref.path
+                and bool(sweep.success[i]) == ref.success
+                and int(sweep.hops[i]) == ref.hops
+            ):
+                agree += 1
+        rows.append({
+            "figure": "scale-churn-verify",
+            "rep": rep,
+            "routes": checks,
+            "agree": agree,
+        })
 
     if config.spot_check_routes:
         # Bridge verification stays sampled (the materialised network
@@ -243,7 +286,7 @@ def _churn_trial(
             "agree": agree,
             "mean_hops": hops / config.spot_check_routes,
         })
-    return rows, capture_obs(metrics, None, event_trace)
+    return rows, capture_obs(metrics, None, event_trace, volatile=volatile)
 
 
 def run_scale_churn(
@@ -251,47 +294,69 @@ def run_scale_churn(
     workers: int | None = None,
     metrics=None,
     event_trace=None,
+    volatile_out: dict | None = None,
 ) -> list[dict]:
     """The scale-churn runner; trials fan out over ``workers``.
 
     The base overlay is built once, snapshotted, and shipped to every
     worker through the pool initializer — workers restore from arrays
-    (milliseconds at 100k) instead of re-bootstrapping.  Pass a
-    ``metrics`` registry / ``event_trace`` to collect the sampled
-    telemetry described in the module docstring; worker-local copies
-    are merged back in trial order, so the merged state is identical
-    for any ``workers`` value.
+    (milliseconds at 100k) instead of re-bootstrapping.  With
+    ``config.use_shared_memory`` the snapshot travels as a named
+    shared-memory segment instead (metadata-only pickle, pages mapped
+    on first touch) — at 10^6 nodes that turns a 17 MB per-worker copy
+    into a shared mapping.  Pass a ``metrics`` registry /
+    ``event_trace`` to collect the sampled telemetry described in the
+    module docstring; worker-local copies are merged back in trial
+    order, so the merged state is identical for any ``workers`` value.
+    ``volatile_out`` (a dict) receives machine-dependent timings —
+    per-trial restore and shared-segment attach cost — for the run
+    manifest's volatile section.
     """
     want_metrics = metrics is not None
     want_events = event_trace is not None
     token = _base_token(config)
     bases = {token: base_snapshot(token, lambda: _base_build(config))}
-    results = run_trials(
-        _churn_trial,
-        [
-            (config, rep, want_metrics, want_events)
-            for rep in range(config.num_seeds)
-        ],
-        effective_workers(workers, config),
-        shared=bases,
-    )
-    merge_obs(
-        [payload for _, payload in results],
-        metrics=metrics,
-        event_trace=event_trace,
-    )
+    published = []
+    if config.use_shared_memory:
+        bases, published = share_base(bases)
+    try:
+        results = run_trials(
+            _churn_trial,
+            [
+                (config, rep, want_metrics, want_events)
+                for rep in range(config.num_seeds)
+            ],
+            effective_workers(workers, config),
+            shared=bases,
+        )
+    finally:
+        for segment in published:
+            segment.unlink()
+    payloads = [payload for _, payload in results]
+    merge_obs(payloads, metrics=metrics, event_trace=event_trace)
+    if volatile_out is not None:
+        volatile_out["trials"] = collect_volatile(payloads)
+        if published:
+            volatile_out["shared_memory"] = {
+                "segments": len(published),
+                "segment_nbytes": sum(s.nbytes for s in published),
+            }
     return [row for rows, _ in results for row in rows]
 
 
-def summarize_rows(rows: list[dict]) -> dict:
+def summarize_rows(rows: list[dict], config=None) -> dict:
     """Headline indicators from scale-churn rows (for the run ledger).
 
     Also the source of the SLO gate's ``scale.*`` indicators, so the
-    keys here are contract, not presentation.
+    keys here are contract, not presentation.  When the (optional)
+    ``config`` says the run was at N >= 10^6, every indicator is also
+    emitted under a ``scale_1m.`` prefix so ``slo.toml`` can gate the
+    million-node operating point separately.
     """
     churn = [r for r in rows if r.get("figure") == "scale-churn"]
     sweep = [r for r in rows if r.get("figure") == "scale-churn-sweep"]
     spot = [r for r in rows if r.get("figure") == "scale-churn-spot"]
+    verify = [r for r in rows if r.get("figure") == "scale-churn-verify"]
     out: dict = {}
     if churn:
         final_round = max(r["round"] for r in churn)
@@ -316,4 +381,12 @@ def summarize_rows(rows: list[dict]) -> dict:
         out["scale.route_agreement"] = (
             sum(r["agree"] for r in spot) / routes if routes else 1.0
         )
+    if verify:
+        routes = sum(r["routes"] for r in verify)
+        out["scale.scalar_agreement"] = (
+            sum(r["agree"] for r in verify) / routes if routes else 1.0
+        )
+    if config is not None and getattr(config, "num_nodes", 0) >= 1_000_000:
+        for key in list(out):
+            out[key.replace("scale.", "scale_1m.", 1)] = out[key]
     return out

@@ -39,6 +39,8 @@ identical for any ``workers`` value and with telemetry on or off
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.experiments.config import ScaleLatencyConfig
@@ -46,10 +48,12 @@ from repro.experiments.scale_churn import _fresh_ids, _observe_samples
 from repro.perf import (
     base_snapshot,
     capture_obs,
+    collect_volatile,
     effective_workers,
     local_obs,
     merge_obs,
     run_trials,
+    share_base,
     shared_payload,
 )
 from repro.perf.compact import CompactOverlay
@@ -90,7 +94,13 @@ def _latency_trial(
     snap = payload.get(token) if payload else None
     if snap is None:
         snap = base_snapshot(token, lambda: _base_build(config))
+    start = time.perf_counter()
     overlay = snap.restore()
+    volatile = {
+        "rep": rep,
+        "restore_seconds": round(time.perf_counter() - start, 6),
+        "attach_seconds": getattr(snap, "attach_seconds", None),
+    }
     rng = SeedSequenceFactory(config.seed).numpy("scale-latency", rep)
 
     metrics, _, event_trace = local_obs(want_metrics, False, want_events)
@@ -101,7 +111,7 @@ def _latency_trial(
         overlay.instrument(metrics)
 
     for _ in range(config.churn_rounds):
-        alive_idx = np.flatnonzero(overlay.alive)
+        alive_idx = overlay.alive_positions()
         fails = int(round(config.fail_fraction * len(alive_idx)))
         if fails:
             overlay.fail_positions(
@@ -112,14 +122,16 @@ def _latency_trial(
             overlay.join(_fresh_ids(overlay, rng, joins))
 
     num = config.num_transfers
-    alive_idx = np.flatnonzero(overlay.alive)
+    alive_idx = overlay.alive_positions()
     src = rng.choice(alive_idx, size=num)
     key_hi = rng.integers(0, _U64_MAX, size=num, dtype=np.uint64)
     key_lo = rng.integers(0, _U64_MAX, size=num, dtype=np.uint64)
 
-    direct = overlay.route_many(src, key_hi, key_lo)
+    direct = overlay.route_many(src, key_hi, key_lo,
+                                chunk_size=config.chunk_size)
     direct_lat = latency_sums(
-        rng, direct.hops, config.min_latency_s, config.max_latency_s
+        rng, direct.hops, config.min_latency_s, config.max_latency_s,
+        chunk_size=config.chunk_size,
     )
     ok = direct.success
     mean_direct_hops = float(direct.hops[ok].mean()) if ok.any() else 0.0
@@ -140,9 +152,11 @@ def _latency_trial(
     for length in config.tunnel_lengths:
         hop_hi = rng.integers(0, _U64_MAX, size=(num, length), dtype=np.uint64)
         hop_lo = rng.integers(0, _U64_MAX, size=(num, length), dtype=np.uint64)
-        tunnels = overlay.route_tunnels(src, hop_hi, hop_lo, key_hi, key_lo)
+        tunnels = overlay.route_tunnels(src, hop_hi, hop_lo, key_hi, key_lo,
+                                        chunk_size=config.chunk_size)
         lat = latency_sums(
-            rng, tunnels.hops, config.min_latency_s, config.max_latency_s
+            rng, tunnels.hops, config.min_latency_s, config.max_latency_s,
+            chunk_size=config.chunk_size,
         )
         tok = tunnels.success
         mean_hops = float(tunnels.hops[tok].mean()) if tok.any() else 0.0
@@ -203,7 +217,7 @@ def _latency_trial(
                     mean_hops=round(row["mean_hops"], 6),
                     p50_s=round(row["p50_s"], 6),
                 )
-    return rows, capture_obs(metrics, None, event_trace)
+    return rows, capture_obs(metrics, None, event_trace, volatile=volatile)
 
 
 def run_scale_latency(
@@ -211,38 +225,54 @@ def run_scale_latency(
     workers: int | None = None,
     metrics=None,
     event_trace=None,
+    volatile_out: dict | None = None,
 ) -> list[dict]:
     """The scale-latency runner; trials fan out over ``workers``.
 
     Same sharding contract as every runner: the base overlay snapshot
-    ships to workers once via the pool initializer, per-rep seed
-    streams make rows identical for any ``workers`` value, and
-    telemetry merges in trial order.
+    ships to workers once via the pool initializer (as a shared-memory
+    segment when ``config.use_shared_memory``), per-rep seed streams
+    make rows identical for any ``workers`` value, and telemetry
+    merges in trial order.  ``volatile_out`` receives per-trial
+    restore/attach timings for the manifest's volatile section.
     """
     want_metrics = metrics is not None
     want_events = event_trace is not None
     token = _base_token(config)
     bases = {token: base_snapshot(token, lambda: _base_build(config))}
-    results = run_trials(
-        _latency_trial,
-        [
-            (config, rep, want_metrics, want_events)
-            for rep in range(config.num_seeds)
-        ],
-        effective_workers(workers, config),
-        shared=bases,
-    )
-    merge_obs(
-        [payload for _, payload in results],
-        metrics=metrics,
-        event_trace=event_trace,
-    )
+    published = []
+    if config.use_shared_memory:
+        bases, published = share_base(bases)
+    try:
+        results = run_trials(
+            _latency_trial,
+            [
+                (config, rep, want_metrics, want_events)
+                for rep in range(config.num_seeds)
+            ],
+            effective_workers(workers, config),
+            shared=bases,
+        )
+    finally:
+        for segment in published:
+            segment.unlink()
+    payloads = [payload for _, payload in results]
+    merge_obs(payloads, metrics=metrics, event_trace=event_trace)
+    if volatile_out is not None:
+        volatile_out["trials"] = collect_volatile(payloads)
+        if published:
+            volatile_out["shared_memory"] = {
+                "segments": len(published),
+                "segment_nbytes": sum(s.nbytes for s in published),
+            }
     return [row for rows, _ in results for row in rows]
 
 
-def summarize_rows(rows: list[dict]) -> dict:
+def summarize_rows(rows: list[dict], config=None) -> dict:
     """Headline indicators from scale-latency rows (for the run ledger
-    and the ``scale_latency.*`` SLOs — keys are contract)."""
+    and the ``scale_latency.*`` SLOs — keys are contract).  With a
+    ``config`` at N >= 10^6 every indicator is mirrored under
+    ``scale_1m.`` for the million-node SLO gate."""
     arms = [r for r in rows if r.get("figure") == "scale-latency"]
     verify = [r for r in rows if r.get("figure") == "scale-latency-verify"]
     tunnels = [r for r in arms if r["tunnel_length"]]
@@ -264,4 +294,7 @@ def summarize_rows(rows: list[dict]) -> dict:
         out["scale_latency.route_agreement"] = (
             sum(r["agree"] for r in verify) / routes if routes else 1.0
         )
+    if config is not None and getattr(config, "num_nodes", 0) >= 1_000_000:
+        for key in list(out):
+            out[key.replace("scale_latency.", "scale_1m.", 1)] = out[key]
     return out

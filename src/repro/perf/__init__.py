@@ -23,7 +23,13 @@ semantic one: experiment rows are a pure function of the config.
 
 from repro.perf.compact import CompactOverlay, CompactSnapshot
 from repro.perf.digest import canonical_json, rows_digest
-from repro.perf.merge import TrialObs, capture_obs, local_obs, merge_obs
+from repro.perf.merge import (
+    TrialObs,
+    capture_obs,
+    collect_volatile,
+    local_obs,
+    merge_obs,
+)
 from repro.perf.parallel import (
     derive_trial_seed,
     effective_workers,
@@ -31,6 +37,7 @@ from repro.perf.parallel import (
     run_trials,
     shared_payload,
 )
+from repro.perf.shm import SharedCompactSnapshot, share_base, shm_available
 from repro.perf.snapshot import (
     NetworkSnapshot,
     StoreSnapshot,
@@ -45,8 +52,12 @@ __all__ = [
     "rows_digest",
     "TrialObs",
     "capture_obs",
+    "collect_volatile",
     "local_obs",
     "merge_obs",
+    "SharedCompactSnapshot",
+    "share_base",
+    "shm_available",
     "derive_trial_seed",
     "effective_workers",
     "resolve_workers",

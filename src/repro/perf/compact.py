@@ -45,6 +45,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.idspace import (
+    merge_insert_positions,
     pack_ids,
     replica_table_words,
     searchsorted_words,
@@ -107,6 +108,9 @@ class CompactOverlay:
         self._view: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._count_epoch = -1
         self._alive_count = 0
+        #: named reusable scratch buffers (chunked packet plane); grown
+        #: geometrically, never shrunk, accounted by scratch_nbytes
+        self._scratch: dict[str, np.ndarray] = {}
         #: optional MetricsRegistry; hot paths pay one None check
         self._metrics = None
 
@@ -235,6 +239,63 @@ class CompactOverlay:
             self._view_epoch = self.membership_epoch
         return self._view
 
+    def alive_positions(self) -> np.ndarray:
+        """Ascending *global* positions of the alive set, epoch-cached.
+
+        The public accessor scale trials use instead of re-running
+        ``np.flatnonzero(overlay.alive)`` per round — at 10^6 nodes
+        that is a fresh 8 MB temporary per call; this returns the same
+        values from the derived-view cache.  Callers must treat the
+        array as read-only (it backs the routing view of this epoch).
+        """
+        return self._alive_arrays()[2]
+
+    # ------------------------------------------------------------------
+    # memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the canonical arrays (id words + alive).
+
+        17 bytes per tracked node: the whole overlay state, measured
+        rather than guessed — at N=10^6 this is ~17 MB, which is why
+        the compact engine reaches populations the object engine's
+        per-node containers cannot.
+        """
+        return int(self.hi.nbytes) + int(self.lo.nbytes) + int(self.alive.nbytes)
+
+    @property
+    def scratch_nbytes(self) -> int:
+        """Bytes held by derived caches and reusable scratch buffers.
+
+        Covers the epoch-keyed alive view (hi/lo/positions of the
+        alive set) plus every named buffer the chunked packet plane
+        has parked on this overlay.  ``nbytes + scratch_nbytes`` is
+        the engine's whole steady-state footprint; per-call
+        temporaries are bounded by the routing chunk size on top.
+        """
+        total = 0
+        if self._view is not None:
+            total += sum(int(arr.nbytes) for arr in self._view)
+        total += sum(int(arr.nbytes) for arr in self._scratch.values())
+        return total
+
+    def _scratch_buf(self, name: str, size: int, dtype) -> np.ndarray:
+        """A reusable scratch array of at least ``size`` elements.
+
+        Grown geometrically and kept for the overlay's lifetime, so
+        successive chunks (and successive rounds) stream through the
+        same allocation instead of churning ``size``-element
+        temporaries.  Contents are unspecified — callers initialise
+        what they read.
+        """
+        buf = self._scratch.get(name)
+        if buf is None or buf.dtype != np.dtype(dtype) or len(buf) < size:
+            grow = 0 if buf is None or buf.dtype != np.dtype(dtype) else 2 * len(buf)
+            buf = np.empty(max(size, grow), dtype=dtype)
+            self._scratch[name] = buf
+        return buf[:size]
+
     def ids_list(self) -> list[int]:
         """All tracked ids, ascending (alive and dead)."""
         return unpack_words(self.hi, self.lo)
@@ -337,10 +398,22 @@ class CompactOverlay:
             self.alive[probe[present]] = True
         fresh = ~present
         if fresh.any():
-            at = pos[fresh]
-            self.hi = np.insert(self.hi, at, nhi[fresh])
-            self.lo = np.insert(self.lo, at, nlo[fresh])
-            self.alive = np.insert(self.alive, at, True)
+            # one merge plan scatters all three aligned arrays (a
+            # np.insert per array would redo the index computation and
+            # a full copy each time — 3x the work at 10^6 nodes)
+            target, keep = merge_insert_positions(pos[fresh], self.size)
+            merged_hi = np.empty(len(keep), dtype=np.uint64)
+            merged_lo = np.empty(len(keep), dtype=np.uint64)
+            merged_alive = np.empty(len(keep), dtype=bool)
+            merged_hi[target] = nhi[fresh]
+            merged_lo[target] = nlo[fresh]
+            merged_alive[target] = True
+            merged_hi[keep] = self.hi
+            merged_lo[keep] = self.lo
+            merged_alive[keep] = self.alive
+            self.hi = merged_hi
+            self.lo = merged_lo
+            self.alive = merged_alive
         self.membership_epoch += 1
         if self._metrics is not None:
             self._note_membership("compact.join_events", len(values))
@@ -546,17 +619,22 @@ class CompactOverlay:
     # ------------------------------------------------------------------
     # batched packet plane (repro.perf.packet)
     # ------------------------------------------------------------------
-    def route_many(self, src_pos, key_hi, key_lo):
+    def route_many(self, src_pos, key_hi, key_lo, *,
+                   chunk_size: int | None = None,
+                   run_scan_cap: int | None = None):
         """Vectorised lockstep routing of a whole packet batch.
 
         ``src_pos`` are *global* positions; keys are (hi, lo) word
         arrays.  Hop-for-hop identical to :meth:`route` per packet
         (dead sources fail in-row instead of raising); see
-        :mod:`repro.perf.packet`.
+        :mod:`repro.perf.packet`.  ``chunk_size`` streams the batch
+        through bounded scratch windows (results are digest-identical
+        for any value); ``run_scan_cap`` bounds the fallback run scan.
         """
         from repro.perf.packet import route_many
 
-        return route_many(self, src_pos, key_hi, key_lo)
+        return route_many(self, src_pos, key_hi, key_lo,
+                          chunk_size=chunk_size, run_scan_cap=run_scan_cap)
 
     def route_many_ids(self, src_ids, keys):
         """ID-level convenience wrapper over :meth:`route_many`."""
@@ -566,7 +644,9 @@ class CompactOverlay:
         return route_many(self, self.positions_of(src_ids), key_hi, key_lo)
 
     def route_tunnels(self, src_pos, hop_key_hi, hop_key_lo,
-                      dest_key_hi, dest_key_lo, keep_legs: bool = False):
+                      dest_key_hi, dest_key_lo, keep_legs: bool = False, *,
+                      chunk_size: int | None = None,
+                      run_scan_cap: int | None = None):
         """Batched TAP tunnel construction + exit-leg routing; see
         :func:`repro.perf.packet.route_tunnels`."""
         from repro.perf.packet import route_tunnels
@@ -574,6 +654,7 @@ class CompactOverlay:
         return route_tunnels(
             self, src_pos, hop_key_hi, hop_key_lo,
             dest_key_hi, dest_key_lo, keep_legs=keep_legs,
+            chunk_size=chunk_size, run_scan_cap=run_scan_cap,
         )
 
     # ------------------------------------------------------------------
@@ -616,6 +697,11 @@ class CompactSnapshot:
     def __init__(self, **fields):
         for name in self.__slots__:
             setattr(self, name, fields[name])
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the captured arrays (id words + alive)."""
+        return int(self.hi.nbytes) + int(self.lo.nbytes) + int(self.alive.nbytes)
 
     @classmethod
     def capture(cls, overlay: CompactOverlay) -> "CompactSnapshot":

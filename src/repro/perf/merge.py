@@ -27,11 +27,18 @@ from dataclasses import dataclass
 
 @dataclass
 class TrialObs:
-    """Picklable observability payload of one trial."""
+    """Picklable observability payload of one trial.
+
+    ``volatile`` carries machine-dependent side facts (wall-clock
+    timings such as the worker's shared-segment attach cost) that must
+    reach the run manifest's volatile section without ever entering
+    rows — rows stay a pure function of the config.
+    """
 
     metrics: object | None = None
     spans: list | None = None
     events: list | None = None
+    volatile: dict | None = None
 
 
 def local_obs(want_metrics: bool, want_tracer: bool, want_events: bool):
@@ -57,14 +64,16 @@ def local_obs(want_metrics: bool, want_tracer: bool, want_events: bool):
     return metrics, tracer, event_trace
 
 
-def capture_obs(metrics, tracer, event_trace) -> TrialObs | None:
+def capture_obs(metrics, tracer, event_trace, volatile=None) -> TrialObs | None:
     """Package a trial's local obs state for the return trip."""
-    if metrics is None and tracer is None and event_trace is None:
+    if (metrics is None and tracer is None and event_trace is None
+            and not volatile):
         return None
     return TrialObs(
         metrics=metrics,
         spans=list(tracer.finished) if tracer is not None else None,
         events=list(event_trace) if event_trace is not None else None,
+        volatile=volatile or None,
     )
 
 
@@ -83,3 +92,16 @@ def merge_obs(payloads, metrics=None, tracer=None, event_trace=None) -> None:
             tracer.absorb(payload.spans)
         if event_trace is not None and payload.events:
             event_trace.absorb(payload.events)
+
+
+def collect_volatile(payloads) -> list[dict]:
+    """The non-empty per-trial volatile dicts, in trial order.
+
+    Runners fold these into the manifest's volatile section (never
+    into rows): machine timings may vary per run, digests may not.
+    """
+    return [
+        payload.volatile
+        for payload in payloads
+        if payload is not None and payload.volatile
+    ]

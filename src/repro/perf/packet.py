@@ -30,6 +30,17 @@ Dead sources fail immediately (the scalar ``route`` raises instead —
 batches must keep their row alignment); all other packets terminate
 exactly where the scalar loop would, including the MAX_HOPS limit.
 
+**Chunked execution.**  Every entry point takes a ``chunk_size``: the
+batch then streams through fixed-size windows, so peak memory is
+bounded by the chunk, not the batch — the per-iteration trail copies
+of a 10^6-packet front would otherwise dominate RSS.  Each packet's
+route is an independent pure function of overlay state, and the
+latency model draws its uniforms sequentially per packet, so results
+(and experiment row digests) are bitwise identical for **any** chunk
+size, including none.  The per-chunk work arrays come from the
+overlay's reusable scratch pool (``CompactOverlay._scratch_buf``),
+accounted by ``scratch_nbytes``.
+
 Everything here is a pure function of overlay state and inputs — no
 ambient randomness; the latency model draws from a caller-supplied
 Generator so experiment rows stay digest-identical across workers.
@@ -37,6 +48,7 @@ Generator so experiment rows stay digest-identical across workers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -59,12 +71,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+#: default for the ``run_scan_cap`` parameter of :func:`route_many`:
 #: fallback runs wider than this go through the scalar ``_next_hop``
 #: instead of the segmented scan.  A run of width w only arises when w
 #: alive ids share the key's whole current prefix, so uniform rings
 #: never approach the cap past row 0 — and row 0 runs (the whole ring)
 #: only reach the fallback on tiny or pathologically clustered
-#: populations.
+#: populations.  Pass a different cap to tune the scan/scalar
+#: trade-off (e.g. clustered 10^6 rings); the forwarding decision is
+#: identical either way, so any value routes the same.
 RUN_SCAN_CAP = 4096
 
 
@@ -76,7 +91,9 @@ class BatchRouteResult:
     reached (False for dead sources and hop-limit casualties), and
     ``dest_pos[i]`` the *global* overlay position where the packet
     stopped.  ``path(i)`` reconstructs the full id path lazily from
-    the per-iteration trail.
+    the per-iteration trail, which is stored as one segment per
+    execution chunk (``(chunk start, per-iteration position arrays)``)
+    so a chunked run never holds batch-sized trail copies.
     """
 
     __slots__ = (
@@ -88,6 +105,7 @@ class BatchRouteResult:
         "hops",
         "success",
         "_trail",
+        "_trail_starts",
     )
 
     def __init__(self, overlay, key_hi, key_lo, src_pos, dest_pos, hops,
@@ -100,6 +118,7 @@ class BatchRouteResult:
         self.hops = hops
         self.success = success
         self._trail = trail
+        self._trail_starts = [start for start, _ in trail]
 
     def __len__(self) -> int:
         return len(self.src_pos)
@@ -111,9 +130,14 @@ class BatchRouteResult:
         the path is the prefix up to the first consecutive repeat —
         the same termination the scalar loop uses.
         """
+        if not 0 <= i < len(self.src_pos):
+            raise IndexError(f"packet index {i} out of range")
+        seg = bisect_right(self._trail_starts, i) - 1
+        start, arrays = self._trail[seg]
+        local = i - start
         positions: list[int] = []
-        for arr in self._trail:
-            g = int(arr[i])
+        for arr in arrays:
+            g = int(arr[local])
             if positions and g == positions[-1]:
                 break
             positions.append(g)
@@ -152,7 +176,9 @@ class TunnelBatchResult:
         return len(self.hops)
 
 
-def route_many(overlay: "CompactOverlay", src_pos, key_hi, key_lo,
+def route_many(overlay: "CompactOverlay", src_pos, key_hi, key_lo, *,
+               chunk_size: int | None = None,
+               run_scan_cap: int | None = None,
                ) -> BatchRouteResult:
     """Route one key per packet from global positions ``src_pos``.
 
@@ -161,6 +187,18 @@ def route_many(overlay: "CompactOverlay", src_pos, key_hi, key_lo,
     zero hops and ``dest_pos == src_pos`` (scalar ``route`` raises —
     a batch keeps row alignment instead, so sweeps over churned
     overlays need no pre-filtering).
+
+    ``chunk_size`` bounds peak memory: the batch streams through
+    windows of at most that many in-flight packets, reusing the
+    overlay's scratch buffers, with per-chunk trail segments instead
+    of batch-sized per-iteration copies.  Routing decisions are per
+    packet, so results are bitwise identical for any chunk size
+    (``None`` routes the whole batch at once).
+
+    ``run_scan_cap`` replaces the old module-constant monkeypatch
+    target: fallback runs wider than the cap are rescued by the scalar
+    rule instead of the segmented scan (default
+    :data:`RUN_SCAN_CAP`; the decision itself is cap-independent).
     """
     src_pos = np.asarray(src_pos, dtype=np.intp)
     key_hi = np.atleast_1d(np.asarray(key_hi, dtype=np.uint64))
@@ -168,47 +206,81 @@ def route_many(overlay: "CompactOverlay", src_pos, key_hi, key_lo,
     num = len(src_pos)
     if not (len(key_hi) == len(key_lo) == num):
         raise ValueError("src_pos and key words must have equal length")
+    if run_scan_cap is None:
+        run_scan_cap = RUN_SCAN_CAP
+    if chunk_size is None or chunk_size >= num or num == 0:
+        bounds = [(0, num)]
+    elif chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    else:
+        bounds = [
+            (start, min(start + chunk_size, num))
+            for start in range(0, num, chunk_size)
+        ]
 
     ahi, alo, idx = overlay._alive_arrays()
-    n = len(ahi)
-    alive_src = overlay.alive[src_pos] if num else np.zeros(0, dtype=bool)
+    reach = leaf_reach(len(ahi), overlay.leaf_set_size) if len(ahi) else 0
+    offsets = np.arange(-reach, reach + 1)
 
+    dest_pos = src_pos.copy()
     hops = np.zeros(num, dtype=np.int64)
     success = np.zeros(num, dtype=bool)
-    done = ~alive_src
-    cur = np.zeros(num, dtype=np.intp)  # alive positions (valid where alive)
-    if n and num:
-        cur[alive_src] = np.searchsorted(idx, src_pos[alive_src])
-    cur_global = src_pos.copy()
-    trail = [src_pos.copy()]
+    trail: list[tuple[int, list[np.ndarray]]] = []
+    for start, end in bounds:
+        segment = _route_chunk(
+            overlay, ahi, alo, idx, offsets, reach,
+            src_pos[start:end], key_hi[start:end], key_lo[start:end],
+            dest_pos[start:end], hops[start:end], success[start:end],
+            run_scan_cap,
+        )
+        trail.append((start, segment))
 
-    reach = leaf_reach(n, overlay.leaf_set_size) if n else 0
-    offsets = np.arange(-reach, reach + 1)
+    return BatchRouteResult(
+        overlay, key_hi, key_lo, src_pos, dest_pos, hops, success, trail
+    )
+
+
+def _route_chunk(overlay, ahi, alo, idx, offsets, reach,
+                 src, kh, kl, dest, hops, success, run_scan_cap):
+    """Advance one packet window to termination, writing into the
+    caller's ``dest``/``hops``/``success`` views; returns the chunk's
+    per-iteration trail.  Work arrays come from the overlay scratch
+    pool, so back-to-back chunks reuse one allocation."""
+    n = len(ahi)
+    num = len(src)
+    alive_src = overlay.alive[src] if num else np.zeros(0, dtype=bool)
+    done = overlay._scratch_buf("packet.done", num, bool)
+    np.logical_not(alive_src, out=done)
+    # alive positions, valid where the source is alive
+    cur = overlay._scratch_buf("packet.cur", num, np.intp)
+    cur[:] = 0
+    if n and num:
+        cur[alive_src] = np.searchsorted(idx, src[alive_src])
+    trail = [src.copy()]
 
     for _ in range(overlay.MAX_HOPS):
         act = np.flatnonzero(~done)
         if len(act) == 0:
             break
         nxt = _next_hops(
-            overlay, ahi, alo, cur[act], key_hi[act], key_lo[act],
-            offsets, reach,
+            overlay, ahi, alo, cur[act], kh[act], kl[act],
+            offsets, reach, run_scan_cap,
         )
         arrived = nxt == cur[act]
         moved = act[~arrived]
         cur[moved] = nxt[~arrived]
-        cur_global[moved] = idx[nxt[~arrived]]
+        dest[moved] = idx[nxt[~arrived]]
         hops[moved] += 1
         done[act[arrived]] = True
         success[act[arrived]] = True
-        trail.append(cur_global.copy())
+        trail.append(dest.copy())
 
     # anything still active hit the hop limit: done, success stays False
-    return BatchRouteResult(
-        overlay, key_hi, key_lo, src_pos, cur_global, hops, success, trail
-    )
+    return trail
 
 
-def _next_hops(overlay, ahi, alo, cpos, kh, kl, offsets, reach):
+def _next_hops(overlay, ahi, alo, cpos, kh, kl, offsets, reach,
+               run_scan_cap=RUN_SCAN_CAP):
     """One forwarding decision per active packet (alive positions)."""
     n = len(ahi)
     num = len(cpos)
@@ -257,12 +329,14 @@ def _next_hops(overlay, ahi, alo, cpos, kh, kl, offsets, reach):
         if len(miss):
             fb = unc[miss]
             nxt[fb] = _fallback_hops(
-                overlay, ahi, alo, cpos[fb], kh[fb], kl[fb], row[miss], reach
+                overlay, ahi, alo, cpos[fb], kh[fb], kl[fb], row[miss],
+                reach, run_scan_cap,
             )
     return nxt
 
 
-def _fallback_hops(overlay, ahi, alo, cpos, kh, kl, row, reach):
+def _fallback_hops(overlay, ahi, alo, cpos, kh, kl, row, reach,
+                   run_scan_cap=RUN_SCAN_CAP):
     """Vectorised twin of the scalar rare-case rule.
 
     Every scalar candidate — a leaf member or populated routing cell
@@ -284,7 +358,7 @@ def _fallback_hops(overlay, ahi, alo, cpos, kh, kl, row, reach):
     lens = end - start
 
     out = np.empty(num, dtype=np.intp)
-    big = lens > RUN_SCAN_CAP
+    big = lens > run_scan_cap
     for j in np.flatnonzero(big):
         # degenerate clustering: defer to the scalar rule wholesale
         apos = int(cpos[j])
@@ -341,7 +415,9 @@ def _fallback_hops(overlay, ahi, alo, cpos, kh, kl, row, reach):
 
 
 def route_tunnels(overlay: "CompactOverlay", src_pos, hop_key_hi, hop_key_lo,
-                  dest_key_hi, dest_key_lo, keep_legs: bool = False,
+                  dest_key_hi, dest_key_lo, keep_legs: bool = False, *,
+                  chunk_size: int | None = None,
+                  run_scan_cap: int | None = None,
                   ) -> TunnelBatchResult:
     """Build one TAP tunnel per packet and route the exit leg, batched.
 
@@ -354,6 +430,10 @@ def route_tunnels(overlay: "CompactOverlay", src_pos, hop_key_hi, hop_key_lo,
     A tunnel fails as soon as any leg fails; later legs for that
     packet keep routing from the last good junction (deterministic,
     cheap, and masked out of every statistic by ``success``).
+
+    ``chunk_size``/``run_scan_cap`` pass straight through to each
+    leg's :func:`route_many`; leg stitching is per packet, so tunnel
+    results are chunk-size invariant too.
     """
     src_pos = np.asarray(src_pos, dtype=np.intp)
     hop_key_hi = np.asarray(hop_key_hi, dtype=np.uint64)
@@ -364,13 +444,15 @@ def route_tunnels(overlay: "CompactOverlay", src_pos, hop_key_hi, hop_key_lo,
     current = src_pos.copy()
     legs: list[BatchRouteResult] = []
     for j in range(tunnel_len):
-        res = route_many(overlay, current, hop_key_hi[:, j], hop_key_lo[:, j])
+        res = route_many(overlay, current, hop_key_hi[:, j], hop_key_lo[:, j],
+                         chunk_size=chunk_size, run_scan_cap=run_scan_cap)
         success &= res.success
         leg_hops[:, j] = res.hops
         current = np.where(res.success, res.dest_pos, current)
         if keep_legs:
             legs.append(res)
-    res = route_many(overlay, current, dest_key_hi, dest_key_lo)
+    res = route_many(overlay, current, dest_key_hi, dest_key_lo,
+                     chunk_size=chunk_size, run_scan_cap=run_scan_cap)
     success &= res.success
     leg_hops[:, tunnel_len] = res.hops
     current = np.where(res.success, res.dest_pos, current)
@@ -382,22 +464,40 @@ def route_tunnels(overlay: "CompactOverlay", src_pos, hop_key_hi, hop_key_lo,
 
 
 def latency_sums(rng: np.random.Generator, hops, min_latency_s: float,
-                 max_latency_s: float) -> np.ndarray:
+                 max_latency_s: float, *,
+                 chunk_size: int | None = None) -> np.ndarray:
     """Per-packet end-to-end latency: sum of per-hop U[min, max] draws.
 
     One flat draw of ``hops.sum()`` link latencies on the caller's
     seed stream, folded per packet with ``np.add.reduceat`` — the
     batched twin of the fig6 per-leg loop.  Zero-hop packets cost 0 s.
+
+    ``chunk_size`` bounds the draw buffer to one packet window at a
+    time.  A Generator's uniform stream is sequential, so chunked
+    draws concatenate bitwise-identically to one flat draw — chunked
+    output equals unchunked output exactly, not just statistically.
     """
     hops = np.asarray(hops, dtype=np.int64)
     if (hops < 0).any():
         raise ValueError("negative hop counts")
-    out = np.zeros(len(hops), dtype=np.float64)
-    total = int(hops.sum())
-    if total == 0:
-        return out
-    draws = rng.uniform(min_latency_s, max_latency_s, size=total)
-    ends = np.cumsum(hops)
-    nz = hops > 0
-    out[nz] = np.add.reduceat(draws, (ends - hops)[nz])
+    num = len(hops)
+    out = np.zeros(num, dtype=np.float64)
+    if chunk_size is None or chunk_size >= num or num == 0:
+        bounds = [(0, num)]
+    elif chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    else:
+        bounds = [
+            (start, min(start + chunk_size, num))
+            for start in range(0, num, chunk_size)
+        ]
+    for start, end in bounds:
+        h = hops[start:end]
+        total = int(h.sum())
+        if total == 0:
+            continue
+        draws = rng.uniform(min_latency_s, max_latency_s, size=total)
+        ends = np.cumsum(h)
+        nz = h > 0
+        out[start:end][nz] = np.add.reduceat(draws, (ends - h)[nz])
     return out

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 import repro.analysis.idspace as idspace
 from repro.analysis.idspace import (
     IdSpaceModel,
+    merge_insert_positions,
     pack_ids,
     replica_table,
     replica_table_words,
@@ -432,3 +433,23 @@ class TestWordKernels:
             replica_table_words(hi, lo, khi, klo, 0)
         with pytest.raises(ValueError):
             replica_table_words(hi, lo, khi, klo, 3)
+
+    @given(
+        existing=st.sets(st.integers(0, 999), min_size=0, max_size=40),
+        fresh=st.sets(st.integers(1000, 1999), min_size=0, max_size=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_insert_positions_matches_np_insert(self, existing, fresh):
+        arr = np.array(sorted(existing), dtype=np.int64)
+        new = np.array(sorted(fresh), dtype=np.int64)
+        at = np.searchsorted(arr, new)
+        target, keep = merge_insert_positions(at, len(arr))
+        merged = np.empty(len(arr) + len(new), dtype=np.int64)
+        merged[keep] = arr
+        merged[target] = new
+        assert (merged == np.insert(arr, at, new)).all()
+        # one plan serves aligned companion arrays
+        companion = np.empty(len(arr) + len(new), dtype=bool)
+        companion[keep] = True
+        companion[target] = False
+        assert companion.sum() == len(arr)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.experiments.scale_churn import (
@@ -140,3 +142,58 @@ class TestSummarizeRows:
 
     def test_empty_rows(self):
         assert summarize_rows([]) == {}
+
+
+class TestMillionKnobs:
+    """The million-node execution knobs, exercised at toy scale: the
+    rows must not depend on chunking or the shared-memory transport,
+    and the scalar-verify arm must pin batch-vs-scalar agreement."""
+
+    def test_million_config_shape(self):
+        cfg = ScaleChurnConfig.million()
+        assert cfg.num_nodes == 1_000_000
+        assert cfg.use_shared_memory
+        assert cfg.chunk_size is not None
+        assert cfg.scalar_verify_routes > 0
+        assert cfg.spot_check_routes == 0  # bridge spot checks don't scale
+
+    def test_rows_invariant_to_chunk_and_shm(self):
+        flat = rows_digest(run_scale_churn(TINY))
+        knobs = dataclasses.replace(
+            TINY, chunk_size=7, use_shared_memory=True
+        )
+        assert rows_digest(run_scale_churn(knobs, workers=2)) == flat
+
+    def test_scalar_verify_rows_agree(self):
+        cfg = dataclasses.replace(TINY, scalar_verify_routes=5)
+        rows = run_scale_churn(cfg)
+        verify = [r for r in rows if r["figure"] == "scale-churn-verify"]
+        assert len(verify) == TINY.num_seeds
+        for row in verify:
+            assert row["routes"] == 5
+            assert row["agree"] == 5
+
+    def test_volatile_out_reports_restore_and_segments(self):
+        cfg = dataclasses.replace(TINY, use_shared_memory=True)
+        volatile = {}
+        run_scale_churn(cfg, volatile_out=volatile)
+        assert len(volatile["trials"]) == TINY.num_seeds
+        for entry in volatile["trials"]:
+            assert entry["restore_seconds"] >= 0.0
+        segments = volatile["shared_memory"]
+        assert segments["segments"] == 1
+        assert segments["segment_nbytes"] == 17 * TINY.num_nodes
+
+    def test_summary_aliases_scale_1m_for_million_configs(self):
+        cfg = dataclasses.replace(TINY, scalar_verify_routes=3)
+        rows = run_scale_churn(cfg)
+        plain = summarize_rows(rows, config=cfg)
+        assert "scale.scalar_agreement" in plain
+        assert not any(k.startswith("scale_1m.") for k in plain)
+        million = summarize_rows(
+            rows, config=dataclasses.replace(cfg, num_nodes=1_000_000)
+        )
+        assert million["scale_1m.survivor_fraction"] == (
+            million["scale.survivor_fraction"]
+        )
+        assert million["scale_1m.scalar_agreement"] == 1.0

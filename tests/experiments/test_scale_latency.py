@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.experiments.scale_latency import (
@@ -141,3 +143,43 @@ class TestSummarizeRows:
 
     def test_empty_rows(self):
         assert summarize_rows([]) == {}
+
+
+class TestMillionKnobs:
+    """Chunked routing and shared-memory sharding must leave the rows
+    byte-identical; million configs alias their SLOs under scale_1m."""
+
+    def test_million_config_shape(self):
+        cfg = ScaleLatencyConfig.million()
+        assert cfg.num_nodes == 1_000_000
+        assert cfg.use_shared_memory
+        assert cfg.chunk_size is not None
+        assert cfg.verify_routes > 0
+
+    def test_rows_invariant_to_chunk_and_shm(self):
+        flat = rows_digest(run_scale_latency(TINY))
+        knobs = dataclasses.replace(
+            TINY, chunk_size=13, use_shared_memory=True
+        )
+        assert rows_digest(run_scale_latency(knobs, workers=2)) == flat
+
+    def test_volatile_out_reports_restore_and_segments(self):
+        cfg = dataclasses.replace(TINY, use_shared_memory=True)
+        volatile = {}
+        run_scale_latency(cfg, volatile_out=volatile)
+        assert len(volatile["trials"]) == TINY.num_seeds
+        segments = volatile["shared_memory"]
+        assert segments["segments"] == 1
+        assert segments["segment_nbytes"] == 17 * TINY.num_nodes
+
+    def test_summary_aliases_scale_1m_for_million_configs(self):
+        rows = run_scale_latency(TINY)
+        plain = summarize_rows(rows, config=TINY)
+        assert not any(k.startswith("scale_1m.") for k in plain)
+        million = summarize_rows(
+            rows, config=dataclasses.replace(TINY, num_nodes=1_000_000)
+        )
+        assert million["scale_1m.route_completion"] == (
+            million["scale_latency.route_completion"]
+        )
+        assert million["scale_1m.route_agreement"] == 1.0

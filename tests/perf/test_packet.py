@@ -108,9 +108,10 @@ class TestRouteManyEquivalence:
         fallback_packets = []
         original = packet._fallback_hops
 
-        def probe(ov, ahi, alo, cpos, kh, kl, row, reach):
+        def probe(ov, ahi, alo, cpos, kh, kl, row, reach, run_scan_cap):
             fallback_packets.append(len(cpos))
-            return original(ov, ahi, alo, cpos, kh, kl, row, reach)
+            return original(ov, ahi, alo, cpos, kh, kl, row, reach,
+                            run_scan_cap)
 
         monkeypatch.setattr(packet, "_fallback_hops", probe)
         alive = np.flatnonzero(overlay.alive)
@@ -124,7 +125,7 @@ class TestRouteManyEquivalence:
         assert sum(fallback_packets) > 0, "fallback branch never exercised"
         _assert_matches_scalar(overlay, batch, src, key_hi, key_lo)
 
-    def test_run_scan_cap_rescue_is_identical(self, monkeypatch):
+    def test_run_scan_cap_rescue_is_identical(self):
         overlay = _clustered_overlay(SEED + 2)
         rng = np.random.default_rng(SEED + 3)
         alive = np.flatnonzero(overlay.alive)
@@ -133,8 +134,8 @@ class TestRouteManyEquivalence:
         key_hi[::2] |= np.uint64(0xABCDEF00 << 32)
         key_lo = rng.integers(0, 2**64, size=40, dtype=np.uint64)
         vectorised = route_many(overlay, src, key_hi, key_lo)
-        monkeypatch.setattr(packet, "RUN_SCAN_CAP", 2)
-        rescued = route_many(overlay, src, key_hi, key_lo)
+        # run_scan_cap is a parameter now — no monkeypatching needed
+        rescued = route_many(overlay, src, key_hi, key_lo, run_scan_cap=2)
         for i in range(40):
             assert rescued.path(i) == vectorised.path(i)
 
@@ -210,6 +211,94 @@ class TestRouteManyEquivalence:
         key_hi, key_lo = pack_ids(keys)
         batch = route_many(overlay, src_pos, key_hi, key_lo)
         _assert_matches_scalar(overlay, batch, src_pos, key_hi, key_lo)
+
+
+class TestChunkedRouting:
+    """Chunked execution must be bitwise-identical to one flat batch
+    for any chunk size — the 10^6 memory-bounding mode may not change
+    a single row digest (DESIGN.md §6g)."""
+
+    CHUNKS = (1, 7, 60, None)  # 60 == batch size below
+
+    def _batch(self, seed=SEED, count=60):
+        overlay = _uniform_overlay(300, seed)
+        rng = np.random.default_rng(seed + 50)
+        src, key_hi, key_lo = _sample_packets(overlay, rng, count)
+        return overlay, src, key_hi, key_lo
+
+    @pytest.mark.parametrize("chunk_size", CHUNKS)
+    def test_route_many_digest_identical(self, chunk_size):
+        overlay, src, key_hi, key_lo = self._batch()
+        flat = route_many(overlay, src, key_hi, key_lo)
+        chunked = route_many(overlay, src, key_hi, key_lo,
+                             chunk_size=chunk_size)
+        assert (chunked.dest_pos == flat.dest_pos).all()
+        assert (chunked.hops == flat.hops).all()
+        assert (chunked.success == flat.success).all()
+        for i in range(len(flat)):
+            assert chunked.path(i) == flat.path(i)
+
+    @pytest.mark.parametrize("chunk_size", (1, 7, 20, None))
+    def test_dead_sources_straddling_chunk_edge(self, chunk_size):
+        overlay = _uniform_overlay(250, SEED, churn=False)
+        rng = np.random.default_rng(SEED)
+        src, key_hi, key_lo = _sample_packets(overlay, rng, 20)
+        # kill sources 6 and 7 — with chunk_size=7 packet 6 ends one
+        # chunk and packet 7 opens the next
+        overlay.fail_positions(np.unique(src[6:8]))
+        batch = route_many(overlay, src, key_hi, key_lo,
+                           chunk_size=chunk_size)
+        dead = ~overlay.alive[src]
+        assert dead[6] and dead[7]
+        assert not batch.success[dead].any()
+        assert (batch.hops[dead] == 0).all()
+        assert (batch.dest_pos[dead] == src[dead]).all()
+        for i in np.flatnonzero(~dead):
+            i = int(i)
+            src_id = (int(overlay.hi[src[i]]) << 64) | int(overlay.lo[src[i]])
+            key = (int(key_hi[i]) << 64) | int(key_lo[i])
+            assert batch.path(i) == overlay.route(src_id, key).path
+
+    @pytest.mark.parametrize("chunk_size", CHUNKS)
+    def test_route_tunnels_failure_isolation_chunked(self, chunk_size):
+        overlay = _uniform_overlay(200, SEED, churn=False)
+        rng = np.random.default_rng(SEED)
+        src, key_hi, key_lo = _sample_packets(overlay, rng, 8)
+        overlay.fail_positions(np.unique(src[:2]))
+        hop_hi = rng.integers(0, 2**64, size=(8, 2), dtype=np.uint64)
+        hop_lo = rng.integers(0, 2**64, size=(8, 2), dtype=np.uint64)
+        flat = route_tunnels(overlay, src, hop_hi, hop_lo, key_hi, key_lo)
+        chunked = route_tunnels(overlay, src, hop_hi, hop_lo, key_hi, key_lo,
+                                chunk_size=chunk_size)
+        assert not chunked.success[:2].any()
+        assert chunked.success[2:].all()
+        assert (chunked.leg_hops == flat.leg_hops).all()
+        assert (chunked.hops == flat.hops).all()
+        assert (chunked.dest_pos == flat.dest_pos).all()
+
+    @pytest.mark.parametrize("chunk_size", (1, 7, 6, None))
+    def test_latency_sums_draw_order_deterministic(self, chunk_size):
+        hops = np.array([0, 1, 5, 3, 0, 7])
+        flat = latency_sums(np.random.default_rng(5), hops, 0.010, 0.230)
+        chunked = latency_sums(np.random.default_rng(5), hops, 0.010, 0.230,
+                               chunk_size=chunk_size)
+        # bitwise, not approx: chunked draws consume the same stream
+        assert (chunked == flat).all()
+
+    def test_chunk_size_validation(self):
+        overlay, src, key_hi, key_lo = self._batch(count=4)
+        with pytest.raises(ValueError):
+            route_many(overlay, src, key_hi, key_lo, chunk_size=0)
+        with pytest.raises(ValueError):
+            latency_sums(np.random.default_rng(1), np.array([1, 2]),
+                         0.0, 1.0, chunk_size=-3)
+
+    def test_scratch_reuse_across_chunks(self):
+        overlay, src, key_hi, key_lo = self._batch()
+        route_many(overlay, src, key_hi, key_lo, chunk_size=7)
+        first = overlay.scratch_nbytes
+        route_many(overlay, src, key_hi, key_lo, chunk_size=7)
+        assert overlay.scratch_nbytes == first  # no regrowth round trip
 
 
 class TestTunnelBatch:

@@ -76,6 +76,80 @@ class TestCompare:
         bench.compare(baseline, current, threshold=1.15)
         assert "not like-for-like" in capsys.readouterr().err
 
+    def test_new_benchmark_fails_without_allow_new(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1000.0}})
+        current = _stamped({
+            "a": {"median_ns": 1000.0},
+            "brand.new_1m": {"median_ns": 5.0},
+        })
+        speedup, failures = bench.compare(baseline, current, threshold=1.15)
+        assert len(failures) == 1
+        assert "brand.new_1m" in failures[0]
+        assert "--allow-new" in failures[0]
+        assert "brand.new_1m" not in speedup
+
+    def test_new_benchmark_adopted_with_allow_new(self, bench, capsys):
+        baseline = _stamped({"a": {"median_ns": 1000.0}})
+        current = _stamped({
+            "a": {"median_ns": 1000.0},
+            "brand.new_1m": {"median_ns": 5.0},
+        })
+        speedup, failures = bench.compare(
+            baseline, current, threshold=1.15, allow_new=True,
+        )
+        assert failures == []
+        assert speedup == {"a": 1.0, "brand.new_1m": 1.0}
+        assert "adopting 1 benchmark(s)" in capsys.readouterr().err
+
+
+class TestScale1mGates:
+    def test_rss_within_budget_passes(self, bench):
+        results = {
+            "pastry.bootstrap_1m": {
+                "median_ns": 1.0, "peak_rss_bytes": 500 * 1024**2,
+            },
+        }
+        assert bench.scale_1m_failures(results) == []
+
+    def test_rss_over_budget_fails(self, bench):
+        results = {
+            "compact.churn_1m": {
+                "median_ns": 1.0,
+                "peak_rss_bytes": bench.SCALE_1M_MAX_RSS + 1,
+            },
+        }
+        failures = bench.scale_1m_failures(results)
+        assert len(failures) == 1
+        assert "compact.churn_1m" in failures[0]
+
+    def test_missing_rss_is_skipped(self, bench):
+        assert bench.scale_1m_failures(
+            {"pastry.bootstrap_1m": {"median_ns": 1.0}}
+        ) == []
+
+    def test_env_knob_gates_the_group(self, bench, monkeypatch):
+        monkeypatch.delenv("TAP_BENCH_SCALE_1M", raising=False)
+        enabled, reason = bench.scale_1m_status()
+        assert not enabled and "TAP_BENCH_SCALE_1M" in reason
+
+
+class TestBytesRegressions:
+    def test_within_ratio_is_quiet(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1.0, "bytes_per_op": 100}})
+        current = _stamped({"a": {"median_ns": 1.0, "bytes_per_op": 110}})
+        assert bench.bytes_regressions(baseline, current) == []
+
+    def test_regression_warns_with_names(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1.0, "bytes_per_op": 100}})
+        current = _stamped({"a": {"median_ns": 1.0, "bytes_per_op": 200}})
+        warnings = bench.bytes_regressions(baseline, current)
+        assert len(warnings) == 1 and "a:" in warnings[0]
+
+    def test_absent_column_is_skipped(self, bench):
+        baseline = _stamped({"a": {"median_ns": 1.0}})
+        current = _stamped({"a": {"median_ns": 1.0, "bytes_per_op": 200}})
+        assert bench.bytes_regressions(baseline, current) == []
+
 
 class TestBatchSpeedupGate:
     def _results(self, bench, per_route_ratio: float) -> dict:

@@ -37,6 +37,7 @@ import statistics
 import subprocess
 import sys
 import time
+import tracemalloc
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -66,6 +67,33 @@ def time_op(fn, *, min_time_s: float = 0.15, repeats: int = 5) -> float:
             fn()
         samples.append((time.perf_counter() - start) / n)
     return statistics.median(samples) * 1e9
+
+
+def measure_bytes(fn) -> int:
+    """Peak Python-heap bytes of one ``fn()`` call (``tracemalloc``).
+
+    NumPy routes array allocations through the ``PyDataMem`` hooks, so
+    this sees scratch arrays and temporaries too.  Measured on its own
+    (untimed) call — tracemalloc's bookkeeping would distort ns/op.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def peak_rss_bytes() -> int | None:
+    """The process's high-water RSS in bytes (Linux: ru_maxrss KiB)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    return rss * 1024 if sys.platform.startswith("linux") else rss
 
 
 # ----------------------------------------------------------------------
@@ -382,10 +410,107 @@ ROUTE = {
     "compact.tunnel_batch_100k": bench_compact_tunnel_batch_100k,
 }
 
+
+def bench_pastry_bootstrap_1m():
+    from repro.perf.compact import CompactOverlay
+
+    return lambda: CompactOverlay.random(1_000_000, seed=2004)
+
+
+def bench_compact_churn_1m():
+    """One scale-churn-style round at 10^6: restore the base snapshot,
+    fail 10k nodes, merge-insert 5k joiners, query 2k replica sets."""
+    import numpy as np
+
+    from repro.perf.compact import CompactOverlay
+    from repro.util.rng import SeedSequenceFactory
+
+    snap = CompactOverlay.random(1_000_000, seed=2004).snapshot()
+    rng = SeedSequenceFactory(2004).numpy("bench-churn-1m")
+    u64_max = np.iinfo(np.uint64).max
+    key_hi = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    key_lo = rng.integers(0, u64_max, size=2_000, dtype=np.uint64)
+    victims = rng.choice(1_000_000, size=10_000, replace=False)
+    join_hi = rng.integers(0, u64_max, size=5_000, dtype=np.uint64)
+    join_lo = rng.integers(0, u64_max, size=5_000, dtype=np.uint64)
+    joiners = [
+        (int(h) << 64) | int(l)
+        for h, l in zip(join_hi.tolist(), join_lo.tolist())
+    ]
+
+    def churn_round():
+        overlay = snap.restore()
+        overlay.fail_positions(victims)
+        overlay.join(joiners)
+        return overlay.replica_positions(key_hi, key_lo, 3)
+
+    return churn_round
+
+
+def _route_setup_1m():
+    import numpy as np
+
+    from repro.perf.compact import CompactOverlay
+    from repro.util.rng import SeedSequenceFactory
+
+    overlay = CompactOverlay.random(1_000_000, seed=2004)
+    rng = SeedSequenceFactory(2004).numpy("bench-route-1m")
+    u64_max = np.iinfo(np.uint64).max
+    alive = overlay.alive_positions()
+    src = rng.choice(alive, size=4096)
+    key_hi = rng.integers(0, u64_max, size=4096, dtype=np.uint64)
+    key_lo = rng.integers(0, u64_max, size=4096, dtype=np.uint64)
+    return overlay, src, key_hi, key_lo
+
+
+def bench_route_throughput_1m():
+    """4096 chunked routes per call at 10^6 nodes; setup proves the
+    chunked batch is digest-identical to the unchunked one."""
+    import numpy as np
+
+    overlay, src, key_hi, key_lo = _route_setup_1m()
+    flat = overlay.route_many(src[:512], key_hi[:512], key_lo[:512])
+    chunked = overlay.route_many(src[:512], key_hi[:512], key_lo[:512],
+                                 chunk_size=97)
+    assert (
+        np.array_equal(flat.dest_pos, chunked.dest_pos)
+        and np.array_equal(flat.hops, chunked.hops)
+        and np.array_equal(flat.success, chunked.success)
+    ), "chunked route_many diverged from unchunked at 10^6"
+    return lambda: overlay.route_many(src, key_hi, key_lo, chunk_size=1_024)
+
+
+def bench_compact_route_1m():
+    """Scalar baseline at 10^6: 16 hop-loop routes per call."""
+    overlay, src, key_hi, key_lo = _route_setup_1m()
+    pairs = [
+        (
+            (int(overlay.hi[src[i]]) << 64) | int(overlay.lo[src[i]]),
+            (int(key_hi[i]) << 64) | int(key_lo[i]),
+        )
+        for i in range(ROUTE_UNITS["compact.route_1m"])
+    ]
+    return lambda: [overlay.route(s, k) for s, k in pairs]
+
+
+#: the million-node group: opt-in via TAP_BENCH_SCALE_1M=1 (each setup
+#: bootstraps a 10^6 ring) and skipped loudly on low-memory machines
+SCALE_1M = {
+    "pastry.bootstrap_1m": bench_pastry_bootstrap_1m,
+    "compact.churn_1m": bench_compact_churn_1m,
+    "route.throughput_1m": bench_route_throughput_1m,
+    "compact.route_1m": bench_compact_route_1m,
+}
+
+#: peak-RSS ceiling for the 10^6 operating point (acceptance gate)
+SCALE_1M_MAX_RSS = 2 * 1024**3
+
 ROUTE_UNITS = {
     "compact.route_100k": 16,
     "compact.route_many_100k": 512,
     "compact.tunnel_batch_100k": 128 * 4,
+    "route.throughput_1m": 4096,
+    "compact.route_1m": 16,
 }
 
 #: batched -> (scalar, min per-route speedup): same-run relative gate,
@@ -393,7 +518,38 @@ ROUTE_UNITS = {
 #: this many times faster per route than the scalar hop loop
 BATCH_PAIRS = {
     "compact.route_many_100k": ("compact.route_100k", 20.0),
+    "route.throughput_1m": ("compact.route_1m", 15.0),
 }
+
+#: groups whose results carry a ``bytes_per_op`` column (tracemalloc
+#: peak of one call); compared warn-only against the baseline
+BYTES_BENCHMARKS = set(SCALE) | set(ROUTE) | set(SCALE_1M)
+
+
+def scale_1m_status() -> tuple[bool, str]:
+    """Whether the SCALE-1M group should run, and why not if not.
+
+    Opt-in via ``TAP_BENCH_SCALE_1M=1``; even then, skipped (loudly,
+    never silently) when the machine advertises under 4 GiB available
+    — the group bootstraps several 10^6 rings back to back.
+    """
+    if os.environ.get("TAP_BENCH_SCALE_1M", "") not in ("1", "true", "yes"):
+        return False, "TAP_BENCH_SCALE_1M not set"
+    min_bytes = 4 * 1024**3
+    try:
+        meminfo = pathlib.Path("/proc/meminfo").read_text()
+        for line in meminfo.splitlines():
+            if line.startswith("MemAvailable:"):
+                available = int(line.split()[1]) * 1024
+                if available < min_bytes:
+                    return False, (
+                        f"only {available / 1024**3:.1f} GiB available "
+                        f"(< {min_bytes / 1024**3:.0f} GiB)"
+                    )
+                break
+    except OSError:
+        pass  # no /proc (macOS): trust the env knob
+    return True, ""
 
 #: instrumented -> (bare, max ratio): same-run pairs gated on relative
 #: cost, independent of the recorded baseline (noise cancels because
@@ -409,6 +565,13 @@ def run_suite(quick: bool, only: set[str] | None = None) -> dict[str, dict]:
         if quick
         else {**MICRO, **SNAPSHOT, **SCALE, **ROUTE, **MACRO}
     )
+    enabled, reason = scale_1m_status()
+    if enabled:
+        suite.update(SCALE_1M)
+    else:
+        # never a silent skip: the trajectory reader must be able to
+        # tell "not run" from "mysteriously missing"
+        print(f"  scale-1m group SKIPPED: {reason}")
     if only is not None:
         suite = {name: fn for name, fn in suite.items() if name in only}
     results: dict[str, dict] = {}
@@ -420,11 +583,63 @@ def run_suite(quick: bool, only: set[str] | None = None) -> dict[str, dict]:
             "median_ns": round(median_ns, 1),
             "ops_per_s": round(1e9 / median_ns, 2),
         }
+        if name in BYTES_BENCHMARKS:
+            results[name]["bytes_per_op"] = measure_bytes(fn)
+        if name in SCALE_1M:
+            rss = peak_rss_bytes()
+            if rss is not None:
+                results[name]["peak_rss_bytes"] = rss
+        extra = ""
+        if "bytes_per_op" in results[name]:
+            extra = f"  {results[name]['bytes_per_op'] / 1024**2:8.1f} MiB/op"
         print(f"  {name:24s} {median_ns:14,.0f} ns/op "
-              f"({results[name]['ops_per_s']:12,.1f} ops/s)")
+              f"({results[name]['ops_per_s']:12,.1f} ops/s){extra}")
     if not quick and only is None:
         results.update(wallclock_suite())
     return results
+
+
+def scale_1m_failures(results: dict[str, dict]) -> list[str]:
+    """Same-run gate: the 10^6 operating point must fit the memory
+    budget (``SCALE_1M_MAX_RSS`` peak RSS, acceptance criterion)."""
+    failures: list[str] = []
+    for name in ("pastry.bootstrap_1m", "compact.churn_1m"):
+        rss = results.get(name, {}).get("peak_rss_bytes")
+        if rss is None:
+            continue
+        verdict = "ok" if rss <= SCALE_1M_MAX_RSS else "FAIL"
+        print(f"  scale-1m rss {name}: {rss / 1024**3:.2f} GiB "
+              f"(max {SCALE_1M_MAX_RSS / 1024**3:.0f} GiB) {verdict}")
+        if rss > SCALE_1M_MAX_RSS:
+            failures.append(
+                f"{name}: peak RSS {rss / 1024**3:.2f} GiB over the "
+                f"{SCALE_1M_MAX_RSS / 1024**3:.0f} GiB million-node budget"
+            )
+    return failures
+
+
+def bytes_regressions(baseline: dict, current: dict,
+                      max_ratio: float = 1.25) -> list[str]:
+    """Warn-only memory trajectory: ``bytes_per_op`` vs baseline.
+
+    Returns the offending names (for the caller to print); never fails
+    the gate — allocation footprints move with numpy versions and the
+    point is visibility, not flakiness.
+    """
+    warnings: list[str] = []
+    base_results = baseline.get("results", {})
+    for name, cur in current.get("results", {}).items():
+        cur_bytes = cur.get("bytes_per_op")
+        base_bytes = base_results.get(name, {}).get("bytes_per_op")
+        if not cur_bytes or not base_bytes:
+            continue
+        if cur_bytes > base_bytes * max_ratio:
+            warnings.append(
+                f"{name}: {cur_bytes / 1024**2:.1f} MiB/op vs baseline "
+                f"{base_bytes / 1024**2:.1f} MiB/op "
+                f"(x{cur_bytes / base_bytes:.2f}, warn at x{max_ratio:.2f})"
+            )
+    return warnings
 
 
 def overhead_failures(results: dict[str, dict]) -> list[str]:
@@ -525,6 +740,9 @@ def stamp(results: dict, label: str) -> dict:
         # Wall-clock entries for --workers N only mean something when N
         # cores exist; record how many this run actually had.
         "cpus": os.cpu_count(),
+        # the whole run's high-water RSS — the context for every
+        # per-benchmark peak_rss_bytes entry
+        "peak_rss_bytes": peak_rss_bytes(),
         "results": results,
     }
 
@@ -534,6 +752,7 @@ def compare(
     current: dict,
     threshold: float,
     previous_speedup: dict | None = None,
+    allow_new: bool = False,
 ) -> tuple[dict, list[str]]:
     """Per-benchmark speedups plus the list of gate failures.
 
@@ -542,6 +761,11 @@ def compare(
     out entirely) is never silently dropped from the report: it warns
     loudly on stderr and carries the previously recorded speedup
     entry forward, explicitly marked stale.
+
+    The reverse — a benchmark this run emits that the baseline has
+    never seen — **fails** the gate unless ``allow_new``: a new entry
+    joining the trajectory with no baseline number is an untracked
+    claim, so it must be adopted deliberately, not slipped in.
     """
     speedup: dict[str, float] = {}
     failures: list[str] = []
@@ -554,6 +778,21 @@ def compare(
             file=sys.stderr,
         )
     base_results = baseline["results"]
+    new = sorted(set(current["results"]) - set(base_results))
+    if new:
+        if allow_new:
+            print(
+                f"note: adopting {len(new)} benchmark(s) new to the "
+                f"baseline: {', '.join(new)}",
+                file=sys.stderr,
+            )
+            for name in new:
+                speedup[name] = 1.0
+        else:
+            failures.append(
+                f"benchmark(s) absent from baseline: {', '.join(new)} — "
+                f"rerun with --allow-new to adopt them deliberately"
+            )
     for name, cur in current["results"].items():
         base = base_results.get(name)
         if base is None:
@@ -594,6 +833,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="pin this run as the new baseline")
     parser.add_argument("--check-only", action="store_true",
                         help="compare but leave the record file untouched")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="adopt benchmarks absent from the baseline "
+                             "into it (without this, a new benchmark "
+                             "name fails the gate)")
     parser.add_argument("--overhead-only", action="store_true",
                         help="run only the OVERHEAD_PAIRS benchmarks and "
                              "gate the instrumented/bare ratio (no "
@@ -666,9 +909,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     speedup, failures = compare(baseline, current, threshold,
-                                previous_speedup=record.get("speedup"))
+                                previous_speedup=record.get("speedup"),
+                                allow_new=args.allow_new)
     failures.extend(overhead_failures(results))
     failures.extend(batch_speedup_failures(results))
+    failures.extend(scale_1m_failures(results))
+    for warning in bytes_regressions(baseline, current):
+        print(f"warning: bytes_per_op regression: {warning}",
+              file=sys.stderr)
     print(f"\nvs baseline '{baseline['label']}' @ {baseline['git_sha']}:")
     for name in sorted(speedup):
         stale = "" if name in results else "  (carried, not measured this run)"
@@ -676,6 +924,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{'faster' if speedup[name] >= 1 else 'slower'}{stale}")
 
     if not args.check_only:
+        if args.allow_new:
+            # adopt new entries into the baseline so future runs gate
+            # against this run's numbers
+            for name in set(current["results"]) - set(baseline["results"]):
+                baseline["results"][name] = current["results"][name]
         record.update({
             "schema": 1,
             "current": current,
